@@ -1,0 +1,79 @@
+"""E7 (Section 4, architecture layer): ChMP refinement and its verification.
+
+Regenerates the architecture-level refinement of the EPC (specification vs
+ChMP channel vs GALS/FIFO deployment), benchmarks each execution and the
+flow-preservation check, and runs the negative control (removing the
+handshake breaks flow preservation and the observer detects it).
+"""
+
+import pytest
+
+from repro.epc import (
+    ablation_drop_handshake,
+    run_architecture,
+    run_gals_architecture,
+    run_specification,
+)
+from repro.epc.refinement import DEFAULT_WORKLOAD, check_refinement_chain
+from repro.verification.observer import FlowObserver
+
+WORKLOAD = list(DEFAULT_WORKLOAD)
+
+
+def _flow_verdict(left, right):
+    observer = FlowObserver(["ocount", "parity"])
+    for name, values in left.items():
+        for value in values:
+            observer.feed("left", name, value)
+    for name, values in right.items():
+        for value in values:
+            observer.feed("right", name, value)
+    return observer.verdict(strict=True)
+
+
+def test_architecture_refinement_preserves_flows():
+    """Specification, ChMP architecture and GALS deployment agree on the flows."""
+    spec = run_specification(WORKLOAD)
+    chmp = run_architecture(WORKLOAD)
+    gals = run_gals_architecture(WORKLOAD)
+    assert _flow_verdict(
+        {"ocount": spec.counts, "parity": spec.parities},
+        {"ocount": chmp.counts, "parity": chmp.parities},
+    ).equivalent
+    assert _flow_verdict(
+        {"ocount": chmp.counts, "parity": chmp.parities},
+        {"ocount": gals.counts, "parity": gals.parities},
+    ).equivalent
+
+
+def test_gals_deployment_is_schedule_insensitive():
+    """Different relative component speeds produce the same flows (flow-invariance)."""
+    reference = run_gals_architecture(WORKLOAD)
+    fast_producer = run_gals_architecture(WORKLOAD, schedule=["ones", "ones", "ones", "evenio"])
+    fast_consumer = run_gals_architecture(WORKLOAD, schedule=["evenio", "evenio", "ones"])
+    assert reference.counts == fast_producer.counts == fast_consumer.counts
+    assert reference.parities == fast_producer.parities == fast_consumer.parities
+
+
+def test_ablation_without_handshake_diverges():
+    """Negative control: an unsynchronised shared register loses values."""
+    verdict = ablation_drop_handshake(WORKLOAD)
+    assert not verdict.equivalent
+
+
+def test_bench_chmp_architecture(benchmark):
+    """Cost of interpreting the ChMP-based architecture level."""
+    result = benchmark(lambda: run_architecture(WORKLOAD))
+    assert result.matches_reference()
+
+
+def test_bench_gals_architecture(benchmark):
+    """Cost of the desynchronised (FIFO) deployment."""
+    result = benchmark(lambda: run_gals_architecture(WORKLOAD))
+    assert result.matches_reference()
+
+
+def test_bench_full_refinement_chain(benchmark):
+    """Cost of discharging every obligation of the refinement chain (no bisim)."""
+    chain = benchmark(lambda: check_refinement_chain(WORKLOAD))
+    assert chain.holds

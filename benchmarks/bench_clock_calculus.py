@@ -1,0 +1,67 @@
+"""E6 (Fig. 2 flow): clock calculus, hierarchization and endochrony analysis.
+
+Benchmarks the compiler core engine of the Polychrony platform on the EPC
+components and on parametric process families (shift registers of growing
+depth), and records the structural results (number of clock classes, master
+clock, hierarchy depth).
+"""
+
+import pytest
+
+from repro.clocks import ClockAlgebra, analyse_endochrony, build_hierarchy, clock_system
+from repro.clocks.expressions import ClockVar, FalseSample, Join, Meet, TrueSample
+from repro.epc.rtl_level import rtl_ones_process
+from repro.epc.signal_model import ones_endochronous_process, ones_paper_process
+from repro.signal.library import shift_register_process
+
+
+def test_clock_algebra_laws():
+    """The clock-calculus identities the BDD encoding must validate."""
+    algebra = ClockAlgebra()
+    assert algebra.equal(Join(TrueSample("c"), FalseSample("c")), ClockVar("c"))
+    assert algebra.is_empty(Meet(TrueSample("c"), FalseSample("c")))
+    assert algebra.included(Meet(ClockVar("a"), ClockVar("b")), ClockVar("a"))
+
+
+def test_epc_hierarchies_have_the_expected_shape():
+    """Master clocks of the three `ones` models (the paper's narrative)."""
+    endochronous = build_hierarchy(ones_endochronous_process())
+    assert endochronous.is_singly_rooted()
+    assert "tick" in endochronous.master_signals()
+
+    rtl = build_hierarchy(rtl_ones_process())
+    assert rtl.is_singly_rooted()
+    assert "clk" in rtl.master_signals()
+
+    paper = analyse_endochrony(ones_paper_process())
+    assert not paper.is_endochronous  # the spec-level listing is multi-clocked
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [ones_endochronous_process, rtl_ones_process, ones_paper_process],
+    ids=["ones-endochronous", "ones-rtl", "ones-paper"],
+)
+def test_bench_clock_calculus_on_epc(benchmark, factory):
+    """Cost of clock-constraint extraction + hierarchization + endochrony."""
+    process = factory()
+
+    def run():
+        system = clock_system(process)
+        hierarchy = build_hierarchy(system)
+        return analyse_endochrony(hierarchy)
+
+    report = benchmark(run)
+    assert report.process_name == process.name
+
+
+@pytest.mark.parametrize("depth", [4, 16, 32])
+def test_bench_hierarchization_scaling(benchmark, depth):
+    """Hierarchization cost as the number of synchronous signals grows."""
+    process = shift_register_process(depth=depth)
+
+    hierarchy = benchmark(lambda: build_hierarchy(process))
+    # Every stage of a shift register is synchronous with the input: one class.
+    assert hierarchy.is_singly_rooted()
+    assert len(hierarchy.classes) == 1
+    assert len(hierarchy.classes[0].signals) == depth + 2

@@ -1,0 +1,80 @@
+"""E8 (Section 4, observer diagram): observer-based flow-equivalence checking.
+
+Benchmarks the observer (one FIFO per observed signal per side) on flows of
+growing length, with and without divergences, and the buffered-observer SIGNAL
+process of the paper's diagram.
+"""
+
+import pytest
+
+from repro.clocks import analyse_endochrony
+from repro.core.values import ABSENT
+from repro.simulation import Trace, simulate_columns
+from repro.verification.observer import FlowObserver, buffered_observer, compare_traces, observer_process
+
+
+def _traces(length: int, diverge_at: int | None):
+    left = Trace.from_columns({"x": list(range(length))})
+    right_values = list(range(length))
+    if diverge_at is not None:
+        right_values[diverge_at] = -1
+    padded = []
+    for value in right_values:
+        padded.extend([ABSENT, value])
+    right = Trace.from_columns({"x": padded})
+    return left, right
+
+
+@pytest.mark.parametrize("length", [100, 2000])
+def test_bench_observer_equivalent_flows(benchmark, length):
+    """Cost of checking two equivalent flows of growing length."""
+    left, right = _traces(length, None)
+    verdict = benchmark(lambda: compare_traces(left, right, ["x"]))
+    assert verdict.equivalent
+    assert verdict.compared_values == length
+
+
+@pytest.mark.parametrize("length", [2000])
+def test_bench_observer_divergent_flows(benchmark, length):
+    """Divergences are reported with the index of the first mismatching value."""
+    left, right = _traces(length, length // 2)
+    verdict = benchmark(lambda: compare_traces(left, right, ["x"]))
+    assert not verdict.equivalent
+    assert verdict.mismatch.index == length // 2
+
+
+def test_observer_detects_reordering():
+    """Same multiset of values in a different order is not flow-equivalent."""
+    observer = FlowObserver(["x"])
+    for value in (1, 2, 3):
+        observer.feed("left", "x", value)
+    for value in (1, 3, 2):
+        observer.feed("right", "x", value)
+    verdict = observer.verdict()
+    assert not verdict.equivalent and verdict.mismatch.index == 1
+
+
+def test_observer_signal_process_is_analysable():
+    """The observer of the paper's diagram is itself a SIGNAL process."""
+    comparator = observer_process()
+    assert analyse_endochrony(comparator).process_name == "FlowObserver"
+    trace = simulate_columns(
+        comparator,
+        {"x_left": [1, 2, 3], "x_right": [1, 2, 3]},
+    )
+    assert trace.values("ok") == [True, True, True]
+    composite = buffered_observer()
+    assert "ok" in composite.output_names
+
+
+def test_bench_buffered_observer_simulation(benchmark):
+    """Cost of simulating the buffered observer composite (paper's full diagram)."""
+    composite = buffered_observer()
+    columns = {
+        "x_left": [5, ABSENT, 6, ABSENT, 7, ABSENT],
+        "x_right": [ABSENT, 5, ABSENT, 6, ABSENT, 7],
+        "check": [ABSENT, ABSENT] * 3,
+    }
+
+    trace = benchmark(lambda: simulate_columns(composite, columns))
+    assert len(trace) == 6

@@ -1,0 +1,81 @@
+"""E4 (Section 3 properties): endochrony, isochrony and flow-invariance checks.
+
+Measures the bounded (denotational) property checks of the core model and the
+static clock-calculus analysis on the same processes, and records that the two
+agree on the paper's examples: the endochronous components pass both, the
+multi-clocked Count passes neither.
+"""
+
+import pytest
+
+from repro.clocks import analyse_endochrony
+from repro.core.processes import Process
+from repro.core.properties import check_endochrony, check_endo_isochrony, check_flow_invariance
+from repro.epc.signal_model import even_io_process, ones_endochronous_process
+from repro.signal.library import count_process, switch_process
+from repro.signal.semantics import bounded_denotation
+
+
+def test_static_and_bounded_endochrony_agree_on_the_examples():
+    """Static analysis and bounded semantic check give the same verdicts."""
+    switch = switch_process()
+    static = analyse_endochrony(switch)
+    bounded = check_endochrony(
+        bounded_denotation(switch, horizon=2, integer_values=(0, 1)),
+        ["x", "c"],
+    )
+    assert bool(static) and bool(bounded)
+
+    count = count_process()
+    static_count = analyse_endochrony(count)
+    assert not static_count
+
+
+@pytest.mark.parametrize("horizon", [2, 3])
+def test_bench_bounded_endochrony(benchmark, horizon):
+    """Cost of the bounded endochrony check as the horizon grows."""
+    switch = switch_process()
+
+    def run():
+        process = bounded_denotation(switch, horizon=horizon, integer_values=(0, 1))
+        return check_endochrony(process, ["x", "c"])
+
+    report = benchmark(run)
+    assert report.holds
+
+
+@pytest.mark.parametrize("process_factory", [ones_endochronous_process, even_io_process, count_process])
+def test_bench_static_endochrony(benchmark, process_factory):
+    """Cost of the static (clock-calculus) endochrony analysis per component."""
+    process = process_factory()
+    report = benchmark(lambda: analyse_endochrony(process))
+    assert report.process_name == process.name
+
+
+def test_bench_flow_invariance(benchmark):
+    """Cost of the flow-invariance check on a producer/consumer pair."""
+    producer = Process.from_columns(
+        [
+            {"x": [1, 2], "link": [1, 2]},
+            {"x": [3], "link": [3]},
+        ]
+    )
+    consumer = Process.from_columns(
+        [
+            {"link": [1, 2], "y": [2, 4]},
+            {"link": [3], "y": [6]},
+        ]
+    )
+
+    report = benchmark(lambda: check_flow_invariance(producer, consumer, ["x"]))
+    assert report.holds
+
+
+def test_endo_isochrony_implies_flow_invariance_example():
+    """The theorem of Section 3 on a bounded example (the GALS justification)."""
+    producer = Process.from_columns([{"x": [1], "s": [1]}, {"x": [1, 2], "s": [1, 2]}])
+    consumer = Process.from_columns([{"s": [1], "z": [10]}, {"s": [1, 2], "z": [10, 20]}])
+    endo_iso = check_endo_isochrony(producer, consumer, ["x"], ["s"])
+    flow_inv = check_flow_invariance(producer, consumer, ["x"])
+    assert bool(endo_iso)
+    assert bool(flow_inv)

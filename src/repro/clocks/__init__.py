@@ -1,0 +1,55 @@
+"""The clock calculus of the SIGNAL compiler: BDDs, clock expressions,
+constraint extraction, hierarchization and static endochrony analysis."""
+
+from .bdd import BDDManager, BDDNode
+from .calculus import (
+    ClockCalculus,
+    ClockEquation,
+    ClockSystem,
+    SyntheticCondition,
+    check_clock_system,
+    clock_system,
+)
+from .endochrony import EndochronyReport, analyse_endochrony, master_clock_of
+from .expressions import (
+    ClockAlgebra,
+    ClockExpression,
+    ClockVar,
+    Diff,
+    EmptyClock,
+    FalseSample,
+    Join,
+    Meet,
+    TrueSample,
+    join_all,
+    meet_all,
+)
+from .hierarchy import ClockClass, ClockHierarchy, build_hierarchy
+
+__all__ = [
+    "BDDManager",
+    "BDDNode",
+    "ClockAlgebra",
+    "ClockCalculus",
+    "ClockClass",
+    "ClockEquation",
+    "ClockExpression",
+    "ClockHierarchy",
+    "ClockSystem",
+    "ClockVar",
+    "Diff",
+    "EmptyClock",
+    "EndochronyReport",
+    "FalseSample",
+    "Join",
+    "Meet",
+    "SyntheticCondition",
+    "TrueSample",
+    "analyse_endochrony",
+    "build_hierarchy",
+    "check_clock_system",
+    "clock_system",
+    "join_all",
+    "master_clock_of",
+    "meet_all",
+]

@@ -1,0 +1,278 @@
+"""A small reduced ordered binary decision diagram (ROBDD) package.
+
+The SIGNAL compiler's clock calculus manipulates boolean formulas over
+presence and value conditions; canonicalising them is what lets the compiler
+decide clock equivalence, inclusion and emptiness.  This module provides the
+minimal ROBDD machinery needed for that: a manager with hash-consed nodes,
+the ``ite`` combinator, the usual boolean connectives, restriction,
+satisfiability and model enumeration.
+
+The same engine is reused by the verification layer to represent state
+predicates symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class BDDNode:
+    """A hash-consed BDD node (internal: use :class:`BDDManager`)."""
+
+    __slots__ = ("variable", "low", "high", "identifier")
+
+    def __init__(self, variable: Optional[str], low: Optional["BDDNode"], high: Optional["BDDNode"], identifier: int):
+        self.variable = variable
+        self.low = low
+        self.high = high
+        self.identifier = identifier
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.variable is None
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return f"BDD({'1' if self.identifier == 1 else '0'})"
+        return f"BDD({self.variable}, id={self.identifier})"
+
+
+class BDDManager:
+    """Factory and algebra of ROBDDs over a growable, ordered variable set."""
+
+    def __init__(self, variables: Iterable[str] = ()) -> None:
+        self._order: list[str] = []
+        self._rank: dict[str, int] = {}
+        self.false = BDDNode(None, None, None, 0)
+        self.true = BDDNode(None, None, None, 1)
+        self._next_id = 2
+        self._unique: dict[tuple[str, int, int], BDDNode] = {}
+        self._ite_cache: dict[tuple[int, int, int], BDDNode] = {}
+        for name in variables:
+            self.declare(name)
+
+    # -- variables ---------------------------------------------------------------
+
+    def declare(self, name: str) -> None:
+        """Declare a variable (appended at the end of the ordering)."""
+        if name not in self._rank:
+            self._rank[name] = len(self._order)
+            self._order.append(name)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variables in ordering position."""
+        return tuple(self._order)
+
+    def var(self, name: str) -> BDDNode:
+        """The BDD of the literal ``name``."""
+        self.declare(name)
+        return self._node(name, self.false, self.true)
+
+    def nvar(self, name: str) -> BDDNode:
+        """The BDD of the negated literal ``¬name``."""
+        self.declare(name)
+        return self._node(name, self.true, self.false)
+
+    # -- node construction ---------------------------------------------------------
+
+    def _node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        if low is high:
+            return low
+        key = (variable, low.identifier, high.identifier)
+        node = self._unique.get(key)
+        if node is None:
+            node = BDDNode(variable, low, high, self._next_id)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    def _top_variable(self, *nodes: BDDNode) -> str:
+        best: Optional[str] = None
+        best_rank = len(self._order)
+        for node in nodes:
+            if node.is_terminal:
+                continue
+            rank = self._rank[node.variable]
+            if rank < best_rank:
+                best_rank = rank
+                best = node.variable
+        assert best is not None
+        return best
+
+    def _cofactors(self, node: BDDNode, variable: str) -> tuple[BDDNode, BDDNode]:
+        if node.is_terminal or node.variable != variable:
+            return node, node
+        return node.low, node.high
+
+    def ite(self, condition: BDDNode, then: BDDNode, otherwise: BDDNode) -> BDDNode:
+        """The if-then-else combinator, core of every boolean connective."""
+        if condition is self.true:
+            return then
+        if condition is self.false:
+            return otherwise
+        if then is otherwise:
+            return then
+        if then is self.true and otherwise is self.false:
+            return condition
+        key = (condition.identifier, then.identifier, otherwise.identifier)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        variable = self._top_variable(condition, then, otherwise)
+        c_low, c_high = self._cofactors(condition, variable)
+        t_low, t_high = self._cofactors(then, variable)
+        o_low, o_high = self._cofactors(otherwise, variable)
+        result = self._node(
+            variable,
+            self.ite(c_low, t_low, o_low),
+            self.ite(c_high, t_high, o_high),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    # -- boolean connectives ------------------------------------------------------------
+
+    def conj(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Conjunction ``left ∧ right``."""
+        return self.ite(left, right, self.false)
+
+    def disj(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Disjunction ``left ∨ right``."""
+        return self.ite(left, self.true, right)
+
+    def neg(self, node: BDDNode) -> BDDNode:
+        """Negation ``¬node``."""
+        return self.ite(node, self.false, self.true)
+
+    def diff(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Difference ``left ∧ ¬right``."""
+        return self.conj(left, self.neg(right))
+
+    def xor(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Exclusive or."""
+        return self.ite(left, self.neg(right), right)
+
+    def implies(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Implication ``left ⇒ right``."""
+        return self.ite(left, right, self.true)
+
+    def conj_all(self, nodes: Iterable[BDDNode]) -> BDDNode:
+        """Conjunction of a collection (true when empty)."""
+        result = self.true
+        for node in nodes:
+            result = self.conj(result, node)
+        return result
+
+    def disj_all(self, nodes: Iterable[BDDNode]) -> BDDNode:
+        """Disjunction of a collection (false when empty)."""
+        result = self.false
+        for node in nodes:
+            result = self.disj(result, node)
+        return result
+
+    # -- queries ----------------------------------------------------------------------------
+
+    def equivalent(self, left: BDDNode, right: BDDNode) -> bool:
+        """Canonical-form equality of two functions."""
+        return left is right
+
+    def entails(self, left: BDDNode, right: BDDNode) -> bool:
+        """``left ⇒ right`` is a tautology."""
+        return self.diff(left, right) is self.false
+
+    def is_false(self, node: BDDNode) -> bool:
+        """The constant-false function."""
+        return node is self.false
+
+    def is_true(self, node: BDDNode) -> bool:
+        """The constant-true function."""
+        return node is self.true
+
+    def restrict(self, node: BDDNode, assignment: dict[str, bool]) -> BDDNode:
+        """Cofactor ``node`` by a partial assignment."""
+        if node.is_terminal:
+            return node
+        low = self.restrict(node.low, assignment)
+        high = self.restrict(node.high, assignment)
+        if node.variable in assignment:
+            return high if assignment[node.variable] else low
+        return self._node(node.variable, low, high)
+
+    def support(self, node: BDDNode) -> set[str]:
+        """Variables the function actually depends on."""
+        seen: set[int] = set()
+        variables: set[str] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_terminal or current.identifier in seen:
+                continue
+            seen.add(current.identifier)
+            variables.add(current.variable)
+            stack.append(current.low)
+            stack.append(current.high)
+        return variables
+
+    def satisfying_assignments(self, node: BDDNode, variables: Optional[list[str]] = None) -> Iterator[dict[str, bool]]:
+        """Enumerate total satisfying assignments over ``variables``."""
+        names = variables if variables is not None else sorted(self.support(node), key=lambda v: self._rank[v])
+
+        def recurse(index: int, current: BDDNode, assignment: dict[str, bool]) -> Iterator[dict[str, bool]]:
+            if index == len(names):
+                if current is self.true:
+                    yield dict(assignment)
+                return
+            variable = names[index]
+            low, high = self._cofactors(current, variable)
+            for value, branch in ((False, low), (True, high)):
+                if branch is self.false:
+                    continue
+                assignment[variable] = value
+                yield from recurse(index + 1, branch, assignment)
+                del assignment[variable]
+
+        yield from recurse(0, node, {})
+
+    def count_satisfying(self, node: BDDNode, variables: Optional[list[str]] = None) -> int:
+        """Number of satisfying assignments over ``variables``."""
+        names = variables if variables is not None else sorted(self.support(node), key=lambda v: self._rank[v])
+        return sum(1 for _ in self.satisfying_assignments(node, names))
+
+    def evaluate(self, node: BDDNode, assignment: dict[str, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        current = node
+        while not current.is_terminal:
+            try:
+                value = assignment[current.variable]
+            except KeyError:
+                raise KeyError(f"assignment misses variable {current.variable!r}") from None
+            current = current.high if value else current.low
+        return current is self.true
+
+    def to_expression(self, node: BDDNode) -> str:
+        """A readable sum-of-cubes rendering of the function."""
+        if node is self.true:
+            return "true"
+        if node is self.false:
+            return "false"
+        cubes = []
+        for assignment in self.satisfying_assignments(node):
+            literals = [name if value else f"¬{name}" for name, value in sorted(assignment.items())]
+            cubes.append(" ∧ ".join(literals) if literals else "true")
+        return " ∨ ".join(cubes) if cubes else "false"
+
+    def size(self, node: BDDNode) -> int:
+        """Number of distinct decision nodes of the diagram."""
+        seen: set[int] = set()
+        stack = [node]
+        count = 0
+        while stack:
+            current = stack.pop()
+            if current.is_terminal or current.identifier in seen:
+                continue
+            seen.add(current.identifier)
+            count += 1
+            stack.append(current.low)
+            stack.append(current.high)
+        return count

@@ -1,0 +1,268 @@
+"""Extraction of clock constraints from SIGNAL processes (the clock calculus).
+
+For every equation ``x := e`` the calculus derives the clock of ``e`` as a
+:class:`~repro.clocks.expressions.ClockExpression` and records the constraint
+``^x = C(e)``; explicit clock constraints (``a ^= b``) contribute their own
+equations.  Sampling conditions that are not plain signal references (e.g.
+``data = 0`` in the paper's ``ones`` process) are given synthetic condition
+names so that ``[data = 0]`` becomes a first-class sample clock whose carrier
+is synchronous with ``data``.
+
+The resulting :class:`ClockSystem` is what the hierarchization
+(:mod:`repro.clocks.hierarchy`) and the static endochrony analysis
+(:mod:`repro.clocks.endochrony`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..signal.ast import (
+    BinaryOp,
+    Cell,
+    ClockBinary,
+    ClockConstraint,
+    ClockOf,
+    Constant,
+    Default,
+    Definition,
+    Delay,
+    Expression,
+    FunctionCall,
+    ProcessDefinition,
+    SignalRef,
+    UnaryOp,
+    When,
+    expand,
+)
+from ..signal.printer import render_expression
+from .expressions import (
+    ClockAlgebra,
+    ClockExpression,
+    ClockVar,
+    Diff,
+    EmptyClock,
+    FalseSample,
+    Join,
+    Meet,
+    TrueSample,
+)
+
+
+@dataclass(frozen=True)
+class ClockEquation:
+    """One constraint of the clock system: ``left = right`` (as clocks)."""
+
+    left: ClockExpression
+    right: ClockExpression
+    origin: str
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}  ({self.origin})"
+
+
+@dataclass
+class SyntheticCondition:
+    """A boolean sampling condition given a synthetic signal name."""
+
+    name: str
+    expression: Expression
+    clock: ClockExpression
+
+
+@dataclass
+class ClockSystem:
+    """The clock constraints of a process.
+
+    Attributes:
+        process_name: name of the analysed process.
+        clock_of: for every *defined* signal, the clock of its defining
+            expression (free signals keep their own ``^x``).
+        equations: all derived clock equations.
+        conditions: synthetic conditions introduced for non-trivial samplings.
+        signals: every signal of the flattened process.
+        inputs / outputs: interface signals.
+    """
+
+    process_name: str
+    clock_of: dict[str, ClockExpression] = field(default_factory=dict)
+    equations: list[ClockEquation] = field(default_factory=list)
+    conditions: dict[str, SyntheticCondition] = field(default_factory=dict)
+    signals: tuple[str, ...] = ()
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def clock(self, name: str) -> ClockExpression:
+        """The clock expression associated with ``name`` (``^name`` if free)."""
+        return self.clock_of.get(name, ClockVar(name))
+
+    def free_signals(self) -> tuple[str, ...]:
+        """Signals whose clock is not constrained by any equation."""
+        constrained = set(self.clock_of)
+        for equation in self.equations:
+            constrained |= {a for a in equation.left.atoms() | equation.right.atoms()}
+        return tuple(sorted(set(self.signals) - set(self.clock_of)))
+
+    def render(self) -> str:
+        """Human-readable listing of the clock system."""
+        lines = [f"clock system of {self.process_name}:"]
+        for name in sorted(self.clock_of):
+            lines.append(f"  ^{name} = {self.clock_of[name]!r}")
+        for condition in self.conditions.values():
+            lines.append(f"  condition {condition.name}: {render_expression(condition.expression)} @ {condition.clock!r}")
+        for equation in self.equations:
+            if equation.origin.startswith("constraint"):
+                lines.append(f"  {equation!r}")
+        return "\n".join(lines)
+
+
+class ClockCalculus:
+    """Derive the :class:`ClockSystem` of a process definition."""
+
+    def __init__(self, process: ProcessDefinition) -> None:
+        self.process = expand(process)
+        self.system = ClockSystem(
+            process_name=process.name,
+            signals=tuple(self.process.all_names),
+            inputs=tuple(self.process.input_names),
+            outputs=tuple(self.process.output_names),
+        )
+        self._condition_counter = 0
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self) -> ClockSystem:
+        """Extract every clock constraint of the process."""
+        for definition in self.process.definitions():
+            clock = self.clock_of_expression(definition.expression)
+            if clock is None:
+                # Constant right-hand side: the clock of the target is unconstrained.
+                continue
+            self.system.clock_of[definition.target] = clock
+            self.system.equations.append(
+                ClockEquation(ClockVar(definition.target), clock, f"definition of {definition.target}")
+            )
+        for index, constraint in enumerate(self.process.clock_constraints()):
+            clocks = [self.clock_of_expression(op) or ClockVar("__constant__") for op in constraint.operands]
+            for left, right in zip(clocks, clocks[1:]):
+                self.system.equations.append(
+                    ClockEquation(left, right, f"constraint #{index + 1} ({constraint.kind})")
+                )
+        return self.system
+
+    # -- clock of an expression --------------------------------------------------------
+
+    def clock_of_expression(self, expression: Expression) -> Optional[ClockExpression]:
+        """The clock of ``expression`` (``None`` for constants: context-driven)."""
+        if isinstance(expression, SignalRef):
+            return ClockVar(expression.name)
+        if isinstance(expression, Constant):
+            return None
+        if isinstance(expression, Delay):
+            return self.clock_of_expression(expression.operand)
+        if isinstance(expression, ClockOf):
+            return self.clock_of_expression(expression.operand)
+        if isinstance(expression, When):
+            sample = self._sample_clock(expression.condition, negated=False)
+            operand_clock = self.clock_of_expression(expression.operand)
+            if operand_clock is None:
+                return sample
+            return Meet(operand_clock, sample)
+        if isinstance(expression, Default):
+            left = self.clock_of_expression(expression.left)
+            right = self.clock_of_expression(expression.right)
+            if left is None or right is None:
+                # A constant branch absorbs the merge: the clock is context-driven
+                # above the non-constant branch.
+                return left or right
+            return Join(left, right)
+        if isinstance(expression, Cell):
+            operand = self.clock_of_expression(expression.operand)
+            sample = self._sample_clock(expression.clock, negated=False)
+            if operand is None:
+                return sample
+            return Join(operand, sample)
+        if isinstance(expression, ClockBinary):
+            left = self.clock_of_expression(expression.left) or EmptyClock()
+            right = self.clock_of_expression(expression.right) or EmptyClock()
+            if expression.op == "^*":
+                return Meet(left, right)
+            if expression.op == "^+":
+                return Join(left, right)
+            return Diff(left, right)
+        if isinstance(expression, (UnaryOp, BinaryOp, FunctionCall)):
+            operands = list(expression.children())
+            clocks = [self.clock_of_expression(o) for o in operands]
+            non_constant = [c for c in clocks if c is not None]
+            if not non_constant:
+                return None
+            result = non_constant[0]
+            for clock in non_constant[1:]:
+                result = Meet(result, clock)
+            return result
+        raise TypeError(f"cannot compute the clock of {expression!r}")
+
+    # -- sampling conditions --------------------------------------------------------------
+
+    def _sample_clock(self, condition: Expression, negated: bool) -> ClockExpression:
+        if isinstance(condition, SignalRef):
+            name = condition.name
+            declaration = self.process.declaration_of(name)
+            if declaration is not None and declaration.type == "event":
+                # Sampling on an event signal is sampling on its presence.
+                return ClockVar(name)
+            return FalseSample(name) if negated else TrueSample(name)
+        if isinstance(condition, UnaryOp) and condition.op == "not":
+            return self._sample_clock(condition.operand, not negated)
+        if isinstance(condition, Constant):
+            if bool(condition.value) != negated:
+                # ``when true``: the sample is the whole context clock; encode as a
+                # fresh always-true condition over nothing — the empty meet — which
+                # we approximate by a synthetic condition carried by itself.
+                pass
+            return self._synthetic(condition, negated)
+        return self._synthetic(condition, negated)
+
+    def _synthetic(self, condition: Expression, negated: bool) -> ClockExpression:
+        rendered = render_expression(condition)
+        existing = None
+        for synthetic in self.system.conditions.values():
+            if render_expression(synthetic.expression) == rendered:
+                existing = synthetic
+                break
+        if existing is None:
+            self._condition_counter += 1
+            name = f"cond#{self._condition_counter}"
+            clock = self.clock_of_expression(condition) or ClockVar(name)
+            existing = SyntheticCondition(name, condition, clock)
+            self.system.conditions[name] = existing
+            self.system.equations.append(
+                ClockEquation(ClockVar(name), clock, f"condition {name} = {rendered}")
+            )
+        return FalseSample(existing.name) if negated else TrueSample(existing.name)
+
+
+def clock_system(process: ProcessDefinition) -> ClockSystem:
+    """Convenience wrapper: run the clock calculus on ``process``."""
+    return ClockCalculus(process).run()
+
+
+def check_clock_system(system: ClockSystem, algebra: Optional[ClockAlgebra] = None) -> list[str]:
+    """Detect trivially inconsistent equations (clock provably empty on one side only).
+
+    Returns a list of human-readable diagnostics (empty when nothing suspicious
+    is found).  A full consistency proof is the job of the verification layer;
+    this check catches the common modelling errors (sampling on an always-false
+    condition, differences that erase a clock entirely).
+    """
+    algebra = algebra or ClockAlgebra()
+    diagnostics: list[str] = []
+    for equation in system.equations:
+        left_empty = algebra.is_empty(equation.left)
+        right_empty = algebra.is_empty(equation.right)
+        if left_empty != right_empty:
+            diagnostics.append(
+                f"{system.process_name}: equation {equation!r} equates an empty clock with a non-empty one"
+            )
+    return diagnostics

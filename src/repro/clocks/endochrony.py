@@ -1,0 +1,166 @@
+"""Static endochrony analysis based on the clock hierarchy.
+
+A process is endochronous when the presence of every signal can be inferred
+from the values carried by faster signals, starting from a single master
+clock: "given an external (asynchronous) stimulation of its inputs, it
+reconstructs a unique synchronous behavior" (Section 3 of the paper).
+
+The static criterion implemented here is the one the SIGNAL compiler uses as a
+sufficient condition:
+
+1. the clock hierarchy has a single root (a master clock exists);
+2. every non-root class is *governed*: some defining clock expression of a
+   signal in the class only involves the presence of ancestor signals and the
+   values of signals computed at ancestor classes — i.e. the decision to
+   activate the slower clock can be taken from data already available;
+3. classes containing only signals without defining equations (typically free
+   inputs) are not governed, unless they are the master itself.
+
+The exact semantic definition remains available as a bounded check in
+:func:`repro.core.properties.check_endochrony`; the two are compared in the
+test suite and the benchmarks (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..signal.ast import ProcessDefinition
+from .calculus import ClockSystem, clock_system
+from .expressions import ClockAlgebra
+from .hierarchy import ClockClass, ClockHierarchy, build_hierarchy
+
+
+@dataclass
+class EndochronyReport:
+    """Verdict of the static endochrony analysis."""
+
+    process_name: str
+    is_endochronous: bool
+    master_signals: tuple[str, ...] = ()
+    free_clocks: tuple[str, ...] = ()
+    issues: list[str] = field(default_factory=list)
+    hierarchy: Optional[ClockHierarchy] = None
+
+    def __bool__(self) -> bool:
+        return self.is_endochronous
+
+    def summary(self) -> str:
+        """Human-readable explanation of the verdict."""
+        verdict = "endochronous" if self.is_endochronous else "NOT endochronous"
+        lines = [f"{self.process_name}: statically {verdict}"]
+        if self.master_signals:
+            lines.append(f"  master clock: {{{', '.join(self.master_signals)}}}")
+        for issue in self.issues:
+            lines.append(f"  issue: {issue}")
+        return "\n".join(lines)
+
+
+def _strict_ancestor_signals(hierarchy: ClockHierarchy, clock_class: ClockClass) -> set[str]:
+    signals: set[str] = set()
+    current = clock_class
+    while current.parent is not None:
+        current = hierarchy.classes[current.parent]
+        signals.update(current.signals)
+    return signals
+
+
+def _class_is_governed(hierarchy: ClockHierarchy, clock_class: ClockClass) -> tuple[bool, str]:
+    """Check criterion 2 for one non-root class.
+
+    Returns ``(governed, reason)`` where ``reason`` explains a negative answer.
+    """
+    system = hierarchy.system
+    algebra = hierarchy.algebra
+    ancestors = _strict_ancestor_signals(hierarchy, clock_class)
+    members = set(clock_class.signals)
+
+    from .expressions import ClockVar
+
+    # Defining expressions: the clock of an equation target, the clock of a
+    # synthetic condition, or the other side of an explicit clock constraint
+    # involving a member of the class.
+    candidates: list[tuple[str, object, bool]] = []
+    for name in clock_class.signals:
+        if name in system.clock_of:
+            candidates.append((name, system.clock_of[name], False))
+        if name in system.conditions:
+            candidates.append((name, system.conditions[name].clock, False))
+    for equation in system.equations:
+        for side, other in ((equation.left, equation.right), (equation.right, equation.left)):
+            if isinstance(side, ClockVar) and side.name in members:
+                candidates.append((side.name, other, True))
+    if not candidates:
+        return False, (
+            "class {" + ", ".join(sorted(members)) + "} has no defining equation "
+            "(its activation cannot be inferred from faster signals)"
+        )
+
+    failures: list[str] = []
+    for name, expression, _from_constraint in candidates:
+        support = algebra.manager.support(algebra.encode(expression))
+        # The activation decision must be expressible from strictly faster
+        # (ancestor) signals only — presence *and* value variables alike.
+        foreign = {
+            signal
+            for variable in support
+            for _, _, signal in [variable.partition(":")]
+            if signal not in ancestors
+        }
+        if not foreign:
+            return True, ""
+        failures.append(f"{name} depends on {', '.join(sorted(foreign))}")
+    return False, (
+        "class {" + ", ".join(sorted(members)) + "} is not governed by its ancestry (" + "; ".join(failures) + ")"
+    )
+
+
+def analyse_endochrony(
+    source: ProcessDefinition | ClockSystem | ClockHierarchy,
+    algebra: Optional[ClockAlgebra] = None,
+) -> EndochronyReport:
+    """Run the static endochrony analysis (see module docstring for the criterion)."""
+    if isinstance(source, ClockHierarchy):
+        hierarchy = source
+    else:
+        system = source if isinstance(source, ClockSystem) else clock_system(source)
+        hierarchy = build_hierarchy(system, algebra)
+    system = hierarchy.system
+
+    issues: list[str] = []
+    if hierarchy.inconsistent:
+        issues.append("the clock constraints are unsatisfiable")
+
+    if not hierarchy.classes:
+        return EndochronyReport(system.process_name, True, hierarchy=hierarchy)
+
+    if not hierarchy.is_singly_rooted():
+        root_signals = [
+            "{" + ", ".join(sorted(hierarchy.classes[r].signals)) + "}" for r in sorted(hierarchy.roots)
+        ]
+        issues.append(f"no unique master clock: {len(hierarchy.roots)} maximal classes {', '.join(root_signals)}")
+
+    master = hierarchy.master_class()
+    master_signals = tuple(sorted(master.signals)) if master is not None else ()
+
+    for clock_class in hierarchy.classes:
+        if clock_class.parent is None:
+            continue
+        governed, reason = _class_is_governed(hierarchy, clock_class)
+        if not governed:
+            issues.append(reason)
+
+    return EndochronyReport(
+        process_name=system.process_name,
+        is_endochronous=not issues,
+        master_signals=master_signals,
+        free_clocks=tuple(system.free_signals()),
+        issues=issues,
+        hierarchy=hierarchy,
+    )
+
+
+def master_clock_of(process: ProcessDefinition) -> tuple[str, ...]:
+    """The signals clocked at the master clock of ``process`` (if any)."""
+    return build_hierarchy(process).master_signals()

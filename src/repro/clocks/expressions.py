@@ -1,0 +1,226 @@
+"""Clock expressions: the abstract domain of the SIGNAL clock calculus.
+
+A *clock* is the set of instants at which a signal is present.  The clock
+calculus manipulates clocks symbolically:
+
+* ``ClockVar(x)`` — the clock of signal ``x`` (written ``^x`` in SIGNAL);
+* ``TrueSample(x)`` / ``FalseSample(x)`` — the instants at which the boolean
+  signal ``x`` is present and true (written ``[x]``) or present and false
+  (``[¬x]``);
+* ``Meet``, ``Join``, ``Diff`` — intersection (``^*``), union (``^+``) and
+  difference (``^-``) of clocks;
+* ``EmptyClock`` — the null clock (``^0``).
+
+Canonical comparison of clock expressions is delegated to a
+:class:`~repro.clocks.bdd.BDDManager`: the clock of a boolean signal ``x``
+splits into the two samples, ``clk(x) = [x] ∨ [¬x]`` and ``[x] ∧ [¬x] = ∅``,
+which the BDD encoding enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .bdd import BDDManager, BDDNode
+
+
+class ClockExpression:
+    """Base class of clock expressions."""
+
+    def meet(self, other: "ClockExpression") -> "ClockExpression":
+        """Clock intersection (``^*``)."""
+        return Meet(self, other)
+
+    def join(self, other: "ClockExpression") -> "ClockExpression":
+        """Clock union (``^+``)."""
+        return Join(self, other)
+
+    def minus(self, other: "ClockExpression") -> "ClockExpression":
+        """Clock difference (``^-``)."""
+        return Diff(self, other)
+
+    def atoms(self) -> set[str]:
+        """Signal names occurring in the expression."""
+        return set()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClockExpression) and repr(self) == repr(other)
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+
+class EmptyClock(ClockExpression):
+    """The clock that never ticks (``^0``)."""
+
+    def __repr__(self) -> str:
+        return "^0"
+
+
+class ClockVar(ClockExpression):
+    """The clock of a signal: ``^x``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def atoms(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"^{self.name}"
+
+
+class TrueSample(ClockExpression):
+    """``[x]``: the instants at which the boolean signal ``x`` is true."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def atoms(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"[{self.name}]"
+
+
+class FalseSample(ClockExpression):
+    """``[¬x]``: the instants at which the boolean signal ``x`` is false."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def atoms(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"[¬{self.name}]"
+
+
+class _Binary(ClockExpression):
+    symbol = "?"
+
+    def __init__(self, left: ClockExpression, right: ClockExpression) -> None:
+        self.left = left
+        self.right = right
+
+    def atoms(self) -> set[str]:
+        return self.left.atoms() | self.right.atoms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Meet(_Binary):
+    """Clock intersection."""
+
+    symbol = "^*"
+
+
+class Join(_Binary):
+    """Clock union."""
+
+    symbol = "^+"
+
+
+class Diff(_Binary):
+    """Clock difference."""
+
+    symbol = "^-"
+
+
+class ClockAlgebra:
+    """Canonical reasoning on clock expressions through a BDD encoding.
+
+    Each signal ``x`` contributes a presence variable ``p:x``; each signal used
+    as a sampling condition additionally contributes a value variable ``v:x``.
+    The encoding maps ``^x ↦ p:x``, ``[x] ↦ p:x ∧ v:x`` and
+    ``[¬x] ↦ p:x ∧ ¬v:x``, which validates the clock-calculus identities
+    ``[x] ^+ [¬x] = ^x`` and ``[x] ^* [¬x] = ^0`` by construction.
+    """
+
+    def __init__(self, manager: Optional[BDDManager] = None) -> None:
+        self.manager = manager or BDDManager()
+
+    # -- encoding -----------------------------------------------------------------
+
+    @staticmethod
+    def presence_variable(name: str) -> str:
+        """BDD variable standing for "signal ``name`` is present"."""
+        return f"p:{name}"
+
+    @staticmethod
+    def value_variable(name: str) -> str:
+        """BDD variable standing for "signal ``name`` carries value true"."""
+        return f"v:{name}"
+
+    def encode(self, expression: ClockExpression) -> BDDNode:
+        """The BDD of a clock expression."""
+        manager = self.manager
+        if isinstance(expression, EmptyClock):
+            return manager.false
+        if isinstance(expression, ClockVar):
+            return manager.var(self.presence_variable(expression.name))
+        if isinstance(expression, TrueSample):
+            return manager.conj(
+                manager.var(self.presence_variable(expression.name)),
+                manager.var(self.value_variable(expression.name)),
+            )
+        if isinstance(expression, FalseSample):
+            return manager.conj(
+                manager.var(self.presence_variable(expression.name)),
+                manager.nvar(self.value_variable(expression.name)),
+            )
+        if isinstance(expression, Meet):
+            return manager.conj(self.encode(expression.left), self.encode(expression.right))
+        if isinstance(expression, Join):
+            return manager.disj(self.encode(expression.left), self.encode(expression.right))
+        if isinstance(expression, Diff):
+            return manager.diff(self.encode(expression.left), self.encode(expression.right))
+        raise TypeError(f"unknown clock expression {expression!r}")
+
+    # -- relations ----------------------------------------------------------------------
+
+    def equal(self, left: ClockExpression, right: ClockExpression) -> bool:
+        """Canonical clock equality."""
+        return self.manager.equivalent(self.encode(left), self.encode(right))
+
+    def included(self, left: ClockExpression, right: ClockExpression) -> bool:
+        """Clock inclusion (every instant of ``left`` is an instant of ``right``)."""
+        return self.manager.entails(self.encode(left), self.encode(right))
+
+    def disjoint(self, left: ClockExpression, right: ClockExpression) -> bool:
+        """True when the two clocks never tick together."""
+        return self.manager.is_false(self.manager.conj(self.encode(left), self.encode(right)))
+
+    def is_empty(self, expression: ClockExpression) -> bool:
+        """True when the clock is provably the null clock."""
+        return self.manager.is_false(self.encode(expression))
+
+    def simplify(self, expression: ClockExpression) -> str:
+        """A readable canonical form (sum of cubes over presence/value literals)."""
+        return self.manager.to_expression(self.encode(expression))
+
+
+def join_all(expressions: Iterable[ClockExpression]) -> ClockExpression:
+    """Union of a collection of clocks (``^0`` when empty)."""
+    result: ClockExpression = EmptyClock()
+    first = True
+    for expression in expressions:
+        if first:
+            result = expression
+            first = False
+        else:
+            result = Join(result, expression)
+    return result
+
+
+def meet_all(expressions: Iterable[ClockExpression]) -> ClockExpression:
+    """Intersection of a non-empty collection of clocks."""
+    iterator = iter(expressions)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("meet_all needs at least one clock") from None
+    for expression in iterator:
+        result = Meet(result, expression)
+    return result

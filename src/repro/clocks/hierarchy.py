@@ -1,0 +1,212 @@
+"""Clock hierarchization: arranging the clocks of a process into a forest.
+
+The SIGNAL compiler (reference [1] of the paper, Amagbegnon et al.) organises
+the clocks of a process into a hierarchy: clocks that are provably equal are
+merged into one class, and a class is placed *under* another when its clock is
+provably included in its parent's.  A single-rooted hierarchy exhibits the
+*master clock* of the process, the key step towards generating sequential code
+and towards the paper's "optimized recombination of behaviors ... using clock
+hierarchization techniques".
+
+The construction works on the *whole constraint system*: all clock equations
+produced by the calculus are conjoined into one BDD ``Φ`` (over presence and
+value variables), and equality / inclusion between signal clocks is decided as
+entailment under ``Φ``.  This is what lets ``counter := val$1 init 0`` place
+``counter`` and ``val`` in the same class, and ``val := (0 when reset) default
+(counter + 1)`` place ``reset`` strictly below them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..signal.ast import ProcessDefinition
+from .bdd import BDDNode
+from .calculus import ClockSystem, clock_system
+from .expressions import ClockAlgebra
+
+
+@dataclass
+class ClockClass:
+    """An equivalence class of provably synchronous signals."""
+
+    index: int
+    signals: list[str]
+    clock: BDDNode
+    parent: Optional[int] = None
+    children: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"ClockClass({self.index}, signals={self.signals})"
+
+
+@dataclass
+class ClockHierarchy:
+    """The forest of clock classes of a process."""
+
+    process_name: str
+    classes: list[ClockClass]
+    roots: list[int]
+    algebra: ClockAlgebra
+    system: ClockSystem
+    constraint: BDDNode
+    inconsistent: bool = False
+
+    # -- queries -----------------------------------------------------------------
+
+    def class_of(self, signal: str) -> Optional[ClockClass]:
+        """The class containing ``signal`` (None for unknown signals)."""
+        for clock_class in self.classes:
+            if signal in clock_class.signals:
+                return clock_class
+        return None
+
+    def synchronous(self, left: str, right: str) -> bool:
+        """True when the two signals are provably synchronous."""
+        left_class = self.class_of(left)
+        right_class = self.class_of(right)
+        return left_class is not None and left_class is right_class
+
+    def faster_or_equal(self, left: str, right: str) -> bool:
+        """True when ``right``'s clock is provably included in ``left``'s."""
+        left_class = self.class_of(left)
+        right_class = self.class_of(right)
+        if left_class is None or right_class is None:
+            return False
+        if left_class is right_class:
+            return True
+        current = right_class
+        while current.parent is not None:
+            current = self.classes[current.parent]
+            if current is left_class:
+                return True
+        return False
+
+    def is_singly_rooted(self) -> bool:
+        """True when the hierarchy is a tree (a master clock exists)."""
+        return len(self.roots) == 1
+
+    def master_class(self) -> Optional[ClockClass]:
+        """The root class when the hierarchy is a tree."""
+        if self.is_singly_rooted():
+            return self.classes[self.roots[0]]
+        return None
+
+    def master_signals(self) -> tuple[str, ...]:
+        """The signals clocked at the master clock (empty if no master)."""
+        master = self.master_class()
+        return tuple(sorted(master.signals)) if master is not None else ()
+
+    def depth(self) -> int:
+        """Height of the forest (0 for an empty hierarchy)."""
+
+        def depth_of(index: int) -> int:
+            clock_class = self.classes[index]
+            if not clock_class.children:
+                return 1
+            return 1 + max(depth_of(child) for child in clock_class.children)
+
+        return max((depth_of(root) for root in self.roots), default=0)
+
+    def ancestors(self, signal: str) -> list[ClockClass]:
+        """The chain of strictly faster classes above ``signal``'s class."""
+        clock_class = self.class_of(signal)
+        chain: list[ClockClass] = []
+        while clock_class is not None and clock_class.parent is not None:
+            clock_class = self.classes[clock_class.parent]
+            chain.append(clock_class)
+        return chain
+
+    def render(self) -> str:
+        """ASCII rendering of the clock forest."""
+        lines = [f"clock hierarchy of {self.process_name} ({len(self.classes)} classes):"]
+        if self.inconsistent:
+            lines.append("  (warning: the clock constraints are unsatisfiable)")
+
+        def walk(index: int, prefix: str) -> None:
+            clock_class = self.classes[index]
+            lines.append(f"{prefix}{{{', '.join(sorted(clock_class.signals))}}}")
+            for child in sorted(clock_class.children):
+                walk(child, prefix + "    ")
+
+        for root in sorted(self.roots):
+            walk(root, "  ")
+        return "\n".join(lines)
+
+
+def constraint_formula(system: ClockSystem, algebra: ClockAlgebra) -> BDDNode:
+    """The conjunction ``Φ`` of every clock equation of the system (as a BDD)."""
+    manager = algebra.manager
+    phi = manager.true
+    for equation in system.equations:
+        left = algebra.encode(equation.left)
+        right = algebra.encode(equation.right)
+        phi = manager.conj(phi, manager.neg(manager.xor(left, right)))
+    return phi
+
+
+def build_hierarchy(
+    source: ProcessDefinition | ClockSystem,
+    algebra: Optional[ClockAlgebra] = None,
+) -> ClockHierarchy:
+    """Build the clock hierarchy of a process (or of a pre-computed clock system)."""
+    system = source if isinstance(source, ClockSystem) else clock_system(source)
+    algebra = algebra or ClockAlgebra()
+    manager = algebra.manager
+
+    names = list(dict.fromkeys(list(system.signals) + list(system.conditions)))
+    presence = {name: manager.var(algebra.presence_variable(name)) for name in names}
+
+    phi = constraint_formula(system, algebra)
+    inconsistent = manager.is_false(phi)
+    if inconsistent:
+        # Fall back to an unconstrained context so that the structure is still usable.
+        phi = manager.true
+
+    def provably_equal(a: str, b: str) -> bool:
+        return manager.entails(phi, manager.neg(manager.xor(presence[a], presence[b])))
+
+    def provably_included(a: str, b: str) -> bool:
+        return manager.entails(phi, manager.implies(presence[a], presence[b]))
+
+    # Group names into classes of provably synchronous signals.
+    classes: list[ClockClass] = []
+    assignment: dict[str, int] = {}
+    for name in names:
+        placed = False
+        for clock_class in classes:
+            if provably_equal(name, clock_class.signals[0]):
+                clock_class.signals.append(name)
+                assignment[name] = clock_class.index
+                placed = True
+                break
+        if not placed:
+            index = len(classes)
+            classes.append(ClockClass(index, [name], presence[name]))
+            assignment[name] = index
+
+    # Strict inclusion order between classes.
+    strictly_below: dict[int, set[int]] = {c.index: set() for c in classes}
+    for lower in classes:
+        for upper in classes:
+            if lower.index == upper.index:
+                continue
+            if provably_included(lower.signals[0], upper.signals[0]):
+                strictly_below[lower.index].add(upper.index)
+
+    # Transitive reduction: the parent of a class is a minimal strict superset.
+    for clock_class in classes:
+        uppers = strictly_below[clock_class.index]
+        minimal = [
+            candidate
+            for candidate in uppers
+            if not any(candidate in strictly_below[other] for other in uppers if other != candidate)
+        ]
+        parent = min(minimal) if minimal else None
+        clock_class.parent = parent
+        if parent is not None:
+            classes[parent].children.append(clock_class.index)
+
+    roots = [c.index for c in classes if c.parent is None]
+    return ClockHierarchy(system.process_name, classes, roots, algebra, system, phi, inconsistent)

@@ -1,0 +1,82 @@
+"""The tagged model of polychronous signals (paper Section 3).
+
+This package implements the denotational layer of the reproduction: tags,
+chains, events, signals, behaviors and processes, together with the
+stretching / relaxation orders, flow-equivalence, synchronous and asynchronous
+composition, and the design properties (endochrony, flow-invariance,
+endo-isochrony) that the refinement methodology of the paper relies on.
+"""
+
+from .values import ABSENT, EVENT, is_present, is_value, render_value
+from .tags import Chain, Tag, TAG_ZERO, as_tag, merge_chains, natural_tags
+from .signals import Event, SignalTrace
+from .behaviors import Behavior
+from .stretching import (
+    common_unstretching,
+    is_stretching,
+    is_strict,
+    strict_behavior,
+    stretch_closure,
+    stretch_equivalent,
+    stretching_function,
+)
+from .relaxation import (
+    behavior_from_flows,
+    flow_canonical,
+    flow_equivalent,
+    flow_equivalent_on,
+    flow_prefix_of,
+    flows,
+    is_relaxation,
+)
+from .processes import Process
+from .properties import (
+    PropertyReport,
+    RefinementObligation,
+    RefinementReport,
+    check_determinism,
+    check_endochrony,
+    check_endo_isochrony,
+    check_flow_invariance,
+    check_isochrony,
+)
+
+__all__ = [
+    "ABSENT",
+    "EVENT",
+    "Behavior",
+    "Chain",
+    "Event",
+    "Process",
+    "PropertyReport",
+    "RefinementObligation",
+    "RefinementReport",
+    "SignalTrace",
+    "TAG_ZERO",
+    "Tag",
+    "as_tag",
+    "behavior_from_flows",
+    "check_determinism",
+    "check_endochrony",
+    "check_endo_isochrony",
+    "check_flow_invariance",
+    "check_isochrony",
+    "common_unstretching",
+    "flow_canonical",
+    "flow_equivalent",
+    "flow_equivalent_on",
+    "flow_prefix_of",
+    "flows",
+    "is_present",
+    "is_relaxation",
+    "is_strict",
+    "is_stretching",
+    "is_value",
+    "merge_chains",
+    "natural_tags",
+    "render_value",
+    "strict_behavior",
+    "stretch_closure",
+    "stretch_equivalent",
+    "stretching_function",
+]

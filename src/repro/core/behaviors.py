@@ -1,0 +1,214 @@
+"""Behaviors: partial functions from signal names to signals.
+
+Section 3 of the paper: "A behavior ``b ∈ B = X ⇀ S`` is a partial function
+from signal names ``x ∈ X`` to signals ``s ∈ S``.  We write ``vars(b)`` for
+the domain of ``b`` and ``tags(b)`` for its tags.  [...]  We write ``b|_X``
+for the projection of a behavior ``b`` on a set ``X`` of names and ``b/_X``
+for its complementary."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .signals import SignalTrace
+from .tags import Chain, Tag, TagLike, as_tag, merge_chains
+from .values import ABSENT, render_value
+
+
+class Behavior:
+    """An immutable mapping from signal names to :class:`SignalTrace`."""
+
+    __slots__ = ("_signals",)
+
+    def __init__(self, signals: Mapping[str, SignalTrace | Sequence[tuple[TagLike, Any]]] = ()) -> None:
+        store: dict[str, SignalTrace] = {}
+        items = signals.items() if isinstance(signals, Mapping) else signals
+        for name, trace in items:
+            if not isinstance(name, str) or not name:
+                raise TypeError(f"signal names must be non-empty strings, got {name!r}")
+            if not isinstance(trace, SignalTrace):
+                trace = SignalTrace(trace)
+            store[name] = trace
+        self._signals: dict[str, SignalTrace] = dict(sorted(store.items()))
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def from_columns(columns: Mapping[str, Sequence[Any]]) -> "Behavior":
+        """Build a *synchronous* behavior from per-name value columns.
+
+        Every name receives one event per column entry at tags ``0..n-1``;
+        ``ABSENT`` entries produce no event at that tag.  This is the most
+        convenient way to write down the trace tables of Fig. 1.
+        """
+        signals: dict[str, SignalTrace] = {}
+        for name, column in columns.items():
+            events = [(i, v) for i, v in enumerate(column) if v is not ABSENT]
+            signals[name] = SignalTrace(events)
+        return Behavior(signals)
+
+    @staticmethod
+    def empty(names: Iterable[str] = ()) -> "Behavior":
+        """A behavior defined on ``names`` where every signal is empty."""
+        return Behavior({name: SignalTrace.empty() for name in names})
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._signals)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._signals
+
+    def __getitem__(self, name: str) -> SignalTrace:
+        return self._signals[name]
+
+    def get(self, name: str, default: SignalTrace | None = None) -> SignalTrace | None:
+        """Signal bound to ``name`` or ``default``."""
+        return self._signals.get(name, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Behavior):
+            return NotImplemented
+        return self._signals == other._signals
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._signals.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {s!r}" for n, s in self._signals.items())
+        return f"Behavior({{{inner}}})"
+
+    # -- observations ------------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """``vars(b)``: the names the behavior is defined on."""
+        return frozenset(self._signals)
+
+    @property
+    def signals(self) -> dict[str, SignalTrace]:
+        """A copy of the name → signal mapping."""
+        return dict(self._signals)
+
+    @property
+    def tags(self) -> Chain:
+        """``tags(b)``: the union of the tags of all signals."""
+        return merge_chains([s.tags for s in self._signals.values()])
+
+    def is_present(self, name: str, t: TagLike) -> bool:
+        """Formalisation of "x is present at t in b"."""
+        trace = self._signals.get(name)
+        return trace is not None and trace.is_present(t)
+
+    def value_at(self, name: str, t: TagLike, default: Any = ABSENT) -> Any:
+        """Value of ``name`` at tag ``t`` (ABSENT when absent)."""
+        trace = self._signals.get(name)
+        if trace is None:
+            return default
+        return trace.at(t, default)
+
+    def instant(self, t: TagLike) -> dict[str, Any]:
+        """The synchronous cut of the behavior at tag ``t``.
+
+        Returns a dict mapping every variable to its value at ``t`` or
+        ``ABSENT``.
+        """
+        tag = as_tag(t)
+        return {name: trace.at(tag) for name, trace in self._signals.items()}
+
+    def length(self) -> int:
+        """Number of distinct tags of the behavior."""
+        return len(self.tags)
+
+    # -- projection / restriction --------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Behavior":
+        """``b|_X``: restriction of the behavior to the names in ``names``.
+
+        Names not in ``vars(b)`` are ignored (projection on a larger set is
+        the projection on the intersection).
+        """
+        keep = set(names)
+        return Behavior({n: s for n, s in self._signals.items() if n in keep})
+
+    def hide(self, names: Iterable[str]) -> "Behavior":
+        """``b/_X``: the complementary projection, dropping ``names``."""
+        drop = set(names)
+        return Behavior({n: s for n, s in self._signals.items() if n not in drop})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Behavior":
+        """Rename variables according to ``mapping`` (missing names kept)."""
+        renamed: dict[str, SignalTrace] = {}
+        for name, trace in self._signals.items():
+            new_name = mapping.get(name, name)
+            if new_name in renamed:
+                raise ValueError(f"renaming collision on {new_name!r}")
+            renamed[new_name] = trace
+        return Behavior(renamed)
+
+    # -- combination ------------------------------------------------------------------
+
+    def extend(self, other: "Behavior") -> "Behavior":
+        """``b ⊎ c``: disjoint union used by synchronous composition.
+
+        Shared names must be bound to the *same* signal in both behaviors.
+        """
+        merged = dict(self._signals)
+        for name, trace in other._signals.items():
+            if name in merged and merged[name] != trace:
+                raise ValueError(f"behaviors disagree on shared signal {name!r}")
+            merged[name] = trace
+        return Behavior(merged)
+
+    def with_signal(self, name: str, trace: SignalTrace) -> "Behavior":
+        """Return a copy of the behavior with ``name`` (re)bound to ``trace``."""
+        signals = dict(self._signals)
+        signals[name] = trace
+        return Behavior(signals)
+
+    # -- transformations -----------------------------------------------------------------
+
+    def retagged(self, mapping: Callable[[Tag], TagLike]) -> "Behavior":
+        """Apply the same tag transformation to every signal (stretching)."""
+        return Behavior({n: s.retagged(mapping) for n, s in self._signals.items()})
+
+    def prefix_tags(self, count: int) -> "Behavior":
+        """Restrict the behavior to its first ``count`` tags (global cut)."""
+        chain = self.tags
+        if count >= len(chain):
+            return self
+        if count <= 0:
+            return Behavior({n: SignalTrace.empty() for n in self._signals})
+        bound = chain[count - 1]
+        return Behavior({n: s.upto(bound) for n, s in self._signals.items()})
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def to_columns(self) -> dict[str, list[Any]]:
+        """Tabular view: one column per variable, one row per behavior tag."""
+        chain = self.tags
+        return {
+            name: [trace.at(t) for t in chain]
+            for name, trace in self._signals.items()
+        }
+
+    def render(self) -> str:
+        """Multi-line, Fig.-1-style rendering of the behavior."""
+        chain = self.tags
+        if chain.is_empty():
+            return "\n".join(f"{name} : (empty)" for name in self._signals)
+        width = max((len(name) for name in self._signals), default=0)
+        header = " " * (width + 3) + "  ".join(f"{t!s:>8}" for t in chain)
+        lines = [header]
+        for name, trace in self._signals.items():
+            cells = []
+            for t in chain:
+                v = trace.at(t)
+                cells.append(f"{render_value(v) if v is not ABSENT else '':>8}")
+            lines.append(f"{name:<{width}} : " + "  ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Processes: sets of behaviors, synchronous and asynchronous composition.
+
+Section 3 of the paper: "A process ``p ∈ P = P(B)`` is a set of behaviors that
+have the same domain ``X`` (written ``vars(p)``).  Synchronous composition
+``p | q`` is defined by the set of behaviors that extend a behavior ``b ∈ p``
+by the restriction ``c/_vars(p)`` of a behavior ``c ∈ q`` if the projections
+of ``b`` and ``c`` on ``vars(p) ∩ vars(q)`` are equal."
+
+Denotationally, a process is an (often infinite) set of behaviors closed under
+stretching.  This module represents processes *finitely*, by a set of
+canonical (strict) representative behaviors on bounded traces, which is what
+the refinement checks of the paper operate on; membership of an arbitrary
+behavior is decided up to stretch-equivalence (:meth:`Process.accepts`).
+Asynchronous composition ``p ‖ q`` likewise returns the canonical
+representatives of the flow-equivalence classes it defines.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .behaviors import Behavior
+from .relaxation import flow_canonical, flow_equivalent, flows
+from .signals import SignalTrace
+from .stretching import strict_behavior, stretch_equivalent
+
+
+class Process:
+    """A set of behaviors over a common set of variables.
+
+    The constructor normalises every behavior to its strict representative, so
+    a :class:`Process` is always *stretch-closed* in the canonical-set sense
+    discussed in :mod:`repro.core.stretching`.
+    """
+
+    __slots__ = ("_variables", "_behaviors")
+
+    def __init__(self, variables: Iterable[str], behaviors: Iterable[Behavior] = ()) -> None:
+        self._variables = frozenset(variables)
+        canonical: set[Behavior] = set()
+        for behavior in behaviors:
+            if behavior.variables != self._variables:
+                missing = self._variables - behavior.variables
+                extra = behavior.variables - self._variables
+                # Behaviors may omit signals that are everywhere-absent: pad them.
+                if extra:
+                    raise ValueError(
+                        f"behavior defines unexpected signals {sorted(extra)}; process variables are {sorted(self._variables)}"
+                    )
+                padded = dict(behavior.signals)
+                for name in missing:
+                    padded[name] = SignalTrace.empty()
+                behavior = Behavior(padded)
+            canonical.add(strict_behavior(behavior))
+        self._behaviors = frozenset(canonical)
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def singleton(behavior: Behavior) -> "Process":
+        """The process containing exactly (the class of) one behavior."""
+        return Process(behavior.variables, [behavior])
+
+    @staticmethod
+    def from_columns(columns_list: Iterable[Mapping[str, list]]) -> "Process":
+        """Build a process from a list of synchronous column tables."""
+        behaviors = [Behavior.from_columns(c) for c in columns_list]
+        variables: set[str] = set()
+        for b in behaviors:
+            variables |= b.variables
+        return Process(variables, behaviors)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    def __iter__(self) -> Iterator[Behavior]:
+        return iter(self._behaviors)
+
+    def __contains__(self, behavior: object) -> bool:
+        if not isinstance(behavior, Behavior):
+            return False
+        return self.accepts(behavior)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Process):
+            return NotImplemented
+        return self._variables == other._variables and self._behaviors == other._behaviors
+
+    def __hash__(self) -> int:
+        return hash((self._variables, self._behaviors))
+
+    def __repr__(self) -> str:
+        return f"Process(vars={sorted(self._variables)}, |behaviors|={len(self._behaviors)})"
+
+    # -- observations --------------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """``vars(p)``."""
+        return self._variables
+
+    @property
+    def behaviors(self) -> frozenset[Behavior]:
+        """The canonical (strict) behaviors of the process."""
+        return self._behaviors
+
+    def is_empty(self) -> bool:
+        """True when the process admits no behavior."""
+        return not self._behaviors
+
+    def accepts(self, behavior: Behavior) -> bool:
+        """Membership up to stretch-equivalence (the stretch-closed reading)."""
+        if behavior.variables != self._variables:
+            return False
+        candidate = strict_behavior(behavior)
+        return candidate in self._behaviors or any(
+            stretch_equivalent(candidate, b) for b in self._behaviors
+        )
+
+    def accepts_flow(self, behavior: Behavior) -> bool:
+        """Membership up to flow-equivalence (asynchronous observation)."""
+        if behavior.variables != self._variables:
+            return False
+        target = flows(behavior)
+        return any(flows(b) == target for b in self._behaviors)
+
+    # -- composition -----------------------------------------------------------------
+
+    def compose(self, other: "Process") -> "Process":
+        """Synchronous composition ``p | q``."""
+        shared = self._variables & other._variables
+        variables = self._variables | other._variables
+        result: list[Behavior] = []
+        for mine in self._behaviors:
+            mine_shared = mine.project(shared)
+            for theirs in other._behaviors:
+                # Shared signals must agree *as synchronous signals*, i.e. up to a
+                # common stretching of the pair of projections.
+                if shared:
+                    if not stretch_equivalent(mine_shared, theirs.project(shared)):
+                        continue
+                    combined = _align_and_extend(mine, theirs, shared)
+                    if combined is None:
+                        continue
+                else:
+                    combined = _juxtapose(mine, theirs)
+                result.append(combined)
+        return Process(variables, result)
+
+    def __or__(self, other: "Process") -> "Process":
+        return self.compose(other)
+
+    def async_compose(self, other: "Process") -> "Process":
+        """Asynchronous composition ``p ‖ q`` (canonical representatives).
+
+        Behaviors of ``p`` and ``q`` are combined whenever their shared
+        signals carry the same value flows; synchronisation between the two
+        sides is discarded, per the relaxation-based definition of the paper.
+        """
+        shared = self._variables & other._variables
+        variables = self._variables | other._variables
+        result: list[Behavior] = []
+        for mine in self._behaviors:
+            mine_flows = flows(mine.project(shared))
+            for theirs in other._behaviors:
+                if flows(theirs.project(shared)) != mine_flows:
+                    continue
+                own_part = mine.hide(shared)
+                their_part = theirs.hide(shared)
+                shared_part = flow_canonical(mine.project(shared))
+                combined = Behavior(
+                    {**own_part.signals, **_shift_block(their_part).signals, **shared_part.signals}
+                )
+                result.append(combined)
+        return Process(variables, result)
+
+    def __floordiv__(self, other: "Process") -> "Process":
+        """``p // q`` is asynchronous composition (ASCII-friendly ‖)."""
+        return self.async_compose(other)
+
+    # -- restriction / projection -------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Process":
+        """``p|_X``: project every behavior on ``names``."""
+        keep = [n for n in names if n in self._variables]
+        return Process(keep, (b.project(keep) for b in self._behaviors))
+
+    def hide(self, names: Iterable[str]) -> "Process":
+        """``p / x``: restriction (hiding) of the names in ``names``."""
+        drop = set(names)
+        keep = self._variables - drop
+        return Process(keep, (b.hide(drop) for b in self._behaviors))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Process":
+        """Rename process variables."""
+        variables = {mapping.get(n, n) for n in self._variables}
+        return Process(variables, (b.rename(mapping) for b in self._behaviors))
+
+    def filter(self, predicate: Callable[[Behavior], bool]) -> "Process":
+        """The sub-process of behaviors satisfying ``predicate``."""
+        return Process(self._variables, (b for b in self._behaviors if predicate(b)))
+
+    def union(self, other: "Process") -> "Process":
+        """Set union of two processes over the same variables."""
+        if self._variables != other._variables:
+            raise ValueError("union requires identical variable sets")
+        return Process(self._variables, list(self._behaviors) + list(other._behaviors))
+
+
+def _juxtapose(left: Behavior, right: Behavior) -> Behavior:
+    """Combine behaviors with disjoint variables, keeping both tag scales."""
+    return Behavior({**left.signals, **right.signals})
+
+
+def _shift_block(behavior: Behavior) -> Behavior:
+    """Offset a behavior's tags by one third to keep blocks distinguishable.
+
+    Used when building canonical representatives of asynchronous composition:
+    the relative tagging between the two sides is irrelevant, but offsetting
+    avoids spuriously claiming synchronisation between unrelated signals.
+    """
+    if not behavior.variables:
+        return behavior
+    return behavior.retagged(lambda t: t.shifted(Fraction(1, 3)))
+
+
+def _align_and_extend(left: Behavior, right: Behavior, shared: frozenset[str] | set[str]) -> Behavior | None:
+    """Implement ``b ⊎ c/_vars(p)`` when the shared projections agree.
+
+    The two behaviors may use different (but stretch-equivalent) tag scales
+    for the shared signals; we re-express ``right`` on ``left``'s tag scale by
+    composing the two stretching functions on shared tags, then extend.
+    Returns ``None`` when the non-shared part of ``right`` cannot be
+    consistently re-tagged (its private events interleave with shared events
+    in a way that has no counterpart on ``left``'s scale) — in that case a
+    fresh common stretching is built instead.
+    """
+    left_shared = left.project(shared)
+    right_shared = right.project(shared)
+    canonical = strict_behavior(right_shared)
+    # Map: right's shared tags -> canonical tags -> left's shared tags.
+    right_to_canon = _tag_mapping(right_shared, canonical)
+    left_to_canon = _tag_mapping(left_shared, strict_behavior(left_shared))
+    canon_to_left = {v: k for k, v in left_to_canon.items()}
+    mapping = {rt: canon_to_left[ct] for rt, ct in right_to_canon.items() if ct in canon_to_left}
+
+    def remap(tag):
+        if tag in mapping:
+            return mapping[tag]
+        # Private tag of ``right``: keep relative order by interpolating.
+        return tag.shifted(Fraction(1, 7))
+
+    remapped_right = right.hide(shared).retagged(remap)
+    try:
+        return left.extend(remapped_right).extend(right.project(shared).retagged(lambda t: mapping[t]))
+    except (KeyError, ValueError):
+        return None
+
+
+def _tag_mapping(source: Behavior, target: Behavior) -> dict:
+    """Per-event tag correspondence between two stretch-equivalent behaviors."""
+    mapping: dict = {}
+    for name in source.variables:
+        for (st, _), (tt, _) in zip(source[name].events, target[name].events):
+            mapping[st] = tt
+    return mapping

@@ -1,0 +1,249 @@
+"""Polychronous design properties: endochrony, flow-invariance, endo-isochrony.
+
+Section 3 of the paper ("Polychronous design properties"):
+
+* A process ``p`` is **endochronous** on its inputs ``I`` iff for all
+  ``b, c ∈ p``: ``(b|_I)_≍ = (c|_I)_≍  ⇒  b ≈ c`` — given an asynchronous
+  stimulation of its inputs, the process reconstructs a unique synchronous
+  behavior (up to stretch-equivalence).  Endochronous processes are
+  insensitive to internal and external propagation delays.
+
+* ``p`` and ``q`` are **flow-invariant** iff for all ``b ∈ p | q`` and all
+  ``c ∈ p ‖ q``: ``(b|_I)_≍ = (c|_I)_≍  ⇒  b ≍ c`` for ``I`` the inputs of
+  ``p | q`` — refining the synchronous composition into an asynchronous one
+  preserves flow-equivalence.
+
+* Two endochronous processes ``p`` and ``q`` are **endo-isochronous** iff
+  ``(p|_I) | (q|_I)`` is endochronous, with ``I = vars(p) ∩ vars(q)``.
+  *Endo-isochrony implies flow-invariance* — this is the theorem the GALS
+  design methodology of the paper rests on.
+
+All checks operate on the finite canonical representation of processes
+(bounded traces) produced by the rest of the library; each returns a rich
+report object so that callers (and the EPC refinement chain) can display the
+offending pair of behaviors when a property fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Optional, Sequence
+
+from .behaviors import Behavior
+from .processes import Process
+from .relaxation import flow_canonical, flow_equivalent, flows
+from .stretching import stretch_equivalent
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of a design-property check.
+
+    Attributes:
+        holds: whether the property is satisfied on the analysed process(es).
+        property_name: which property was checked.
+        witness: an optional pair of behaviors violating the property.
+        details: human-readable explanation.
+    """
+
+    holds: bool
+    property_name: str
+    witness: Optional[tuple[Behavior, ...]] = None
+    details: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        """A short, human-readable verdict."""
+        verdict = "HOLDS" if self.holds else "FAILS"
+        text = f"{self.property_name}: {verdict}"
+        if self.details:
+            text += f" — {self.details}"
+        return text
+
+
+def check_determinism(process: Process, inputs: Iterable[str]) -> PropertyReport:
+    """Input-determinism: equal input *signals* (synchronously) force equal behaviors.
+
+    This is the synchronous counterpart of endochrony: two behaviors that
+    agree on the inputs with their synchronisation must be stretch-equivalent.
+    """
+    input_names = [n for n in inputs if n in process.variables]
+    for left, right in combinations(process.behaviors, 2):
+        if stretch_equivalent(left.project(input_names), right.project(input_names)):
+            if not stretch_equivalent(left, right):
+                return PropertyReport(
+                    False,
+                    "determinism",
+                    (left, right),
+                    "two distinct behaviors share the same synchronous inputs",
+                )
+    return PropertyReport(True, "determinism", details=f"on inputs {sorted(input_names)}")
+
+
+def check_endochrony(process: Process, inputs: Iterable[str]) -> PropertyReport:
+    """Endochrony of ``process`` on ``inputs`` (Section 3 definition)."""
+    input_names = [n for n in inputs if n in process.variables]
+    behaviors = list(process.behaviors)
+    for left, right in combinations(behaviors, 2):
+        left_flows = flow_canonical(left.project(input_names))
+        right_flows = flow_canonical(right.project(input_names))
+        if left_flows == right_flows and not stretch_equivalent(left, right):
+            return PropertyReport(
+                False,
+                "endochrony",
+                (left, right),
+                "two non-stretch-equivalent behaviors share the same input flows "
+                f"{flows(left.project(input_names))}",
+            )
+    return PropertyReport(
+        True,
+        "endochrony",
+        details=f"{len(behaviors)} behaviors, inputs {sorted(input_names)}",
+    )
+
+
+def check_flow_invariance(
+    spec: Process,
+    impl: Process,
+    inputs: Iterable[str],
+    synchronous: Optional[Process] = None,
+    asynchronous: Optional[Process] = None,
+) -> PropertyReport:
+    """Flow-invariance of the pair ``(spec, impl)`` on the given inputs.
+
+    ``p | q`` and ``p ‖ q`` are computed from ``spec`` and ``impl`` unless the
+    caller passes pre-computed compositions (useful for the larger EPC
+    benchmarks where the compositions are reused across checks).
+    """
+    input_names = list(inputs)
+    sync = synchronous if synchronous is not None else spec.compose(impl)
+    asyn = asynchronous if asynchronous is not None else spec.async_compose(impl)
+    for b in sync.behaviors:
+        b_inputs = flow_canonical(b.project(input_names))
+        for c in asyn.behaviors:
+            if flow_canonical(c.project(input_names)) != b_inputs:
+                continue
+            if not flow_equivalent(b.project(sorted(sync.variables)), c.project(sorted(sync.variables))):
+                return PropertyReport(
+                    False,
+                    "flow-invariance",
+                    (b, c),
+                    "a desynchronised execution diverges from the synchronous one "
+                    "despite identical input flows",
+                )
+    return PropertyReport(
+        True,
+        "flow-invariance",
+        details=f"|p|q| = {len(sync)}, |p‖q| = {len(asyn)}, inputs {sorted(input_names)}",
+    )
+
+
+def check_isochrony(left: Process, right: Process) -> PropertyReport:
+    """Isochrony-style compatibility of two processes on their interface.
+
+    Two processes are compatible when every pair of behaviors that agree on
+    the *flows* of their shared signals also agree on their synchronisation
+    (i.e. their shared projections are stretch-equivalent).  This is the
+    pairwise condition that makes the synchronous and asynchronous
+    compositions coincide on the interface.
+    """
+    shared = sorted(left.variables & right.variables)
+    for b in left.behaviors:
+        b_shared = b.project(shared)
+        for c in right.behaviors:
+            c_shared = c.project(shared)
+            if flows(b_shared) == flows(c_shared) and not stretch_equivalent(b_shared, c_shared):
+                return PropertyReport(
+                    False,
+                    "isochrony",
+                    (b, c),
+                    f"shared flows on {shared} agree but synchronisations differ",
+                )
+    return PropertyReport(True, "isochrony", details=f"interface {shared}")
+
+
+def check_endo_isochrony(
+    left: Process,
+    right: Process,
+    left_inputs: Iterable[str],
+    right_inputs: Iterable[str],
+) -> PropertyReport:
+    """Endo-isochrony of the pair ``(left, right)``.
+
+    Requires both components endochronous (on their own inputs) and the
+    composition of their interface projections endochronous on the union of
+    interface inputs, per the paper's definition.
+    """
+    shared = sorted(left.variables & right.variables)
+    left_endo = check_endochrony(left, left_inputs)
+    if not left_endo:
+        return PropertyReport(False, "endo-isochrony", left_endo.witness, "left component is not endochronous")
+    right_endo = check_endochrony(right, right_inputs)
+    if not right_endo:
+        return PropertyReport(False, "endo-isochrony", right_endo.witness, "right component is not endochronous")
+    interface = left.project(shared).compose(right.project(shared))
+    interface_inputs = [n for n in shared if n in set(left_inputs) | set(right_inputs)] or shared
+    interface_endo = check_endochrony(interface, interface_inputs)
+    if not interface_endo:
+        return PropertyReport(
+            False,
+            "endo-isochrony",
+            interface_endo.witness,
+            "the interface composition (p|_I)|(q|_I) is not endochronous",
+        )
+    return PropertyReport(True, "endo-isochrony", details=f"interface {shared}")
+
+
+@dataclass
+class RefinementObligation:
+    """One verification obligation of a refinement step (used by repro.epc).
+
+    Attributes:
+        name: identifier of the obligation (e.g. "architecture-flow-preservation").
+        description: what is being checked, in the paper's vocabulary.
+        report: the outcome, filled in when the obligation is discharged.
+    """
+
+    name: str
+    description: str
+    report: Optional[PropertyReport] = None
+
+    @property
+    def discharged(self) -> bool:
+        """True when the obligation has been checked and holds."""
+        return self.report is not None and self.report.holds
+
+
+@dataclass
+class RefinementReport:
+    """Aggregate result of checking a refinement step."""
+
+    step: str
+    obligations: list[RefinementObligation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True when every obligation is discharged."""
+        return all(o.discharged for o in self.obligations)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def add(self, name: str, description: str, report: PropertyReport) -> RefinementObligation:
+        """Record an obligation outcome and return it."""
+        obligation = RefinementObligation(name, description, report)
+        self.obligations.append(obligation)
+        return obligation
+
+    def summary(self) -> str:
+        """Multi-line, human-readable summary of the refinement step."""
+        lines = [f"refinement step: {self.step} — {'OK' if self.holds else 'FAILED'}"]
+        for obligation in self.obligations:
+            status = "ok" if obligation.discharged else "FAILED"
+            lines.append(f"  [{status}] {obligation.name}: {obligation.description}")
+            if obligation.report is not None and obligation.report.details:
+                lines.append(f"         {obligation.report.details}")
+        return "\n".join(lines)

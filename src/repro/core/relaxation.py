@@ -1,0 +1,85 @@
+"""Relaxation and flow-equivalence of behaviors.
+
+Section 3 of the paper ("Distributed design"): "The relaxation relation allows
+to individually stretch the signals of a behavior.  A behavior ``c`` is a
+relaxation of ``b``, written ``b ⊑ c``, iff ``vars(b) = vars(c)`` and for all
+``x ∈ vars(b)``, ``b|x ≤ c|x``.  Relaxation is a partial-order relation that
+defines the flow-equivalence relation.  Two behaviors are flow-equivalent iff
+their signals hold the same values in the same order."
+
+Flow-equivalence is the metric used to check the correctness of GALS
+refinements: it forgets synchronisation (relative tagging across signals) and
+keeps only the per-signal sequences of exchanged values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .behaviors import Behavior
+from .signals import SignalTrace
+
+
+def is_relaxation(source: Behavior, target: Behavior) -> bool:
+    """``source ⊑ target``: per-signal stretching, synchronisation discarded."""
+    if source.variables != target.variables:
+        return False
+    return all(
+        source[name].is_stretching_of(target[name]) and source[name].values == target[name].values
+        for name in source.variables
+    )
+
+
+def flow_equivalent(left: Behavior, right: Behavior) -> bool:
+    """``left ≍ right``: same per-signal value sequences (same flows)."""
+    if left.variables != right.variables:
+        return False
+    return all(left[name].same_flow(right[name]) for name in left.variables)
+
+
+def flow_canonical(behavior: Behavior) -> Behavior:
+    """The strict representative ``(b)_≍`` of the flow-equivalence class.
+
+    Each signal is independently retagged onto ``0..n_x - 1``: the class of a
+    behavior under flow-equivalence is a semi-lattice and this is its minimal
+    element.
+    """
+    return Behavior({name: behavior[name].strict() for name in behavior.variables})
+
+
+def flows(behavior: Behavior) -> dict[str, tuple]:
+    """The per-signal value sequences of a behavior (its "flows")."""
+    return {name: behavior[name].values for name in behavior.variables}
+
+
+def flow_prefix_of(short: Behavior, long: Behavior) -> bool:
+    """True when every flow of ``short`` is a prefix of the same flow in ``long``.
+
+    This weaker comparison is what bounded-trace refinement checks use: a
+    finite simulation of the refined design need not produce *exactly* as many
+    values as the specification, only a consistent prefix.
+    """
+    if not short.variables <= long.variables:
+        return False
+    for name in short.variables:
+        sv = short[name].values
+        lv = long[name].values
+        if sv != lv[: len(sv)]:
+            return False
+    return True
+
+
+def flow_equivalent_on(left: Behavior, right: Behavior, names: Iterable[str]) -> bool:
+    """Flow-equivalence restricted to a set of observed names."""
+    observed = list(names)
+    return flow_equivalent(left.project(observed), right.project(observed))
+
+
+def behavior_from_flows(columns: Mapping[str, Sequence]) -> Behavior:
+    """Build the strict behavior whose flows are the given value sequences.
+
+    Unlike :meth:`Behavior.from_columns`, every signal gets its *own* tag
+    scale ``0..n_x-1`` — this is the canonical desynchronised reading of a set
+    of flows.
+    """
+    return Behavior({name: SignalTrace.from_values(list(values)) for name, values in columns.items()})

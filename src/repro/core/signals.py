@@ -1,0 +1,198 @@
+"""Signals and events of the tagged polychronous model.
+
+Section 3 of the paper: "An event ``e ∈ E = T × V`` relates a tag and a value.
+A signal ``s ∈ S = T ⇀ V`` is a partial function relating a chain of tags to a
+set of values."
+
+A :class:`SignalTrace` is therefore an immutable, finite partial function from
+tags to values whose domain is a chain.  (The name avoids clashing with the
+SIGNAL-language notion of a *signal variable*, which lives in
+:mod:`repro.signal`.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .tags import Chain, Tag, TagLike, as_tag, natural_tags
+from .values import ABSENT, check_value, render_value
+
+
+class Event:
+    """An event ``(t, v)``: the occurrence of value ``v`` at tag ``t``."""
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: TagLike, value: Any) -> None:
+        self.tag = as_tag(tag)
+        self.value = check_value(value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.tag == other.tag and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.value))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.tag, self.value))
+
+    def __repr__(self) -> str:
+        return f"Event({self.tag!s}, {render_value(self.value)})"
+
+
+class SignalTrace:
+    """A signal: a partial function from a chain of tags to values.
+
+    The trace is immutable.  Equality is extensional (same tags, same values).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[tuple[TagLike, Any]] | Mapping[TagLike, Any] = ()) -> None:
+        if isinstance(events, Mapping):
+            pairs = list(events.items())
+        else:
+            pairs = list(events)
+        mapping: dict[Tag, Any] = {}
+        for tag_like, value in pairs:
+            tag = as_tag(tag_like)
+            value = check_value(value)
+            if tag in mapping and mapping[tag] != value:
+                raise ValueError(f"conflicting values at {tag}: {mapping[tag]!r} vs {value!r}")
+            mapping[tag] = value
+        ordered = sorted(mapping.items(), key=lambda kv: kv[0])
+        self._events: tuple[tuple[Tag, Any], ...] = tuple(ordered)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_values(values: Sequence[Any], start: int = 0) -> "SignalTrace":
+        """Build a *strict* signal carrying ``values`` at tags ``start..``."""
+        tags = natural_tags(len(values), start)
+        return SignalTrace(zip(tags, values))
+
+    @staticmethod
+    def empty() -> "SignalTrace":
+        """The signal that is never present."""
+        return SignalTrace()
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return (Event(t, v) for t, v in self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignalTrace):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"({t!s},{render_value(v)})" for t, v in self._events)
+        return f"SignalTrace[{inner}]"
+
+    # -- observations ---------------------------------------------------------
+
+    @property
+    def tags(self) -> Chain:
+        """The domain ``tags(s)`` of the signal (a chain)."""
+        return Chain(t for t, _ in self._events)
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The sequence of values carried by the signal, in tag order."""
+        return tuple(v for _, v in self._events)
+
+    @property
+    def events(self) -> tuple[tuple[Tag, Any], ...]:
+        """The (tag, value) pairs in increasing tag order."""
+        return self._events
+
+    def is_empty(self) -> bool:
+        """True when the signal carries no event."""
+        return not self._events
+
+    def is_present(self, t: TagLike) -> bool:
+        """True when the signal is present at tag ``t``."""
+        tag = as_tag(t)
+        return any(et == tag for et, _ in self._events)
+
+    def at(self, t: TagLike, default: Any = ABSENT) -> Any:
+        """Value carried at tag ``t``, or ``default`` (ABSENT) when absent."""
+        tag = as_tag(t)
+        for et, value in self._events:
+            if et == tag:
+                return value
+        return default
+
+    def nth(self, n: int) -> Event:
+        """The ``n``-th event of the signal (0-based)."""
+        t, v = self._events[n]
+        return Event(t, v)
+
+    # -- transformations -------------------------------------------------------
+
+    def retagged(self, mapping: Callable[[Tag], TagLike]) -> "SignalTrace":
+        """Apply a tag transformation (used by stretching functions)."""
+        return SignalTrace((mapping(t), v) for t, v in self._events)
+
+    def strict(self) -> "SignalTrace":
+        """The canonical strict form: same values, tags ``0..n-1``.
+
+        This is the per-signal canonical representative used by relaxation
+        and flow-equivalence (the ``(b)_≈`` construction of the paper).
+        """
+        return SignalTrace.from_values(self.values)
+
+    def prefix(self, length: int) -> "SignalTrace":
+        """The signal restricted to its first ``length`` events."""
+        return SignalTrace(self._events[:length])
+
+    def before(self, t: TagLike) -> "SignalTrace":
+        """The signal restricted to tags strictly smaller than ``t``."""
+        bound = as_tag(t)
+        return SignalTrace((et, v) for et, v in self._events if et < bound)
+
+    def upto(self, t: TagLike) -> "SignalTrace":
+        """The signal restricted to tags not greater than ``t``."""
+        bound = as_tag(t)
+        return SignalTrace((et, v) for et, v in self._events if et <= bound)
+
+    def shifted(self, delta: TagLike) -> "SignalTrace":
+        """Uniformly displace every tag by ``delta``."""
+        return self.retagged(lambda t: t.shifted(delta))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "SignalTrace":
+        """Apply ``fn`` to every value, keeping tags."""
+        return SignalTrace((t, fn(v)) for t, v in self._events)
+
+    def extended(self, t: TagLike, value: Any) -> "SignalTrace":
+        """Return a new signal with an extra event ``(t, value)``."""
+        return SignalTrace(self._events + ((as_tag(t), check_value(value)),))
+
+    # -- relations --------------------------------------------------------------
+
+    def same_flow(self, other: "SignalTrace") -> bool:
+        """True when both signals carry the same values in the same order."""
+        return self.values == other.values
+
+    def is_stretching_of(self, other: "SignalTrace") -> bool:
+        """True when ``self`` is obtained from ``other`` by a stretching.
+
+        Per-signal stretching preserves the number of events, their order and
+        their values; only the tags move (monotonically).
+        """
+        return self.values == other.values
+
+    def render(self) -> str:
+        """Human-readable single-line rendering (as in Fig. 1 of the paper)."""
+        if not self._events:
+            return "(empty)"
+        return "  ".join(f"({t!s}, {render_value(v)})" for t, v in self._events)

@@ -1,0 +1,105 @@
+"""Stretching and stretch-equivalence of behaviors.
+
+Section 3 of the paper ("Scalability is a key concept..."): a behavior ``c``
+is a *stretching* of ``b``, written ``b ≤ c``, iff ``vars(b) = vars(c)`` and
+there exists a function ``f : T → T`` that
+
+1. is strictly increasing,
+2. is monotonic along all chains,
+3. satisfies ``tags(c(x)) = f(tags(b(x)))`` for all ``x ∈ vars(b)`` and
+   ``b(x)(t) = c(x)(f(t))`` for all ``x`` and all ``t ∈ tags(b(x))``.
+
+Stretching is a partial order; it induces *stretch-equivalence* ``b ≈ c``
+(there exists ``d`` with ``d ≤ b`` and ``d ≤ c``).  Every stretch-equivalence
+class contains a unique *strict* behavior, obtained by retagging the union of
+the behavior's tags onto the naturals — this canonical form is what we use to
+decide stretch-equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .behaviors import Behavior
+from .tags import Tag
+
+
+def stretching_function(source: Behavior, target: Behavior) -> dict[Tag, Tag] | None:
+    """Return the stretching function from ``source`` to ``target`` if any.
+
+    The function is returned as a finite mapping defined on ``tags(source)``.
+    Returns ``None`` when ``target`` is not a stretching of ``source``.
+    """
+    if source.variables != target.variables:
+        return None
+    mapping: dict[Tag, Tag] = {}
+    for name in source.variables:
+        src_trace = source[name]
+        tgt_trace = target[name]
+        if len(src_trace) != len(tgt_trace):
+            return None
+        for (src_tag, src_val), (tgt_tag, tgt_val) in zip(src_trace.events, tgt_trace.events):
+            if src_val != tgt_val:
+                return None
+            if src_tag in mapping and mapping[src_tag] != tgt_tag:
+                return None
+            mapping[src_tag] = tgt_tag
+    # The induced global map must be strictly increasing on tags(source).
+    ordered = sorted(mapping.items())
+    for (_, prev_img), (_, next_img) in zip(ordered, ordered[1:]):
+        if not prev_img < next_img:
+            return None
+    return mapping
+
+
+def is_stretching(source: Behavior, target: Behavior) -> bool:
+    """``source ≤ target``: is ``target`` a stretching of ``source``?"""
+    return stretching_function(source, target) is not None
+
+
+def strict_behavior(behavior: Behavior) -> Behavior:
+    """The canonical strict representative of ``behavior``'s class.
+
+    The union of the behavior's tags is retagged onto ``0..n-1`` preserving
+    order; each signal keeps its events at the image of its own tags.  This is
+    the minimal element ``(b)_≈`` of the stretch-equivalence class.
+    """
+    chain = behavior.tags
+    index = {tag: Tag(i) for i, tag in enumerate(chain)}
+    return behavior.retagged(lambda t: index[t])
+
+
+def is_strict(behavior: Behavior) -> bool:
+    """True when the behavior is its own strict representative."""
+    return behavior == strict_behavior(behavior)
+
+
+def stretch_equivalent(left: Behavior, right: Behavior) -> bool:
+    """``left ≈ right``: stretch-equivalence (same strict representative)."""
+    if left.variables != right.variables:
+        return False
+    return strict_behavior(left) == strict_behavior(right)
+
+
+def stretch_closure(behaviors: Iterable[Behavior]) -> set[Behavior]:
+    """Canonical finite representation of the stretch-closure of a set.
+
+    The stretch-closure of a process is infinite (any behavior can be
+    stretched arbitrarily); we represent it by the set of strict behaviors,
+    which is exactly the set ``(p)_≈`` of the paper.  Membership of an
+    arbitrary behavior in the closed process is then decided by
+    :func:`stretch_equivalent` against these representatives (see
+    :meth:`repro.core.processes.Process.accepts`).
+    """
+    return {strict_behavior(b) for b in behaviors}
+
+
+def common_unstretching(left: Behavior, right: Behavior) -> Behavior | None:
+    """A behavior ``d`` with ``d ≤ left`` and ``d ≤ right``, if one exists.
+
+    By the semi-lattice property the strict representative works whenever the
+    two behaviors are stretch-equivalent.
+    """
+    if not stretch_equivalent(left, right):
+        return None
+    return strict_behavior(left)

@@ -1,0 +1,225 @@
+"""Tags and chains: the time structure of the polychronous model.
+
+Section 3 of the paper: "A tag ``t ∈ T`` denotes an instant.  The dense set is
+equipped with a partial order relation ≤ to denote synchronization and causal
+relations.  The subset ``T ⊆ 𝕋`` of a given process is chosen to be a
+semi-lattice ``(T, ≤, 0)``.  A chain ``C`` is a totally ordered subset of
+``T``."
+
+Concretely we realise tags as rational numbers (``fractions.Fraction``): the
+rationals are dense (any two tags admit a tag strictly between them, which is
+what stretching functions exploit) and totally ordered, so any finite set of
+tags is a chain.  Partial order *across* time scales is not encoded in the tag
+objects themselves; it arises from the stretching relation between behaviors
+(see :mod:`repro.core.stretching`), exactly as the paper treats distinct
+processes' tag sets up to stretch-equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence, Union
+
+TagLike = Union["Tag", int, float, str, Fraction]
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """An instant of the dense time domain 𝕋.
+
+    Tags are immutable, totally ordered, hashable wrappers around a rational
+    position.  ``Tag(0)`` plays the role of the semi-lattice bottom ``0``.
+    """
+
+    position: Fraction
+
+    def __init__(self, position: TagLike) -> None:
+        if isinstance(position, Tag):
+            frac = position.position
+        else:
+            frac = Fraction(position)
+        object.__setattr__(self, "position", frac)
+
+    # -- arithmetic helpers used by stretching functions -------------------
+
+    def shifted(self, delta: TagLike) -> "Tag":
+        """Return a new tag displaced by ``delta``."""
+        return Tag(self.position + Fraction(delta if not isinstance(delta, Tag) else delta.position))
+
+    def scaled(self, factor: TagLike) -> "Tag":
+        """Return a new tag scaled by a (positive) ``factor``."""
+        f = Fraction(factor if not isinstance(factor, Tag) else factor.position)
+        if f <= 0:
+            raise ValueError("tag scaling factor must be strictly positive")
+        return Tag(self.position * f)
+
+    @staticmethod
+    def between(lo: "Tag", hi: "Tag") -> "Tag":
+        """Return a tag strictly between ``lo`` and ``hi`` (density of 𝕋)."""
+        if not lo < hi:
+            raise ValueError(f"no tag strictly between {lo} and {hi}")
+        return Tag((lo.position + hi.position) / 2)
+
+    def __repr__(self) -> str:
+        if self.position.denominator == 1:
+            return f"Tag({self.position.numerator})"
+        return f"Tag({self.position.numerator}/{self.position.denominator})"
+
+    def __str__(self) -> str:
+        if self.position.denominator == 1:
+            return f"t{self.position.numerator}"
+        return f"t{self.position.numerator}/{self.position.denominator}"
+
+
+#: The bottom element of the semi-lattice of tags.
+TAG_ZERO = Tag(0)
+
+
+def as_tag(t: TagLike) -> Tag:
+    """Coerce ``t`` to a :class:`Tag`."""
+    return t if isinstance(t, Tag) else Tag(t)
+
+
+def natural_tags(count: int, start: int = 0) -> list[Tag]:
+    """Return ``count`` consecutive integer tags starting at ``start``.
+
+    These are the tags of *strict* behaviors (canonical representatives of
+    stretch-equivalence classes).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [Tag(i) for i in range(start, start + count)]
+
+
+class Chain:
+    """A totally ordered, finite set of tags.
+
+    Chains are the domains of signals: ``tags(s)`` is a chain.  The class
+    enforces strict ordering and offers the set/sequence operations the
+    tagged model needs (membership, union, intersection, indexing, successor).
+    """
+
+    __slots__ = ("_tags",)
+
+    def __init__(self, tags: Iterable[TagLike] = ()) -> None:
+        seen: set[Tag] = set()
+        ordered: list[Tag] = []
+        for t in tags:
+            tag = as_tag(t)
+            if tag in seen:
+                continue
+            seen.add(tag)
+            ordered.append(tag)
+        ordered.sort()
+        self._tags: tuple[Tag, ...] = tuple(ordered)
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(self._tags)
+
+    def __contains__(self, t: object) -> bool:
+        if not isinstance(t, (Tag, int, float, str, Fraction)):
+            return False
+        return as_tag(t) in set(self._tags)
+
+    def __getitem__(self, index: int) -> Tag:
+        return self._tags[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Chain):
+            return NotImplemented
+        return self._tags == other._tags
+
+    def __hash__(self) -> int:
+        return hash(self._tags)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(t) for t in self._tags)
+        return f"Chain([{inner}])"
+
+    # -- chain-specific operations ------------------------------------------
+
+    @property
+    def tags(self) -> tuple[Tag, ...]:
+        """The tags of the chain in increasing order."""
+        return self._tags
+
+    def is_empty(self) -> bool:
+        """Return True when the chain contains no tag."""
+        return not self._tags
+
+    def min(self) -> Tag:
+        """Smallest tag of the chain."""
+        if not self._tags:
+            raise ValueError("empty chain has no minimum")
+        return self._tags[0]
+
+    def max(self) -> Tag:
+        """Largest tag of the chain."""
+        if not self._tags:
+            raise ValueError("empty chain has no maximum")
+        return self._tags[-1]
+
+    def index(self, t: TagLike) -> int:
+        """Position of tag ``t`` within the chain."""
+        return self._tags.index(as_tag(t))
+
+    def successor(self, t: TagLike) -> Tag | None:
+        """Return the next tag after ``t`` in the chain, or None."""
+        i = self.index(t)
+        if i + 1 < len(self._tags):
+            return self._tags[i + 1]
+        return None
+
+    def predecessor(self, t: TagLike) -> Tag | None:
+        """Return the tag preceding ``t`` in the chain, or None."""
+        i = self.index(t)
+        if i > 0:
+            return self._tags[i - 1]
+        return None
+
+    def union(self, other: "Chain") -> "Chain":
+        """Chain containing the tags of both chains."""
+        return Chain(self._tags + other._tags)
+
+    def intersection(self, other: "Chain") -> "Chain":
+        """Chain containing the tags common to both chains."""
+        other_set = set(other._tags)
+        return Chain(t for t in self._tags if t in other_set)
+
+    def difference(self, other: "Chain") -> "Chain":
+        """Chain containing the tags of ``self`` not in ``other``."""
+        other_set = set(other._tags)
+        return Chain(t for t in self._tags if t not in other_set)
+
+    def issubset(self, other: "Chain") -> bool:
+        """True when every tag of ``self`` belongs to ``other``."""
+        return set(self._tags) <= set(other._tags)
+
+    def restricted_before(self, t: TagLike) -> "Chain":
+        """Prefix of the chain with tags strictly smaller than ``t``."""
+        bound = as_tag(t)
+        return Chain(x for x in self._tags if x < bound)
+
+    def restricted_upto(self, t: TagLike) -> "Chain":
+        """Prefix of the chain with tags not greater than ``t``."""
+        bound = as_tag(t)
+        return Chain(x for x in self._tags if x <= bound)
+
+    @staticmethod
+    def naturals(count: int) -> "Chain":
+        """The canonical chain ``0 < 1 < ... < count-1``."""
+        return Chain(natural_tags(count))
+
+
+def merge_chains(chains: Sequence[Chain]) -> Chain:
+    """Union of a sequence of chains (the tags of a behavior)."""
+    merged: list[Tag] = []
+    for chain in chains:
+        merged.extend(chain.tags)
+    return Chain(merged)

@@ -1,0 +1,75 @@
+"""The even-parity-checker (EPC) case study of the paper, at every refinement
+level: specification (SpecC), architecture (ChMP channel and GALS/FIFO),
+communication (bus), RTL (master-clocked FSM), plus the refinement chain that
+verifies each step."""
+
+from .architecture_level import (
+    ArchitectureRun,
+    epc_architecture_design,
+    gals_epc_architecture,
+    run_architecture,
+    run_gals_architecture,
+)
+from .communication_level import CommunicationRun, epc_communication_design, run_communication
+from .refinement import (
+    DEFAULT_WORKLOAD,
+    RefinementChainResult,
+    ablation_drop_handshake,
+    check_refinement_chain,
+    check_rtl_bisimulation,
+)
+from .rtl_level import RtlRun, rtl_ones_process, rtl_reference_process, run_rtl
+from .signal_model import (
+    ONES_PAPER_SOURCE,
+    epc_signal_composition,
+    even_io_process,
+    ones_endochronous_process,
+    ones_paper_process,
+    ones_translated,
+)
+from .spec_level import (
+    DEFAULT_WIDTH,
+    SpecificationRun,
+    epc_specification_design,
+    even_behavior,
+    io_behavior,
+    ones_behavior,
+    reference_even,
+    reference_ones,
+    run_specification,
+)
+
+__all__ = [
+    "ArchitectureRun",
+    "CommunicationRun",
+    "DEFAULT_WIDTH",
+    "DEFAULT_WORKLOAD",
+    "ONES_PAPER_SOURCE",
+    "RefinementChainResult",
+    "RtlRun",
+    "SpecificationRun",
+    "ablation_drop_handshake",
+    "check_refinement_chain",
+    "check_rtl_bisimulation",
+    "epc_architecture_design",
+    "epc_communication_design",
+    "epc_signal_composition",
+    "epc_specification_design",
+    "even_behavior",
+    "even_io_process",
+    "gals_epc_architecture",
+    "io_behavior",
+    "ones_behavior",
+    "ones_endochronous_process",
+    "ones_paper_process",
+    "ones_translated",
+    "reference_even",
+    "reference_ones",
+    "rtl_ones_process",
+    "rtl_reference_process",
+    "run_architecture",
+    "run_communication",
+    "run_gals_architecture",
+    "run_rtl",
+    "run_specification",
+]

@@ -1,0 +1,129 @@
+"""Architecture level of the EPC: ones and even+io over the ChMP channel.
+
+"Suppose we have done so and consider the architecture layer of the SpecC
+even-parity checker example.  We now have two behaviors, ``ones`` and
+``even+io`` that communicate asynchronously via the ChMP channel."
+(Section 4 of the paper.)
+
+Two executable views are provided:
+
+* the **SpecC view** — the two behaviors exchange the data word and the count
+  through two instances of the paper's ChMP double-handshake channel, run on
+  the discrete-event kernel;
+* the **GALS/SIGNAL view** — the endochronous SIGNAL components of
+  :mod:`repro.epc.signal_model` connected by FIFOs in a
+  :class:`~repro.gals.architecture.GalsArchitecture`, the desynchronised
+  implementation whose flow-preservation the refinement chain verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.values import EVENT
+from ..gals.architecture import GalsArchitecture
+from ..specc.ast import Binary, Design, Lit, Var
+from ..specc.builder import BehaviorBuilder, DesignBuilder
+from ..specc.interpreter import DesignRun, run_design
+from ..gals.channels import chmp_channel
+from .signal_model import even_io_process, ones_endochronous_process
+from .spec_level import DEFAULT_WIDTH, reference_even, reference_ones
+
+
+@dataclass
+class ArchitectureRun:
+    """Flows produced by an architecture-level execution."""
+
+    workload: tuple[int, ...]
+    counts: tuple[int, ...]
+    parities: tuple[int, ...]
+    run: DesignRun | None = None
+
+    def matches_reference(self, width: int = DEFAULT_WIDTH) -> bool:
+        """True when the flows agree with the golden model."""
+        expected_counts = [reference_ones(word, width) for word in self.workload]
+        expected_parities = [1 if reference_even(word, width) else 0 for word in self.workload]
+        return list(self.counts) == expected_counts and list(self.parities) == expected_parities
+
+
+def epc_architecture_design(workload: Sequence[int], name: str = "EpcArchitecture") -> Design:
+    """The architecture-level EPC design over two ChMP channels."""
+    from ..specc.ast import Assign
+
+    ones = (
+        BehaviorBuilder("ones_arch", repeat=True)
+        .local("data", 0)
+        .local("ocount", 0)
+        .local("mask", 1)
+        .local("temp", 0)
+        .call("ChMP_req", "recv", result="data")
+        .assign("ocount", 0)
+        .assign("mask", 1)
+        .loop(
+            Binary("!=", Var("data"), Lit(0)),
+            [
+                Assign("temp", Binary("&", Var("data"), Var("mask"))),
+                Assign("ocount", Binary("+", Var("ocount"), Var("temp"))),
+                Assign("data", Binary(">>", Var("data"), Lit(1))),
+            ],
+        )
+        .call("ChMP_resp", "send", [Var("ocount")])
+        .build()
+    )
+
+    evenio = BehaviorBuilder("evenio_arch", repeat=False)
+    evenio.local("count", 0)
+    for word in workload:
+        evenio.call("ChMP_req", "send", [Lit(int(word))])
+        evenio.call("ChMP_resp", "recv", result="count")
+        evenio.assign("ocount", Var("count"))
+        evenio.when(
+            Binary("==", Binary("%", Var("count"), Lit(2)), Lit(0)),
+            [Assign("parity", Lit(1))],
+            [Assign("parity", Lit(0))],
+        )
+
+    request_channel = chmp_channel("ChMP_req")
+    response_channel = chmp_channel("ChMP_resp")
+    return (
+        DesignBuilder(name)
+        .variable("ocount", 0)
+        .variable("parity", 0)
+        .channel(request_channel)
+        .channel(response_channel)
+        .instance(ones, "ones")
+        .instance(evenio.build(), "evenio")
+        .build()
+    )
+
+
+def run_architecture(workload: Sequence[int], name: str = "EpcArchitecture") -> ArchitectureRun:
+    """Interpret the ChMP-based architecture level and collect its flows."""
+    design = epc_architecture_design(workload, name)
+    run = run_design(design, observed=["ocount", "parity"])
+    return ArchitectureRun(
+        tuple(int(w) for w in workload),
+        tuple(run.flow("ocount")),
+        tuple(run.flow("parity")),
+        run,
+    )
+
+
+def gals_epc_architecture(workload: Sequence[int], capacity: int = 8, name: str = "EpcGals") -> GalsArchitecture:
+    """The GALS/SIGNAL view: endochronous components connected by FIFOs."""
+    architecture = GalsArchitecture(name)
+    architecture.add_component("ones", ones_endochronous_process(), tick={"tick": EVENT})
+    architecture.add_component("evenio", even_io_process())
+    architecture.connect("ones", "Outport", "evenio", "ocount", capacity=capacity)
+    architecture.feed("ones", "Inport", [int(w) for w in workload])
+    return architecture
+
+
+def run_gals_architecture(workload: Sequence[int], capacity: int = 8, schedule: Sequence[str] | None = None) -> ArchitectureRun:
+    """Run the GALS view and collect the count and parity flows."""
+    architecture = gals_epc_architecture(workload, capacity)
+    traces = architecture.run_desynchronised(schedule=schedule)
+    counts = tuple(traces["ones"].values("Outport"))
+    parities = tuple(traces["evenio"].values("parity"))
+    return ArchitectureRun(tuple(int(w) for w in workload), counts, parities)

@@ -1,0 +1,256 @@
+"""RTL level of the EPC: the master-clocked finite state machine.
+
+"The RTL layer of the EPC consists of the introduction of a master clock
+``clk`` and of a reset signal ``rst`` together with the conversion of the EPC
+communication-layer specification into finite-state machine code."  The
+paper's listing enumerates the states S0..S7:
+
+========  =======================================================
+state     action
+========  =======================================================
+S0        ``done = 0; ack_istart = 0; if (start) state = S1``
+S1        ``ack_istart = 1; data = inport; state = S2``
+S2        ``ocount = 0; state = S3``
+S3        ``mask = 1; state = S4``
+S4        ``temp = data & mask; state = S5``
+S5        ``ocount = ocount + temp; state = S6``
+S6        ``data = data >> 1; if (data == 0) state = S7 else S4``
+S7        ``outport = ocount; done = 1; if (ack_idone) state = S0``
+========  =======================================================
+
+The FSM is written directly in SIGNAL (every register synchronous to ``clk``,
+reset through ``rst``), exactly the shape the SpecC→SIGNAL translator produces
+for critical sections; a small test-bench driver (:func:`run_rtl`) plays the
+role of the environment performing the ``start``/``ack_istart`` and
+``done``/``ack_idone`` handshakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.values import ABSENT, EVENT
+from ..signal.ast import ProcessDefinition
+from ..signal.dsl import ProcessBuilder, call, const, sig
+from ..simulation.simulator import Simulator
+from ..simulation.traces import Trace
+from .spec_level import DEFAULT_WIDTH, reference_even, reference_ones
+
+#: Symbolic names for the FSM states of the paper's listing.
+S0, S1, S2, S3, S4, S5, S6, S7 = range(8)
+
+
+def rtl_ones_process(name: str = "OnesRtl") -> ProcessDefinition:
+    """The RTL FSM of the ``ones`` unit as a master-clocked SIGNAL process."""
+    builder = ProcessBuilder(name)
+    clk = builder.input("clk", "event")
+    rst = builder.input("rst", "boolean")
+    start = builder.input("start", "boolean")
+    ack_idone = builder.input("ack_idone", "boolean")
+    inport = builder.input("inport", "integer")
+    outport = builder.output("outport", "integer")
+    done = builder.output("done", "boolean")
+    ack_istart = builder.output("ack_istart", "boolean")
+
+    state = builder.local("state", "integer")
+    state_reg = builder.local("state_reg", "integer")
+    effective = builder.local("effective_state", "integer")
+    data = builder.local("data", "integer")
+    data_reg = builder.local("data_reg", "integer")
+    ocount = builder.local("ocount", "integer")
+    ocount_reg = builder.local("ocount_reg", "integer")
+    mask = builder.local("mask", "integer")
+    mask_reg = builder.local("mask_reg", "integer")
+    temp = builder.local("temp", "integer")
+    temp_reg = builder.local("temp_reg", "integer")
+
+    # Registers.
+    builder.define(state_reg, state.delayed(S0))
+    builder.define(data_reg, data.delayed(0))
+    builder.define(ocount_reg, ocount.delayed(0))
+    builder.define(mask_reg, mask.delayed(1))
+    builder.define(temp_reg, temp.delayed(0))
+
+    # Synchronous reset: the effective state is S0 whenever rst is high.
+    builder.define(effective, const(S0).when(rst).default(state_reg))
+
+    at = {index: effective.eq(index) for index in range(8)}
+    shifted = data_reg >> const(1)
+
+    # Next-state function (the switch of the paper's listing).
+    builder.define(
+        state,
+        (const(S1).when(start).default(const(S0))).when(at[S0])
+        .default(const(S2).when(at[S1]))
+        .default(const(S3).when(at[S2]))
+        .default(const(S4).when(at[S3]))
+        .default(const(S5).when(at[S4]))
+        .default(const(S6).when(at[S5]))
+        .default((const(S7).when(shifted.eq(0)).default(const(S4))).when(at[S6]))
+        .default((const(S0).when(ack_idone).default(const(S7))).when(at[S7]))
+        .default(effective),
+    )
+
+    # Datapath registers.
+    builder.define(data, inport.when(at[S1]).default(shifted.when(at[S6])).default(data_reg))
+    builder.define(ocount, const(0).when(at[S2]).default((ocount_reg + temp_reg).when(at[S5])).default(ocount_reg))
+    builder.define(mask, const(1).when(at[S3]).default(mask_reg))
+    builder.define(temp, data_reg.bitand(mask_reg).when(at[S4]).default(temp_reg))
+
+    # Interface wires.
+    builder.define(outport, ocount_reg.when(at[S7]))
+    builder.define(done, const(True).when(at[S7]).default(const(False)))
+    builder.define(ack_istart, const(True).when(at[S1]).default(const(False)))
+
+    # Everything is synchronous to the master clock.
+    for register in (state, data, ocount, mask, temp, effective):
+        builder.synchronize(register, clk)
+    for wire in (rst, start, ack_idone, inport, done, ack_istart):
+        builder.synchronize(wire, clk)
+    return builder.build()
+
+
+def rtl_reference_process(name: str = "OnesRtlReference") -> ProcessDefinition:
+    """A cycle-accurate golden model of the RTL FSM, implemented differently.
+
+    It walks the same states S0..S7 with the same interface wires and the same
+    cycle counts, but computes the bit count in one go (``popcount``) when the
+    word is captured at S1 instead of accumulating ``data & mask`` through the
+    loop.  Being observationally identical cycle per cycle, it is strongly
+    bisimilar to :func:`rtl_ones_process` on the interface — the specification
+    against which the implementation's bisimulation obligation is discharged
+    (and against which injected bugs are caught, see the tests and E9).
+    """
+    builder = ProcessBuilder(name)
+    clk = builder.input("clk", "event")
+    rst = builder.input("rst", "boolean")
+    start = builder.input("start", "boolean")
+    ack_idone = builder.input("ack_idone", "boolean")
+    inport = builder.input("inport", "integer")
+    outport = builder.output("outport", "integer")
+    done = builder.output("done", "boolean")
+    ack_istart = builder.output("ack_istart", "boolean")
+
+    state = builder.local("state", "integer")
+    state_reg = builder.local("state_reg", "integer")
+    effective = builder.local("effective_state", "integer")
+    data = builder.local("data", "integer")
+    data_reg = builder.local("data_reg", "integer")
+    count = builder.local("count", "integer")
+    count_reg = builder.local("count_reg", "integer")
+
+    builder.define(state_reg, state.delayed(S0))
+    builder.define(data_reg, data.delayed(0))
+    builder.define(count_reg, count.delayed(0))
+    builder.define(effective, const(S0).when(rst).default(state_reg))
+
+    at = {index: effective.eq(index) for index in range(8)}
+    shifted = data_reg >> const(1)
+
+    builder.define(
+        state,
+        (const(S1).when(start).default(const(S0))).when(at[S0])
+        .default(const(S2).when(at[S1]))
+        .default(const(S3).when(at[S2]))
+        .default(const(S4).when(at[S3]))
+        .default(const(S5).when(at[S4]))
+        .default(const(S6).when(at[S5]))
+        .default((const(S7).when(shifted.eq(0)).default(const(S4))).when(at[S6]))
+        .default((const(S0).when(ack_idone).default(const(S7))).when(at[S7]))
+        .default(effective),
+    )
+    builder.define(data, inport.when(at[S1]).default(shifted.when(at[S6])).default(data_reg))
+    builder.define(count, call("popcount", inport).when(at[S1]).default(count_reg))
+    builder.define(outport, count_reg.when(at[S7]))
+    builder.define(done, const(True).when(at[S7]).default(const(False)))
+    builder.define(ack_istart, const(True).when(at[S1]).default(const(False)))
+
+    for register in (state, data, count, effective):
+        builder.synchronize(register, clk)
+    for wire in (rst, start, ack_idone, inport, done, ack_istart):
+        builder.synchronize(wire, clk)
+    return builder.build()
+
+
+@dataclass
+class RtlRun:
+    """Flows produced by an RTL-level execution."""
+
+    workload: tuple[int, ...]
+    counts: tuple[int, ...]
+    parities: tuple[int, ...]
+    cycles: int
+    trace: Trace | None = None
+
+    def matches_reference(self, width: int = DEFAULT_WIDTH) -> bool:
+        """True when the flows agree with the golden model."""
+        expected_counts = [reference_ones(word, width) for word in self.workload]
+        expected_parities = [1 if reference_even(word, width) else 0 for word in self.workload]
+        return list(self.counts) == expected_counts and list(self.parities) == expected_parities
+
+
+def run_rtl(
+    workload: Sequence[int],
+    width: int = DEFAULT_WIDTH,
+    max_cycles_per_word: int = 200,
+    reset_cycles: int = 1,
+) -> RtlRun:
+    """Drive the RTL FSM through the ``start``/``done`` handshake for a workload.
+
+    The test-bench applies ``rst`` for ``reset_cycles`` cycles, then for every
+    word: raises ``start`` with the word on ``inport`` until ``ack_istart``,
+    waits for ``done``, captures ``outport`` and acknowledges with
+    ``ack_idone``.  The parity verdict is computed from the captured count, as
+    the ``even`` unit of the upper levels does.
+    """
+    simulator = Simulator(rtl_ones_process())
+    mask = (1 << width) - 1
+    cycles = 0
+
+    def cycle(rst: bool, start: bool, ack: bool, word: int) -> dict:
+        nonlocal cycles
+        cycles += 1
+        return simulator.step(
+            {
+                "clk": EVENT,
+                "rst": rst,
+                "start": start,
+                "ack_idone": ack,
+                "inport": word & mask,
+            }
+        )
+
+    for _ in range(reset_cycles):
+        cycle(True, False, False, 0)
+
+    counts: list[int] = []
+    for word in workload:
+        # Raise start until the FSM acknowledges it.
+        for _ in range(max_cycles_per_word):
+            instant = cycle(False, True, False, word)
+            if instant["ack_istart"] is True:
+                break
+        else:
+            raise RuntimeError("RTL test-bench: start was never acknowledged")
+        # Wait for completion.
+        captured = None
+        for _ in range(max_cycles_per_word):
+            instant = cycle(False, False, False, word)
+            if instant["done"] is True:
+                captured = instant["outport"]
+                break
+        else:
+            raise RuntimeError("RTL test-bench: done was never raised")
+        counts.append(captured)
+        # Acknowledge the completion so the FSM returns to S0.
+        cycle(False, False, True, word)
+
+    parities = [1 if count % 2 == 0 else 0 for count in counts]
+    return RtlRun(
+        tuple(int(w) for w in workload),
+        tuple(counts),
+        tuple(parities),
+        cycles,
+        simulator.trace,
+    )

@@ -1,0 +1,133 @@
+"""SIGNAL models of the EPC components.
+
+Three SIGNAL views of the ``ones`` unit are provided, matching the three ways
+the paper uses SIGNAL for the EPC:
+
+* :func:`ones_paper_process` — the multi-clocked SIGNAL listing of the paper,
+  obtained by parsing the paper's concrete syntax (``start ^= Inport``,
+  over-sampling of the internal loop, ``Outport := ocount when data = 0``);
+* :func:`ones_translated` — the process produced by the SpecC→SIGNAL
+  translator from the specification-level behavior (critical sections, one
+  step per basic operation);
+* :func:`ones_endochronous_process` — the endochronous, architecture-ready
+  version: the activation of every clock is governed by the state computed at
+  the master clock, so the component can be dropped into a GALS architecture
+  and scheduled purely by input availability.
+
+The ``even+io`` unit is modelled by :func:`even_io_process`.
+"""
+
+from __future__ import annotations
+
+from ..signal.ast import ProcessDefinition
+from ..signal.dsl import ProcessBuilder, call, const, sig
+from ..signal.parser import parse_process
+from ..specc.translate import TranslationResult, translate_behavior
+from .spec_level import ones_behavior
+
+#: The SIGNAL encoding of the ``ones`` behavior, as printed in the paper
+#: (0xffff initialisation shortened to fit the 8-bit default width).
+ONES_PAPER_SOURCE = """
+process ones = (? integer Inport; event start ! integer Outport; event done)
+  (| start ^= Inport
+   | Outport := ocount when data = 0
+   | data := Inport default rshift(data$1 init 255)
+   | ocount := (0 when ^Inport) default ((ocount$1 init 0) + xand(data, 1))
+   | ocount ^= data
+   | done ^= Outport
+  |) where integer data, ocount;
+end;
+"""
+
+
+def ones_paper_process() -> ProcessDefinition:
+    """The paper's SIGNAL ``ones`` process (multi-clocked, not endochronous)."""
+    return parse_process(ONES_PAPER_SOURCE)
+
+
+def ones_translated() -> TranslationResult:
+    """The SpecC ``ones`` behavior translated to SIGNAL (master-clocked FSM)."""
+    return translate_behavior(ones_behavior())
+
+
+def ones_endochronous_process(name: str = "OnesEndo") -> ProcessDefinition:
+    """An endochronous ``ones``: input consumption governed by the local state.
+
+    States: 0 — waiting for (and consuming) a word on ``Inport``; 1 — shifting
+    and counting; 2 — emitting ``Outport``.  The clock of ``Inport`` is
+    ``tick ^* [state = 0]``: the process *requires* a word exactly when it is
+    ready for one, which is what makes it insensitive to the arrival times of
+    its inputs (endochrony) and therefore safe to desynchronise.
+    """
+    builder = ProcessBuilder(name)
+    tick = builder.input("tick", "event")
+    inport = builder.input("Inport", "integer")
+    outport = builder.output("Outport", "integer")
+    state = builder.local("state", "integer")
+    state_prev = builder.local("state_prev", "integer")
+    data = builder.local("data", "integer")
+    data_prev = builder.local("data_prev", "integer")
+    ocount = builder.local("ocount", "integer")
+    ocount_prev = builder.local("ocount_prev", "integer")
+
+    at_wait = state_prev.eq(0)
+    at_compute = state_prev.eq(1)
+    at_emit = state_prev.eq(2)
+
+    builder.define(state_prev, state.delayed(0))
+    builder.define(data_prev, data.delayed(0))
+    builder.define(ocount_prev, ocount.delayed(0))
+
+    shifted = call("rshift", data_prev)
+    builder.define(
+        data,
+        inport.when(at_wait).default(shifted.when(at_compute)).default(data_prev),
+    )
+    builder.define(
+        ocount,
+        const(0).when(at_wait).default((ocount_prev + call("xand", data_prev, 1)).when(at_compute)).default(ocount_prev),
+    )
+    builder.define(
+        state,
+        const(1).when(at_wait)
+        .default((const(2).when(shifted.eq(0)).default(const(1))).when(at_compute))
+        .default(const(0).when(at_emit))
+        .default(state_prev),
+    )
+    builder.define(outport, ocount_prev.when(at_emit))
+    builder.synchronize(state, tick)
+    builder.synchronize(data, tick)
+    builder.synchronize(ocount, tick)
+    builder.constrain(inport, tick.clock().when(at_wait))
+    return builder.build()
+
+
+def even_io_process(name: str = "EvenIo") -> ProcessDefinition:
+    """The ``even + io`` unit as a SIGNAL process.
+
+    The paper notes that "the SIGNAL compiler could be used to merge the other
+    IO and even behaviors into a single SpecC FSM, using clock hierarchization
+    techniques"; this is that merged unit.  It consumes the count flow and
+    produces the parity verdict (1 when even), synchronously with its input —
+    a trivially endochronous process whose master clock is ``ocount``.
+    """
+    builder = ProcessBuilder(name)
+    ocount = builder.input("ocount", "integer")
+    parity = builder.output("parity", "integer")
+    builder.define(parity, (ocount + 1) % const(2))
+    builder.synchronize(parity, ocount)
+    return builder.build()
+
+
+def epc_signal_composition(name: str = "EpcSignal") -> ProcessDefinition:
+    """The synchronous composition ``ones | even_io`` at the SIGNAL level.
+
+    The ``Outport`` of the endochronous ``ones`` is wired to the ``ocount``
+    input of the ``even+io`` unit; the composite is the synchronous reference
+    the GALS (desynchronised) implementation is checked against.
+    """
+    from ..signal.ast import compose
+
+    ones = ones_endochronous_process()
+    evenio = even_io_process().renamed({"ocount": "Outport"}, name="EvenIoWired")
+    return compose(name, ones, evenio)

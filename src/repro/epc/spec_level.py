@@ -1,0 +1,191 @@
+"""Specification level of the even-parity checker (EPC).
+
+"The EPC consists of three functional units: an IO interface process, an even
+test process and a main ones counting process.  The behavior ``ones``
+determines the parity of an input data received along ``Inport``.  Upon
+receipt of the ``start`` notification, it repeatedly shifts the data until it
+is zeroed.  The output count ``ocount`` is sent along ``Outport`` and ``done``
+notified."  (Section 4 of the paper.)
+
+This module builds that specification-level design in the SpecC AST: the
+``ones`` behavior exactly as listed in the paper, the ``even`` test, the
+``io`` interface driving a workload of data words, and the composed design.
+Reference functions (`reference_ones`, `reference_even`) give the golden
+results the whole refinement chain is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..specc.ast import Assign, Behavior, Binary, Design, If, Lit, Var, While
+from ..specc.builder import BehaviorBuilder, DesignBuilder
+from ..specc.interpreter import DesignRun, run_design
+
+#: Default data width of the EPC (bits); the paper's SpecC uses unsigned int.
+DEFAULT_WIDTH = 8
+
+
+def reference_ones(word: int, width: int = DEFAULT_WIDTH) -> int:
+    """Golden model: number of one bits of ``word`` (the value ``ones`` computes)."""
+    return bin(word & ((1 << width) - 1)).count("1")
+
+
+def reference_even(word: int, width: int = DEFAULT_WIDTH) -> bool:
+    """Golden model: even-parity verdict of ``word``."""
+    return reference_ones(word, width) % 2 == 0
+
+
+def ones_behavior(name: str = "ones") -> Behavior:
+    """The ``ones`` behavior, as listed in the paper.
+
+    ``while (1) { wait(start); data = Inport; ocount = 0; mask = 1;
+    while (data != 0) { temp = data & mask; ocount += temp; data >>= 1; }
+    Outport = ocount; notify(done); }``
+    """
+    return (
+        BehaviorBuilder(name, ports=("Inport", "Outport"), repeat=True)
+        .local("data", 0)
+        .local("ocount", 0)
+        .local("mask", 1)
+        .local("temp", 0)
+        .wait("start")
+        .assign("data", Var("Inport"))
+        .assign("ocount", 0)
+        .assign("mask", 1)
+        .loop(
+            Binary("!=", Var("data"), Lit(0)),
+            [
+                Assign("temp", Binary("&", Var("data"), Var("mask"))),
+                Assign("ocount", Binary("+", Var("ocount"), Var("temp"))),
+                Assign("data", Binary(">>", Var("data"), Lit(1))),
+            ],
+        )
+        .assign("Outport", Var("ocount"))
+        .notify("done")
+        .build()
+    )
+
+
+def even_behavior(name: str = "even") -> Behavior:
+    """The even-test behavior: reads ``ocount`` and publishes the parity verdict.
+
+    Triggered by ``idone`` (the completion of a ``ones`` run), it reads the
+    count from its ``count_port`` and writes ``1`` to ``even_port`` when the
+    count is even, ``0`` otherwise, then notifies ``even_done``.
+    """
+    return (
+        BehaviorBuilder(name, ports=("count_port", "even_port"), repeat=True)
+        .local("count", 0)
+        .wait("idone")
+        .assign("count", Var("count_port"))
+        .when(
+            Binary("==", Binary("%", Var("count"), Lit(2)), Lit(0)),
+            [Assign("even_port", Lit(1))],
+            [Assign("even_port", Lit(0))],
+        )
+        .notify("even_done")
+        .build()
+    )
+
+
+def io_behavior(workload: Sequence[int], name: str = "io") -> Behavior:
+    """The IO interface: feeds the workload words and collects the results.
+
+    For every word of the workload it publishes the word on ``data``, raises
+    ``istart``, waits for ``even_done`` (the full pipeline completion), and
+    records the count and parity results.
+    """
+    builder = BehaviorBuilder(name, ports=("data", "ocount", "parity"), repeat=False)
+    builder.local("index", 0)
+    for word in workload:
+        builder.assign("data", int(word))
+        builder.notify("istart")
+        builder.wait("even_done")
+        builder.assign("collected_count", Var("ocount"))
+        builder.assign("collected_parity", Var("parity"))
+    return builder.build()
+
+
+@dataclass
+class SpecificationRun:
+    """Results of running the specification-level EPC on a workload."""
+
+    workload: tuple[int, ...]
+    counts: tuple[int, ...]
+    parities: tuple[int, ...]
+    run: DesignRun
+
+    @property
+    def count_flow(self) -> list[int]:
+        """The flow of counts produced on ``ocount`` (one per workload word)."""
+        return list(self.counts)
+
+    @property
+    def parity_flow(self) -> list[int]:
+        """The flow of parity verdicts (1 = even) produced by the even unit."""
+        return list(self.parities)
+
+    def matches_reference(self, width: int = DEFAULT_WIDTH) -> bool:
+        """True when counts and parities agree with the golden model."""
+        expected_counts = [reference_ones(word, width) for word in self.workload]
+        expected_parities = [1 if reference_even(word, width) else 0 for word in self.workload]
+        return list(self.counts) == expected_counts and list(self.parities) == expected_parities
+
+
+def epc_specification_design(workload: Sequence[int], name: str = "EpcSpecification") -> Design:
+    """The specification-level EPC design: io | ones | even over shared events.
+
+    The ``ones`` behavior waits on ``start`` / notifies ``done``; the design's
+    events are named ``istart`` / ``idone`` — the renaming is applied when the
+    design is assembled (the paper's diagram uses ``istart``/``idone`` for the
+    interface, ``start``/``done`` inside the unit).
+    """
+    ones = _rename_events(ones_behavior(), {"start": "istart", "done": "idone"})
+    even = even_behavior()
+    io = io_behavior(workload)
+    return (
+        DesignBuilder(name)
+        .variable("data", 0)
+        .variable("ocount", 0)
+        .variable("parity", 0)
+        .variable("collected_count", -1)
+        .variable("collected_parity", -1)
+        .event("istart", "idone", "even_done")
+        .instance(ones, "ones", {"Inport": "data", "Outport": "ocount"})
+        .instance(even, "even", {"count_port": "ocount", "even_port": "parity"})
+        .instance(io, "io")
+        .build()
+    )
+
+
+def run_specification(workload: Sequence[int], name: str = "EpcSpecification") -> SpecificationRun:
+    """Interpret the specification-level EPC and collect its flows."""
+    design = epc_specification_design(workload, name)
+    run = run_design(design, observed=["ocount", "parity", "data"])
+    counts = tuple(run.flow("ocount"))
+    parities = tuple(run.flow("parity"))
+    return SpecificationRun(tuple(int(w) for w in workload), counts, parities, run)
+
+
+def _rename_events(behavior: Behavior, mapping: dict[str, str]) -> Behavior:
+    """Return a copy of ``behavior`` with wait/notify event names rewritten."""
+    from ..specc.ast import Notify, SpecCStatement, Wait
+
+    def rewrite(statements: list[SpecCStatement]) -> list[SpecCStatement]:
+        rewritten: list[SpecCStatement] = []
+        for statement in statements:
+            if isinstance(statement, Wait):
+                rewritten.append(Wait(*[mapping.get(e, e) for e in statement.events]))
+            elif isinstance(statement, Notify):
+                rewritten.append(Notify(mapping.get(statement.event, statement.event)))
+            elif isinstance(statement, While):
+                rewritten.append(While(statement.condition, rewrite(statement.body)))
+            elif isinstance(statement, If):
+                rewritten.append(If(statement.condition, rewrite(statement.then), rewrite(statement.otherwise)))
+            else:
+                rewritten.append(statement)
+        return rewritten
+
+    return Behavior(behavior.name, behavior.ports, dict(behavior.locals), rewrite(list(behavior.body)), behavior.repeat)

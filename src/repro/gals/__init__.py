@@ -1,0 +1,34 @@
+"""The GALS architecture layer: buffers, channels, desynchronisation wrappers
+and architecture-level analysis (endochrony of components, flow preservation)."""
+
+from .architecture import ArchitectureReport, ComponentSpec, GalsArchitecture, LinkSpec
+from .buffers import (
+    BoundedFifo,
+    BufferOverflow,
+    BufferUnderflow,
+    FifoNetwork,
+    OnePlaceBuffer,
+    one_place_buffer_signal,
+)
+from .channels import FourPhaseHandshake, ProtocolError, bus_channel, chmp_channel
+from .desync import Connection, DesynchronisedComponent, GalsNetwork
+
+__all__ = [
+    "ArchitectureReport",
+    "BoundedFifo",
+    "BufferOverflow",
+    "BufferUnderflow",
+    "ComponentSpec",
+    "Connection",
+    "DesynchronisedComponent",
+    "FifoNetwork",
+    "FourPhaseHandshake",
+    "GalsArchitecture",
+    "GalsNetwork",
+    "LinkSpec",
+    "OnePlaceBuffer",
+    "ProtocolError",
+    "bus_channel",
+    "chmp_channel",
+    "one_place_buffer_signal",
+]

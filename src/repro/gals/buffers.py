@@ -1,0 +1,130 @@
+"""Buffers for GALS interconnect: one-place buffers and bounded FIFOs.
+
+The paper's observer diagram connects processes "by a one-place buffer of a
+FIFO queue"; its GALS architectures communicate through such buffers once the
+synchronous composition has been desynchronised.  This module provides both a
+plain Python model (used by the desynchronisation wrappers and by the
+refinement harness) and SIGNAL process models (so buffers can also be composed
+and verified inside the synchronous framework).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..signal.ast import ProcessDefinition
+from ..signal.library import one_place_buffer_process
+
+
+class BufferOverflow(Exception):
+    """Raised when a bounded buffer receives more values than it can hold."""
+
+
+class BufferUnderflow(Exception):
+    """Raised when a value is popped from an empty buffer."""
+
+
+@dataclass
+class BoundedFifo:
+    """A bounded FIFO carrying the flow of one signal between two clock domains."""
+
+    capacity: int = 1
+    name: str = "fifo"
+    _items: list[Any] = field(default_factory=list)
+    pushed: int = 0
+    popped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("FIFO capacity must be at least 1")
+
+    def push(self, value: Any) -> None:
+        """Append a value; raises :class:`BufferOverflow` when full."""
+        if len(self._items) >= self.capacity:
+            raise BufferOverflow(f"{self.name}: overflow (capacity {self.capacity})")
+        self._items.append(value)
+        self.pushed += 1
+
+    def pop(self) -> Any:
+        """Remove and return the oldest value; raises :class:`BufferUnderflow` when empty."""
+        if not self._items:
+            raise BufferUnderflow(f"{self.name}: underflow")
+        self.popped += 1
+        return self._items.pop(0)
+
+    def peek(self) -> Any:
+        """The oldest value without removing it."""
+        if not self._items:
+            raise BufferUnderflow(f"{self.name}: underflow")
+        return self._items[0]
+
+    def try_push(self, value: Any) -> bool:
+        """Push unless full; returns whether the push happened."""
+        if self.is_full():
+            return False
+        self.push(value)
+        return True
+
+    def try_pop(self) -> tuple[bool, Any]:
+        """Pop unless empty; returns ``(popped?, value-or-None)``."""
+        if self.is_empty():
+            return False, None
+        return True, self.pop()
+
+    def is_empty(self) -> bool:
+        """True when no value is pending."""
+        return not self._items
+
+    def is_full(self) -> bool:
+        """True when the capacity is reached."""
+        return len(self._items) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def contents(self) -> tuple[Any, ...]:
+        """The pending values, oldest first."""
+        return tuple(self._items)
+
+
+@dataclass
+class OnePlaceBuffer(BoundedFifo):
+    """The one-place buffer of the paper's observer diagram."""
+
+    capacity: int = 1
+
+
+def one_place_buffer_signal(name: str = "Buffer1", init: int = 0) -> ProcessDefinition:
+    """The one-place buffer as a SIGNAL process (re-exported from the library)."""
+    return one_place_buffer_process(init=init, name=name)
+
+
+@dataclass
+class FifoNetwork:
+    """A set of named FIFOs connecting the components of a GALS architecture."""
+
+    capacity: int = 4
+    fifos: dict[str, BoundedFifo] = field(default_factory=dict)
+
+    def channel(self, name: str) -> BoundedFifo:
+        """Get (or lazily create) the FIFO carrying ``name``."""
+        if name not in self.fifos:
+            self.fifos[name] = BoundedFifo(self.capacity, name)
+        return self.fifos[name]
+
+    def push(self, name: str, value: Any) -> None:
+        """Push a value on the named FIFO."""
+        self.channel(name).push(value)
+
+    def pop(self, name: str) -> Any:
+        """Pop a value from the named FIFO."""
+        return self.channel(name).pop()
+
+    def pending(self) -> dict[str, int]:
+        """Occupancy of every FIFO."""
+        return {name: len(fifo) for name, fifo in self.fifos.items()}
+
+    def total_traffic(self) -> int:
+        """Total number of values pushed across all FIFOs."""
+        return sum(fifo.pushed for fifo in self.fifos.values())

@@ -1,0 +1,212 @@
+"""Communication channels of the GALS architecture layer.
+
+Two channels appear in the paper's refinement of the EPC:
+
+* the **ChMP** message-passing channel of the architecture layer — a
+  double-handshake protocol built from a shared ``data`` variable, two events
+  ``eReady``/``eAck`` and two flags ``ready_flag``/``ack_flag``;
+* the **cBus** channel of the communication layer — the same protocol made
+  explicit as a bus with ``ready``/``ack`` wires and ``write``/``read``
+  methods.
+
+Both are provided as SpecC channel ASTs (faithful to the paper's listings, so
+they can be interpreted on the discrete-event kernel and translated) and as a
+plain Python protocol model (:class:`FourPhaseHandshake`) used by the GALS
+network simulator and by the protocol unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..specc.ast import Assign, Binary, Channel, If, Lit, Method, Notify, Return, Unary, Var, Wait, While
+from ..specc.builder import ChannelBuilder
+
+
+def chmp_channel(name: str = "ChMP") -> Channel:
+    """The ChMP channel of the paper's architecture layer.
+
+    ``send(v)`` publishes ``v`` in the shared ``data`` slot, raises
+    ``ready_flag``, notifies ``eReady`` and waits for the acknowledgement flag
+    to rise and then fall again (double handshake).  ``recv()`` is the dual:
+    it waits for ``ready_flag``, copies ``data``, raises ``ack_flag``,
+    notifies ``eAck`` and completes the handshake.
+    """
+    builder = ChannelBuilder(name)
+    builder.state("data", 0)
+    builder.state("ready_flag", False)
+    builder.state("ack_flag", False)
+    builder.method(
+        "send",
+        parameters=("v",),
+        body=[
+            Assign("data", Var("v")),
+            Assign("ready_flag", Lit(True)),
+            Notify("eReady"),
+            While(Unary("!", Var("ack_flag")), [Wait("eAck")]),
+            Assign("ready_flag", Lit(False)),
+            Notify("eReady"),
+            While(Var("ack_flag"), [Wait("eAck")]),
+        ],
+    )
+    builder.method(
+        "recv",
+        body=[
+            While(Unary("!", Var("ready_flag")), [Wait("eReady")]),
+            Assign("received", Var("data")),
+            Assign("ack_flag", Lit(True)),
+            Notify("eAck"),
+            While(Var("ready_flag"), [Wait("eReady")]),
+            Assign("ack_flag", Lit(False)),
+            Notify("eAck"),
+            Return(Var("received")),
+        ],
+        locals={"received": 0},
+    )
+    return builder.build()
+
+
+def bus_channel(name: str = "cBus", width: int = 32) -> Channel:
+    """The cBus channel of the communication layer (data-type-refined ChMP).
+
+    The flags become explicit ``ready``/``ack`` wires of the bus; ``write`` and
+    ``read`` decompose the former ``send``/``recv`` into sub-procedures driving
+    the wires, as in the paper's listing (``ready.assign(1); data = wdata;
+    ack.waitval(1); ready.assign(0); ack.waitval(0);``).
+    """
+    builder = ChannelBuilder(name)
+    builder.state("data", 0)
+    builder.state("ready", 0)
+    builder.state("ack", 0)
+    builder.state("width", width)
+    builder.method(
+        "write",
+        parameters=("wdata",),
+        body=[
+            Assign("ready", Lit(1)),
+            Assign("data", Var("wdata")),
+            Notify("bus_ready"),
+            While(Binary("!=", Var("ack"), Lit(1)), [Wait("bus_ack")]),
+            Assign("ready", Lit(0)),
+            Notify("bus_ready"),
+            While(Binary("!=", Var("ack"), Lit(0)), [Wait("bus_ack")]),
+        ],
+    )
+    builder.method(
+        "read",
+        body=[
+            While(Binary("!=", Var("ready"), Lit(1)), [Wait("bus_ready")]),
+            Assign("rdata", Var("data")),
+            Assign("ack", Lit(1)),
+            Notify("bus_ack"),
+            While(Binary("!=", Var("ready"), Lit(0)), [Wait("bus_ready")]),
+            Assign("ack", Lit(0)),
+            Notify("bus_ack"),
+            Return(Var("rdata")),
+        ],
+        locals={"rdata": 0},
+    )
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- protocol model
+
+
+class ProtocolError(Exception):
+    """Raised when the handshake protocol is violated."""
+
+
+@dataclass
+class FourPhaseHandshake:
+    """An executable model of the ChMP / cBus double handshake.
+
+    The sender and receiver sides advance through the four phases of the
+    protocol; the model checks the protocol invariants (no overwrite before
+    acknowledgement, no read before ready) and records the transferred flow —
+    the property the architecture-level refinement must preserve.
+    """
+
+    name: str = "handshake"
+    data: Any = 0
+    ready: bool = False
+    ack: bool = False
+    transferred: list[Any] = field(default_factory=list)
+    sender_phase: int = 0
+    receiver_phase: int = 0
+
+    # -- sender side -----------------------------------------------------------------
+
+    def sender_step(self, value: Optional[Any] = None) -> bool:
+        """Advance the sender by one phase; returns True when it progressed.
+
+        Phase 0: publish ``value`` and raise ``ready`` (requires a value).
+        Phase 1: wait for ``ack`` to rise, then lower ``ready``.
+        Phase 2: wait for ``ack`` to fall; the transfer is complete.
+        """
+        if self.sender_phase == 0:
+            if value is None:
+                return False
+            if self.ready:
+                raise ProtocolError(f"{self.name}: sender raised ready twice")
+            self.data = value
+            self.ready = True
+            self.sender_phase = 1
+            return True
+        if self.sender_phase == 1:
+            if not self.ack:
+                return False
+            self.ready = False
+            self.sender_phase = 2
+            return True
+        if self.sender_phase == 2:
+            if self.ack:
+                return False
+            self.sender_phase = 0
+            return True
+        raise ProtocolError(f"{self.name}: invalid sender phase {self.sender_phase}")
+
+    # -- receiver side ----------------------------------------------------------------
+
+    def receiver_step(self) -> Optional[Any]:
+        """Advance the receiver by one phase; returns a value when one is consumed.
+
+        Phase 0: wait for ``ready``, copy the data, raise ``ack``.
+        Phase 1: wait for ``ready`` to fall, lower ``ack``.
+        """
+        if self.receiver_phase == 0:
+            if not self.ready:
+                return None
+            value = self.data
+            self.ack = True
+            self.receiver_phase = 1
+            self.transferred.append(value)
+            return value
+        if self.receiver_phase == 1:
+            if self.ready:
+                return None
+            self.ack = False
+            self.receiver_phase = 0
+            return None
+        raise ProtocolError(f"{self.name}: invalid receiver phase {self.receiver_phase}")
+
+    # -- whole transfers ------------------------------------------------------------------
+
+    def transfer(self, value: Any, max_steps: int = 16) -> Any:
+        """Run a complete handshake for one value (both sides interleaved)."""
+        received: Optional[Any] = None
+        pending: Optional[Any] = value
+        for _ in range(max_steps):
+            progressed = self.sender_step(pending)
+            if progressed and self.sender_phase == 1:
+                pending = None
+            result = self.receiver_step()
+            if result is not None:
+                received = result
+            if self.sender_phase == 0 and self.receiver_phase == 0 and received is not None:
+                return received
+        raise ProtocolError(f"{self.name}: handshake did not complete within {max_steps} steps")
+
+    def is_idle(self) -> bool:
+        """True when both sides are back in their initial phase."""
+        return self.sender_phase == 0 and self.receiver_phase == 0 and not self.ready and not self.ack

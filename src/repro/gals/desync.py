@@ -1,0 +1,226 @@
+"""Desynchronisation: running synchronous components over asynchronous links.
+
+This module realises, operationally, the asynchronous composition ``p ‖ q`` of
+the paper: each synchronous component (a compiled SIGNAL process) is wrapped in
+a :class:`DesynchronisedComponent` that receives its inputs from bounded FIFOs
+and publishes its outputs to FIFOs, and a :class:`GalsNetwork` schedules the
+components independently (round-robin with arbitrary relative speeds).  The
+flows observed on the network can then be compared — with the observer of
+:mod:`repro.verification.observer` — against the flows of the synchronous
+composition, which is precisely the flow-invariance obligation of a GALS
+refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..core.values import ABSENT
+from ..signal.ast import ProcessDefinition
+from ..simulation.compiler import CompiledProcess, SimulationError
+from ..simulation.traces import Trace
+from .buffers import BoundedFifo
+
+
+@dataclass
+class Connection:
+    """A directed point-to-point link carrying one signal between components."""
+
+    producer: str
+    producer_signal: str
+    consumer: str
+    consumer_signal: str
+    fifo: BoundedFifo
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.producer}.{self.producer_signal} -> "
+            f"{self.consumer}.{self.consumer_signal} (capacity {self.fifo.capacity})"
+        )
+
+
+class DesynchronisedComponent:
+    """A synchronous component executed at its own pace behind input FIFOs."""
+
+    def __init__(self, name: str, process: ProcessDefinition | CompiledProcess, tick: Optional[Mapping[str, Any]] = None) -> None:
+        self.name = name
+        self.compiled = process if isinstance(process, CompiledProcess) else CompiledProcess(process)
+        self.state = self.compiled.initial_state()
+        self.inputs: dict[str, BoundedFifo] = {}
+        self.tick = dict(tick or {})
+        self.rows: list[dict[str, Any]] = []
+        self.reactions = 0
+        self.stalls = 0
+
+    def input_fifo(self, signal: str, capacity: int = 4) -> BoundedFifo:
+        """The FIFO feeding one input signal (created on demand)."""
+        if signal not in self.compiled.signal_names:
+            raise ValueError(f"{self.name}: unknown input signal {signal!r}")
+        if signal not in self.inputs:
+            self.inputs[signal] = BoundedFifo(capacity, f"{self.name}.{signal}")
+        return self.inputs[signal]
+
+    def step(self) -> Optional[dict[str, Any]]:
+        """Attempt one reaction with the currently available inputs.
+
+        Inputs whose FIFO is empty are driven absent; inputs whose FIFO holds a
+        value are offered its head, and the head is consumed only if the
+        reaction actually reads it (the signal is present in the resolved
+        instant).  Returns the instant, or None when the reaction is refused
+        by the component's clock constraints (a stall).
+        """
+        directives: dict[str, Any] = dict(self.tick)
+        for signal, fifo in self.inputs.items():
+            if fifo.is_empty():
+                directives.setdefault(signal, ABSENT)
+            else:
+                directives[signal] = fifo.peek()
+        try:
+            new_state, instant = self.compiled.step(self.state, directives)
+        except SimulationError:
+            # The component's clock constraints refused the offered inputs
+            # (e.g. it is not in a state where it may consume them).  Retry a
+            # reaction that consumes nothing; if that is refused too, the
+            # component genuinely stalls until more inputs arrive.
+            without_inputs = dict(self.tick)
+            for signal in self.inputs:
+                without_inputs[signal] = ABSENT
+            try:
+                new_state, instant = self.compiled.step(self.state, without_inputs)
+            except SimulationError:
+                self.stalls += 1
+                return None
+        self.state = new_state
+        for signal, fifo in self.inputs.items():
+            if not fifo.is_empty() and instant.get(signal, ABSENT) is not ABSENT:
+                fifo.pop()
+        self.rows.append(instant)
+        self.reactions += 1
+        return instant
+
+    @property
+    def trace(self) -> Trace:
+        """Everything the component did so far."""
+        return Trace(self.compiled.signal_names, self.rows)
+
+    def flows(self, signals: Iterable[str]) -> dict[str, list[Any]]:
+        """Flows of selected signals of the component."""
+        trace = self.trace
+        return {signal: trace.values(signal) for signal in signals}
+
+
+class GalsNetwork:
+    """A set of desynchronised components connected by FIFOs.
+
+    The network is the operational reading of ``p ‖ q``: relative speeds of the
+    components are arbitrary (controlled by the ``schedule`` argument of
+    :meth:`run`), and only the flows exchanged over the FIFOs are preserved.
+    """
+
+    def __init__(self, name: str = "gals") -> None:
+        self.name = name
+        self.components: dict[str, DesynchronisedComponent] = {}
+        self.connections: list[Connection] = []
+        self.environment_queues: dict[tuple[str, str], BoundedFifo] = {}
+        self.dropped_outputs = 0
+
+    # -- construction ----------------------------------------------------------------
+
+    def add_component(
+        self,
+        name: str,
+        process: ProcessDefinition | CompiledProcess,
+        tick: Optional[Mapping[str, Any]] = None,
+    ) -> DesynchronisedComponent:
+        """Register a component."""
+        if name in self.components:
+            raise ValueError(f"duplicate component name {name!r}")
+        component = DesynchronisedComponent(name, process, tick)
+        self.components[name] = component
+        return component
+
+    def connect(
+        self,
+        producer: str,
+        producer_signal: str,
+        consumer: str,
+        consumer_signal: str,
+        capacity: int = 4,
+    ) -> Connection:
+        """Create a point-to-point FIFO link between two components."""
+        consumer_component = self.components[consumer]
+        fifo = consumer_component.input_fifo(consumer_signal, capacity)
+        connection = Connection(producer, producer_signal, consumer, consumer_signal, fifo)
+        self.connections.append(connection)
+        return connection
+
+    def feed(self, component: str, signal: str, values: Sequence[Any], capacity: Optional[int] = None) -> None:
+        """Queue environment input values for a component's input signal."""
+        fifo = self.components[component].input_fifo(signal, capacity or max(4, len(values)))
+        for value in values:
+            fifo.push(value)
+        self.environment_queues[(component, signal)] = fifo
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _propagate(self, component_name: str, instant: Mapping[str, Any]) -> int:
+        pushed = 0
+        for connection in self.connections:
+            if connection.producer != component_name:
+                continue
+            value = instant.get(connection.producer_signal, ABSENT)
+            if value is ABSENT:
+                continue
+            if connection.fifo.try_push(value):
+                pushed += 1
+            else:
+                self.dropped_outputs += 1
+        return pushed
+
+    def run(
+        self,
+        max_rounds: int = 200,
+        schedule: Optional[Sequence[str]] = None,
+        quiescence_rounds: int = 2,
+    ) -> dict[str, Trace]:
+        """Run the network until quiescence or until ``max_rounds`` rounds.
+
+        ``schedule`` fixes the order in which components are offered a
+        reaction within a round (default: insertion order); repeating a name
+        makes that component relatively faster, which is how the tests explore
+        different relative speeds (the stretching of the tagged model).
+        """
+        order = list(schedule) if schedule is not None else list(self.components)
+        idle_rounds = 0
+        for _ in range(max_rounds):
+            progressed = False
+            for name in order:
+                component = self.components[name]
+                state_before = dict(component.state)
+                instant = component.step()
+                if instant is None:
+                    continue
+                consumed = any(
+                    instant.get(signal, ABSENT) is not ABSENT for signal in component.inputs
+                )
+                pushed = self._propagate(name, instant)
+                if consumed or pushed or component.state != state_before:
+                    progressed = True
+            if progressed:
+                idle_rounds = 0
+            else:
+                idle_rounds += 1
+                if idle_rounds >= quiescence_rounds:
+                    break
+        return {name: component.trace for name, component in self.components.items()}
+
+    # -- observations -----------------------------------------------------------------------
+
+    def flows(self, observed: Mapping[str, Iterable[str]]) -> dict[str, dict[str, list[Any]]]:
+        """Flows of selected signals per component (``{component: {signal: flow}}``)."""
+        return {name: self.components[name].flows(signals) for name, signals in observed.items()}
+
+    def pending(self) -> dict[str, int]:
+        """Occupancy of every connection FIFO."""
+        return {repr(connection): len(connection.fifo) for connection in self.connections}

@@ -1,0 +1,858 @@
+"""Abstract syntax of the SIGNAL (Core-SIGNAL) language.
+
+The paper's Figure 1 defines Core-SIGNAL: a process is the synchronous
+composition of equations ``x = f y`` over signals, with the primitive
+processes ``pre`` (delay, written ``$ init`` in concrete SIGNAL), ``when``
+(sampling) and ``default`` (deterministic merge), plus restriction ``P / x``.
+Concrete SIGNAL additionally offers clock constraints (``^=``), clock
+operators (``^``, ``^*``, ``^+``, ``^-``), derived operators (boolean,
+arithmetic and relational) and process instantiation, all of which appear in
+the paper's listings (Count, ones, send, ...).  This module defines the AST
+for all of that.
+
+Expression nodes support Python operator overloading so they double as a DSL
+(see :mod:`repro.signal.dsl`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..core.values import EVENT
+
+# --------------------------------------------------------------------------- types
+
+#: Signal types of the concrete language.
+TYPE_EVENT = "event"
+TYPE_BOOLEAN = "boolean"
+TYPE_INTEGER = "integer"
+SIGNAL_TYPES = (TYPE_EVENT, TYPE_BOOLEAN, TYPE_INTEGER)
+
+
+class SignalDeclaration:
+    """Declaration of a signal name with its type (``integer data``)."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: str = TYPE_INTEGER) -> None:
+        if type not in SIGNAL_TYPES:
+            raise ValueError(f"unknown signal type {type!r}; expected one of {SIGNAL_TYPES}")
+        self.name = name
+        self.type = type
+
+    def __repr__(self) -> str:
+        return f"SignalDeclaration({self.type} {self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignalDeclaration):
+            return NotImplemented
+        return self.name == other.name and self.type == other.type
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type))
+
+
+# --------------------------------------------------------------------------- expressions
+
+
+class Expression:
+    """Base class of SIGNAL expressions.
+
+    Operator overloading builds derived expressions, so that
+    ``(sig("counter") + 1)`` or ``value.when(cond).default(other)`` reads close
+    to the concrete syntax of the paper.
+    """
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("+", self, as_expression(other))
+
+    def __radd__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("+", as_expression(other), self)
+
+    def __sub__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("-", self, as_expression(other))
+
+    def __rsub__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("-", as_expression(other), self)
+
+    def __mul__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("*", self, as_expression(other))
+
+    def __rmul__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("*", as_expression(other), self)
+
+    def __mod__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("mod", self, as_expression(other))
+
+    def __and__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("and", self, as_expression(other))
+
+    def __or__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("or", self, as_expression(other))
+
+    def __xor__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("xor", self, as_expression(other))
+
+    def __rshift__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(">>", self, as_expression(other))
+
+    def __lshift__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("<<", self, as_expression(other))
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("not", self)
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("-", self)
+
+    # -- comparisons (named methods; Python comparison operators are kept for
+    #    structural equality of AST nodes) ---------------------------------------
+
+    def eq(self, other: "ExpressionLike") -> "BinaryOp":
+        """The SIGNAL equality operator ``=``."""
+        return BinaryOp("=", self, as_expression(other))
+
+    def ne(self, other: "ExpressionLike") -> "BinaryOp":
+        """The SIGNAL inequality operator ``/=``."""
+        return BinaryOp("/=", self, as_expression(other))
+
+    def lt(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("<", self, as_expression(other))
+
+    def le(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("<=", self, as_expression(other))
+
+    def gt(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(">", self, as_expression(other))
+
+    def ge(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(">=", self, as_expression(other))
+
+    def bitand(self, other: "ExpressionLike") -> "BinaryOp":
+        """Bitwise and (the ``xand`` intrinsic of the paper's listing)."""
+        return BinaryOp("&", self, as_expression(other))
+
+    # -- SIGNAL primitives ---------------------------------------------------------
+
+    def delayed(self, init: Any, depth: int = 1) -> "Delay":
+        """``self $ depth init v`` — the SIGNAL delay (Core-SIGNAL ``pre``)."""
+        return Delay(self, init, depth)
+
+    def when(self, condition: "ExpressionLike") -> "When":
+        """``self when condition`` — sampling."""
+        return When(self, as_expression(condition))
+
+    def default(self, other: "ExpressionLike") -> "Default":
+        """``self default other`` — deterministic merge."""
+        return Default(self, as_expression(other))
+
+    def clock(self) -> "ClockOf":
+        """``^self`` — the clock of the expression, as an event signal."""
+        return ClockOf(self)
+
+    def cell(self, clock: "ExpressionLike", init: Any) -> "Cell":
+        """``self cell clock init v`` — hold the last value at a wider clock."""
+        return Cell(self, as_expression(clock), init)
+
+    def clock_product(self, other: "ExpressionLike") -> "ClockBinary":
+        """``self ^* other`` — clock intersection."""
+        return ClockBinary("^*", self, as_expression(other))
+
+    def clock_union(self, other: "ExpressionLike") -> "ClockBinary":
+        """``self ^+ other`` — clock union."""
+        return ClockBinary("^+", self, as_expression(other))
+
+    def clock_difference(self, other: "ExpressionLike") -> "ClockBinary":
+        """``self ^- other`` — clock difference."""
+        return ClockBinary("^-", self, as_expression(other))
+
+    # -- traversal -------------------------------------------------------------------
+
+    def children(self) -> tuple["Expression", ...]:
+        """Direct sub-expressions (overridden by composite nodes)."""
+        return ()
+
+    def references(self) -> set[str]:
+        """Names of the signals referenced by the expression."""
+        names: set[str] = set()
+        stack: list[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SignalRef):
+                names.add(node.name)
+            stack.extend(node.children())
+        return names
+
+    def substitute(self, mapping: Mapping[str, "Expression"]) -> "Expression":
+        """Replace signal references according to ``mapping`` (capture-free)."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expression":
+        """Rename signal references according to ``mapping``."""
+        return self.substitute({old: SignalRef(new) for old, new in mapping.items()})
+
+
+ExpressionLike = Union[Expression, int, bool, str]
+
+
+def as_expression(value: ExpressionLike) -> Expression:
+    """Coerce a Python literal or name into an :class:`Expression`."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (bool, int)):
+        return Constant(value)
+    if isinstance(value, str):
+        return SignalRef(value)
+    raise TypeError(f"cannot interpret {value!r} as a SIGNAL expression")
+
+
+class SignalRef(Expression):
+    """Reference to a signal by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError("signal name must be a non-empty string")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"SignalRef({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SignalRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("ref", self.name))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return mapping.get(self.name, self)
+
+
+class Constant(Expression):
+    """A constant value (integer, boolean or the pure event ⊤)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.value == self.value and type(other.value) is type(self.value)
+
+    def __hash__(self) -> int:
+        return hash(("const", type(self.value).__name__, self.value))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return self
+
+
+#: The event constant (present-and-true), used e.g. by ``notify`` encodings.
+EVENT_CONSTANT = Constant(EVENT)
+
+
+class UnaryOp(Expression):
+    """Unary operator application (``not``, unary ``-``)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: ExpressionLike) -> None:
+        self.op = op
+        self.operand = as_expression(operand)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnaryOp) and (other.op, other.operand) == (self.op, self.operand)
+
+    def __hash__(self) -> int:
+        return hash(("unary", self.op, self.operand))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return UnaryOp(self.op, self.operand.substitute(mapping))
+
+
+class BinaryOp(Expression):
+    """Binary (synchronous, point-wise) operator application."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ExpressionLike, right: ExpressionLike) -> None:
+        self.op = op
+        self.left = as_expression(left)
+        self.right = as_expression(right)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BinaryOp) and (other.op, other.left, other.right) == (self.op, self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("binary", self.op, self.left, self.right))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return BinaryOp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+
+class Delay(Expression):
+    """``y $ depth init v`` — the delay operator (Core-SIGNAL ``pre v y``).
+
+    The result is synchronous with ``y`` and carries the value ``y`` held
+    ``depth`` occurrences earlier (``v`` for the first ``depth`` occurrences).
+    """
+
+    __slots__ = ("operand", "init", "depth")
+
+    def __init__(self, operand: ExpressionLike, init: Any, depth: int = 1) -> None:
+        if depth < 1:
+            raise ValueError("delay depth must be at least 1")
+        self.operand = as_expression(operand)
+        self.init = init
+        self.depth = depth
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.operand!r}, init={self.init!r}, depth={self.depth})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delay) and (other.operand, other.init, other.depth) == (
+            self.operand,
+            self.init,
+            self.depth,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("delay", self.operand, repr(self.init), self.depth))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return Delay(self.operand.substitute(mapping), self.init, self.depth)
+
+
+class When(Expression):
+    """``y when z`` — sampling: present with ``y``'s value when ``z`` is true."""
+
+    __slots__ = ("operand", "condition")
+
+    def __init__(self, operand: ExpressionLike, condition: ExpressionLike) -> None:
+        self.operand = as_expression(operand)
+        self.condition = as_expression(condition)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.condition)
+
+    def __repr__(self) -> str:
+        return f"When({self.operand!r}, {self.condition!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, When) and (other.operand, other.condition) == (self.operand, self.condition)
+
+    def __hash__(self) -> int:
+        return hash(("when", self.operand, self.condition))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return When(self.operand.substitute(mapping), self.condition.substitute(mapping))
+
+
+class Default(Expression):
+    """``y default z`` — deterministic merge preferring ``y``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: ExpressionLike, right: ExpressionLike) -> None:
+        self.left = as_expression(left)
+        self.right = as_expression(right)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"Default({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Default) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("default", self.left, self.right))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return Default(self.left.substitute(mapping), self.right.substitute(mapping))
+
+
+class ClockOf(Expression):
+    """``^y`` — the clock of ``y`` as an event signal."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: ExpressionLike) -> None:
+        self.operand = as_expression(operand)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"ClockOf({self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClockOf) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("clockof", self.operand))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return ClockOf(self.operand.substitute(mapping))
+
+
+class ClockBinary(Expression):
+    """Clock operators ``^*`` (meet), ``^+`` (join) and ``^-`` (difference)."""
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("^*", "^+", "^-")
+
+    def __init__(self, op: str, left: ExpressionLike, right: ExpressionLike) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unknown clock operator {op!r}")
+        self.op = op
+        self.left = as_expression(left)
+        self.right = as_expression(right)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"ClockBinary({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClockBinary) and (other.op, other.left, other.right) == (
+            self.op,
+            self.left,
+            self.right,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("clockbin", self.op, self.left, self.right))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return ClockBinary(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+
+class Cell(Expression):
+    """``y cell c init v`` — hold ``y``'s last value whenever ``c`` is true."""
+
+    __slots__ = ("operand", "clock", "init")
+
+    def __init__(self, operand: ExpressionLike, clock: ExpressionLike, init: Any) -> None:
+        self.operand = as_expression(operand)
+        self.clock = as_expression(clock)
+        self.init = init
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.clock)
+
+    def __repr__(self) -> str:
+        return f"Cell({self.operand!r}, {self.clock!r}, init={self.init!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cell) and (other.operand, other.clock, other.init) == (
+            self.operand,
+            self.clock,
+            self.init,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cell", self.operand, self.clock, repr(self.init)))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return Cell(self.operand.substitute(mapping), self.clock.substitute(mapping), self.init)
+
+
+class FunctionCall(Expression):
+    """Application of an intrinsic function (``rshift``, ``xand`` …)."""
+
+    __slots__ = ("function", "arguments")
+
+    def __init__(self, function: str, arguments: Sequence[ExpressionLike]) -> None:
+        self.function = function
+        self.arguments = tuple(as_expression(a) for a in arguments)
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.arguments
+
+    def __repr__(self) -> str:
+        return f"FunctionCall({self.function!r}, {list(self.arguments)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FunctionCall) and (other.function, other.arguments) == (
+            self.function,
+            self.arguments,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("call", self.function, self.arguments))
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        return FunctionCall(self.function, [a.substitute(mapping) for a in self.arguments])
+
+
+# --------------------------------------------------------------------------- statements
+
+
+class Statement:
+    """Base class of the statements composing a process body."""
+
+    def defined_names(self) -> set[str]:
+        """Names defined (written) by the statement."""
+        return set()
+
+    def referenced_names(self) -> set[str]:
+        """Names read by the statement."""
+        return set()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Statement":
+        """Rename every signal occurrence according to ``mapping``."""
+        raise NotImplementedError
+
+
+class Definition(Statement):
+    """An equation ``x := expr``."""
+
+    __slots__ = ("target", "expression")
+
+    def __init__(self, target: str, expression: ExpressionLike) -> None:
+        self.target = target
+        self.expression = as_expression(expression)
+
+    def defined_names(self) -> set[str]:
+        return {self.target}
+
+    def referenced_names(self) -> set[str]:
+        return self.expression.references()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Definition":
+        return Definition(mapping.get(self.target, self.target), self.expression.rename(mapping))
+
+    def __repr__(self) -> str:
+        return f"Definition({self.target} := {self.expression!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Definition) and (other.target, other.expression) == (self.target, self.expression)
+
+    def __hash__(self) -> int:
+        return hash(("def", self.target, self.expression))
+
+
+class ClockConstraint(Statement):
+    """A clock relation between expressions: ``a ^= b``, ``a ^< b`` or ``a ^> b``."""
+
+    KINDS = ("=", "<", ">")
+
+    __slots__ = ("kind", "operands")
+
+    def __init__(self, kind: str, operands: Sequence[ExpressionLike]) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown clock-constraint kind {kind!r}")
+        if len(operands) < 2:
+            raise ValueError("clock constraints need at least two operands")
+        self.kind = kind
+        self.operands = tuple(as_expression(o) for o in operands)
+
+    def defined_names(self) -> set[str]:
+        return set()
+
+    def referenced_names(self) -> set[str]:
+        names: set[str] = set()
+        for operand in self.operands:
+            names |= operand.references()
+        return names
+
+    def rename(self, mapping: Mapping[str, str]) -> "ClockConstraint":
+        return ClockConstraint(self.kind, [o.rename(mapping) for o in self.operands])
+
+    def __repr__(self) -> str:
+        sep = f" ^{self.kind} "
+        return "ClockConstraint(" + sep.join(repr(o) for o in self.operands) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClockConstraint) and (other.kind, other.operands) == (self.kind, self.operands)
+
+    def __hash__(self) -> int:
+        return hash(("clockcon", self.kind, self.operands))
+
+
+class Instantiation(Statement):
+    """Instantiation of a sub-process: ``(out1, out2) := Proc(in1, in2)``."""
+
+    __slots__ = ("process", "input_expressions", "output_names", "instance_name")
+
+    def __init__(
+        self,
+        process: "ProcessDefinition",
+        input_expressions: Sequence[ExpressionLike],
+        output_names: Sequence[str],
+        instance_name: Optional[str] = None,
+    ) -> None:
+        self.process = process
+        self.input_expressions = tuple(as_expression(e) for e in input_expressions)
+        self.output_names = tuple(output_names)
+        self.instance_name = instance_name or process.name
+        if len(self.input_expressions) != len(process.inputs):
+            raise ValueError(
+                f"{process.name}: expected {len(process.inputs)} inputs, got {len(self.input_expressions)}"
+            )
+        if len(self.output_names) != len(process.outputs):
+            raise ValueError(
+                f"{process.name}: expected {len(process.outputs)} outputs, got {len(self.output_names)}"
+            )
+
+    def defined_names(self) -> set[str]:
+        return set(self.output_names)
+
+    def referenced_names(self) -> set[str]:
+        names: set[str] = set()
+        for expr in self.input_expressions:
+            names |= expr.references()
+        return names
+
+    def rename(self, mapping: Mapping[str, str]) -> "Instantiation":
+        return Instantiation(
+            self.process,
+            [e.rename(mapping) for e in self.input_expressions],
+            [mapping.get(n, n) for n in self.output_names],
+            self.instance_name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Instantiation({self.output_names} := {self.process.name}"
+            f"({', '.join(repr(e) for e in self.input_expressions)}))"
+        )
+
+
+# --------------------------------------------------------------------------- process definitions
+
+
+class ProcessDefinition:
+    """A named SIGNAL process: interface, body and local declarations.
+
+    Mirrors the concrete syntax used throughout the paper::
+
+        process Count = (? event reset ! integer val)
+          (| counter := val$1 init 0
+           | val := (0 when reset) default (counter + 1)
+          |) where integer counter; end;
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[SignalDeclaration],
+        outputs: Sequence[SignalDeclaration],
+        body: Sequence[Statement],
+        locals: Sequence[SignalDeclaration] = (),
+    ) -> None:
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.locals = tuple(locals)
+        self.body = tuple(body)
+        self._check_well_formed()
+
+    # -- well-formedness ----------------------------------------------------------
+
+    def _check_well_formed(self) -> None:
+        declared = [d.name for d in self.inputs + self.outputs + self.locals]
+        duplicates = {n for n in declared if declared.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"{self.name}: duplicated declarations {sorted(duplicates)}")
+        defined: list[str] = []
+        for statement in self.body:
+            defined.extend(statement.defined_names())
+        input_names = {d.name for d in self.inputs}
+        for name in defined:
+            if name in input_names:
+                raise ValueError(f"{self.name}: input signal {name!r} cannot be defined by an equation")
+        redefined = {n for n in defined if defined.count(n) > 1}
+        if redefined:
+            raise ValueError(f"{self.name}: signals defined more than once: {sorted(redefined)}")
+
+    # -- observations ---------------------------------------------------------------
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        """Names of the input signals, in declaration order."""
+        return tuple(d.name for d in self.inputs)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        """Names of the output signals, in declaration order."""
+        return tuple(d.name for d in self.outputs)
+
+    @property
+    def local_names(self) -> tuple[str, ...]:
+        """Names of the local (hidden) signals."""
+        return tuple(d.name for d in self.locals)
+
+    @property
+    def interface_names(self) -> tuple[str, ...]:
+        """Input then output names."""
+        return self.input_names + self.output_names
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        """All declared names plus any undeclared names used by the body."""
+        declared = list(self.input_names + self.output_names + self.local_names)
+        seen = set(declared)
+        for statement in self.body:
+            for name in sorted(statement.defined_names() | statement.referenced_names()):
+                if name not in seen:
+                    declared.append(name)
+                    seen.add(name)
+        return tuple(declared)
+
+    def declaration_of(self, name: str) -> Optional[SignalDeclaration]:
+        """Declaration for ``name``, if any."""
+        for decl in self.inputs + self.outputs + self.locals:
+            if decl.name == name:
+                return decl
+        return None
+
+    def definitions(self) -> Iterator[Definition]:
+        """Iterate over the equations (``Definition`` statements) of the body."""
+        for statement in self.body:
+            if isinstance(statement, Definition):
+                yield statement
+
+    def clock_constraints(self) -> Iterator[ClockConstraint]:
+        """Iterate over the explicit clock constraints of the body."""
+        for statement in self.body:
+            if isinstance(statement, ClockConstraint):
+                yield statement
+
+    def instantiations(self) -> Iterator[Instantiation]:
+        """Iterate over the sub-process instantiations of the body."""
+        for statement in self.body:
+            if isinstance(statement, Instantiation):
+                yield statement
+
+    def definition_of(self, name: str) -> Optional[Definition]:
+        """The equation defining ``name``, if any."""
+        for definition in self.definitions():
+            if definition.target == name:
+                return definition
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessDefinition({self.name}, inputs={list(self.input_names)}, "
+            f"outputs={list(self.output_names)}, |body|={len(self.body)})"
+        )
+
+    # -- transformations ----------------------------------------------------------------
+
+    def renamed(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "ProcessDefinition":
+        """Return a copy with signals renamed according to ``mapping``."""
+        def rename_decl(decl: SignalDeclaration) -> SignalDeclaration:
+            return SignalDeclaration(mapping.get(decl.name, decl.name), decl.type)
+
+        return ProcessDefinition(
+            name or self.name,
+            [rename_decl(d) for d in self.inputs],
+            [rename_decl(d) for d in self.outputs],
+            [s.rename(mapping) for s in self.body],
+            [rename_decl(d) for d in self.locals],
+        )
+
+    def with_body(self, body: Sequence[Statement], name: Optional[str] = None) -> "ProcessDefinition":
+        """Return a copy with a different body."""
+        return ProcessDefinition(name or self.name, self.inputs, self.outputs, body, self.locals)
+
+
+def expand(process: ProcessDefinition, prefix: Optional[str] = None) -> ProcessDefinition:
+    """Inline every sub-process instantiation of ``process``.
+
+    Locals of instantiated processes are renamed ``<instance>.<local>`` to
+    avoid capture; instantiation inputs become equations binding the renamed
+    formal parameters; outputs become equations binding the caller's names.
+    The result contains only :class:`Definition` and :class:`ClockConstraint`
+    statements, which is what the clock calculus and the compiler consume.
+    """
+    body: list[Statement] = []
+    extra_locals: list[SignalDeclaration] = list(process.locals)
+    counter = 0
+    for statement in process.body:
+        if not isinstance(statement, Instantiation):
+            body.append(statement)
+            continue
+        counter += 1
+        inner = expand(statement.process)
+        tag = f"{prefix + '.' if prefix else ''}{statement.instance_name}{counter}"
+        mapping = {name: f"{tag}.{name}" for name in inner.all_names}
+        renamed = inner.renamed(mapping)
+        # Bind the actual input expressions to the renamed formal inputs.
+        for decl, expr in zip(renamed.inputs, statement.input_expressions):
+            body.append(Definition(decl.name, expr))
+            extra_locals.append(SignalDeclaration(decl.name, decl.type))
+        # Bind the caller's output names to the renamed formal outputs.
+        for decl, target in zip(renamed.outputs, statement.output_names):
+            body.append(Definition(target, SignalRef(decl.name)))
+            extra_locals.append(SignalDeclaration(decl.name, decl.type))
+        # Inline the renamed body and keep its locals hidden.
+        body.extend(renamed.body)
+        extra_locals.extend(renamed.locals)
+
+    return ProcessDefinition(process.name, process.inputs, process.outputs, body, extra_locals)
+
+
+def compose(name: str, *processes: ProcessDefinition, hide: Iterable[str] = ()) -> ProcessDefinition:
+    """Synchronous composition of process definitions (``P | Q``), with hiding.
+
+    Shared signal names are identified (the composition constraint of the
+    paper); each name defined by one component and read by another becomes an
+    internal connection.  ``hide`` moves interface names into the locals of
+    the composite (the restriction ``P / x``).
+    """
+    hidden = set(hide)
+    inputs: dict[str, SignalDeclaration] = {}
+    outputs: dict[str, SignalDeclaration] = {}
+    locals_: dict[str, SignalDeclaration] = {}
+    body: list[Statement] = []
+    for process in processes:
+        body.extend(process.body)
+        for decl in process.locals:
+            locals_[decl.name] = decl
+        for decl in process.outputs:
+            outputs[decl.name] = decl
+        for decl in process.inputs:
+            inputs.setdefault(decl.name, decl)
+    # An input that some component produces as output is an internal connection.
+    for name_ in list(inputs):
+        if name_ in outputs:
+            del inputs[name_]
+    for name_ in list(outputs):
+        if name_ in hidden:
+            locals_[name_] = outputs.pop(name_)
+    for name_ in list(inputs):
+        if name_ in hidden:
+            locals_[name_] = inputs.pop(name_)
+    return ProcessDefinition(
+        name,
+        list(inputs.values()),
+        list(outputs.values()),
+        body,
+        list(locals_.values()),
+    )

@@ -1,0 +1,142 @@
+"""Value-level semantics of SIGNAL operators and intrinsic functions.
+
+This module is the single source of truth for what each (synchronous,
+point-wise) operator computes on values.  It is shared by the reaction
+simulator (:mod:`repro.simulation`), the denotational semantics
+(:mod:`repro.signal.semantics`) and the state-space explorer
+(:mod:`repro.verification.explorer`).
+
+The *clock* behaviour of operators (when results are present) is not defined
+here — that is the business of the clock calculus and of the evaluation rules
+in :mod:`repro.simulation.compiler` — only the value computed when all
+operands are present.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..core.values import EVENT
+
+
+class EvaluationError(Exception):
+    """Raised when an operator is applied to values outside its domain."""
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise EvaluationError(f"expected an integer value, got {value!r}")
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if value is EVENT:
+        return True
+    if isinstance(value, int):
+        return bool(value)
+    raise EvaluationError(f"expected a boolean value, got {value!r}")
+
+
+def _div(a: Any, b: Any) -> int:
+    denominator = _as_int(b)
+    if denominator == 0:
+        raise EvaluationError("division by zero")
+    return int(_as_int(a) / denominator) if (_as_int(a) < 0) != (denominator < 0) else _as_int(a) // denominator
+
+
+#: Binary operators of the language: name -> value function.
+BINARY_OPERATORS: Mapping[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: _as_int(a) + _as_int(b),
+    "-": lambda a, b: _as_int(a) - _as_int(b),
+    "*": lambda a, b: _as_int(a) * _as_int(b),
+    "/": _div,
+    "mod": lambda a, b: _as_int(a) % _as_int(b),
+    "=": lambda a, b: a == b,
+    "/=": lambda a, b: a != b,
+    "<": lambda a, b: _as_int(a) < _as_int(b),
+    "<=": lambda a, b: _as_int(a) <= _as_int(b),
+    ">": lambda a, b: _as_int(a) > _as_int(b),
+    ">=": lambda a, b: _as_int(a) >= _as_int(b),
+    "and": lambda a, b: _as_bool(a) and _as_bool(b),
+    "or": lambda a, b: _as_bool(a) or _as_bool(b),
+    "xor": lambda a, b: _as_bool(a) != _as_bool(b),
+    "&": lambda a, b: _as_int(a) & _as_int(b),
+    "|": lambda a, b: _as_int(a) | _as_int(b),
+    ">>": lambda a, b: _as_int(a) >> _as_int(b),
+    "<<": lambda a, b: _as_int(a) << _as_int(b),
+}
+
+#: Unary operators of the language: name -> value function.
+UNARY_OPERATORS: Mapping[str, Callable[[Any], Any]] = {
+    "not": lambda a: not _as_bool(a),
+    "-": lambda a: -_as_int(a),
+    "+": lambda a: _as_int(a),
+}
+
+#: Intrinsic functions used by the paper's listings and the EPC case study.
+INTRINSIC_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    # ``rshift(x)``: shift right by one bit (the ``data >>= 1`` of the SpecC ones).
+    "rshift": lambda x: _as_int(x) >> 1,
+    # ``lshift(x)``: shift left by one bit.
+    "lshift": lambda x: _as_int(x) << 1,
+    # ``xand(x, y)``: bitwise and (the ``data & mask`` of the SpecC ones).
+    "xand": lambda x, y: _as_int(x) & _as_int(y),
+    # ``xor_bits(x, y)``: bitwise xor, used by the even/parity behaviors.
+    "xor_bits": lambda x, y: _as_int(x) ^ _as_int(y),
+    # ``parity(x)``: parity (number of 1 bits modulo 2) — the EPC reference function.
+    "parity": lambda x: bin(_as_int(x) & 0xFFFFFFFF).count("1") % 2,
+    # ``popcount(x)``: number of one bits — the value the ``ones`` behavior computes.
+    "popcount": lambda x: bin(_as_int(x) & 0xFFFFFFFF).count("1"),
+    # ``min`` / ``max`` / ``abs``: ordinary arithmetic helpers.
+    "min": lambda x, y: min(_as_int(x), _as_int(y)),
+    "max": lambda x, y: max(_as_int(x), _as_int(y)),
+    "abs": lambda x: abs(_as_int(x)),
+}
+
+
+def register_intrinsic(name: str, function: Callable[..., Any]) -> None:
+    """Register a user intrinsic function usable in SIGNAL expressions.
+
+    Intrinsics model the "basic operations" of the paper's encoding of SpecC
+    statements; registering one makes it available to the parser, the
+    simulator and the verification explorer alike.
+    """
+    if not callable(function):
+        raise TypeError("intrinsic implementation must be callable")
+    INTRINSIC_FUNCTIONS[name] = function
+
+
+def apply_binary(op: str, left: Any, right: Any) -> Any:
+    """Apply a binary operator to two present values."""
+    try:
+        function = BINARY_OPERATORS[op]
+    except KeyError:
+        raise EvaluationError(f"unknown binary operator {op!r}") from None
+    return function(left, right)
+
+
+def apply_unary(op: str, operand: Any) -> Any:
+    """Apply a unary operator to a present value."""
+    try:
+        function = UNARY_OPERATORS[op]
+    except KeyError:
+        raise EvaluationError(f"unknown unary operator {op!r}") from None
+    return function(operand)
+
+
+def apply_intrinsic(name: str, *arguments: Any) -> Any:
+    """Apply an intrinsic function to present values."""
+    try:
+        function = INTRINSIC_FUNCTIONS[name]
+    except KeyError:
+        raise EvaluationError(f"unknown intrinsic function {name!r}") from None
+    return function(*arguments)
+
+
+def truthy(value: Any) -> bool:
+    """Interpret a present value as a sampling condition (SIGNAL ``when``)."""
+    return _as_bool(value)

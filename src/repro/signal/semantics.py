@@ -1,0 +1,125 @@
+"""Denotational semantics of SIGNAL processes on bounded traces.
+
+The tagged model of Section 3 assigns to each process the set of its
+behaviors.  This module realises that assignment *finitely*: given a process
+definition and a family of input scenarios (or a bound on scenario
+enumeration), it produces the :class:`~repro.core.processes.Process` whose
+behaviors are the traces of the compiled process, so that the design
+properties of :mod:`repro.core.properties` (endochrony, flow-invariance,
+endo-isochrony) become decidable checks on the bounded semantics.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..core.behaviors import Behavior
+from ..core.processes import Process
+from ..core.values import ABSENT, EVENT
+from ..simulation.compiler import CompiledProcess, SimulationError
+from ..simulation.simulator import Simulator
+from ..simulation.status import PRESENT
+from .ast import ProcessDefinition
+
+
+def denotation(
+    process: ProcessDefinition | CompiledProcess,
+    scenarios: Iterable[Sequence[Mapping[str, Any]]],
+    observed: Optional[Iterable[str]] = None,
+    skip_inconsistent: bool = True,
+) -> Process:
+    """The bounded denotation of ``process`` under the given scenarios.
+
+    Each scenario is simulated; scenarios that violate the process' clock
+    constraints are skipped when ``skip_inconsistent`` is true (they simply do
+    not contribute behaviors, mirroring the relational semantics where the
+    process has no behavior extending an inconsistent environment).
+    """
+    simulator = Simulator(process)
+    names = tuple(observed) if observed is not None else simulator.compiled.signal_names
+    behaviors: list[Behavior] = []
+    for scenario in scenarios:
+        try:
+            trace = simulator.run(scenario, reset=True)
+        except SimulationError:
+            if skip_inconsistent:
+                continue
+            raise
+        behaviors.append(trace.to_behavior(names))
+    return Process(names, behaviors)
+
+
+def _candidate_statuses(signal_type: str, values: Sequence[Any]) -> list[Any]:
+    if signal_type == "event":
+        return [ABSENT, EVENT]
+    if signal_type == "boolean":
+        return [ABSENT, True, False]
+    return [ABSENT, *values]
+
+
+def enumerate_scenarios(
+    process: ProcessDefinition | CompiledProcess,
+    horizon: int,
+    integer_values: Sequence[int] = (0, 1),
+    driven_signals: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> list[list[dict[str, Any]]]:
+    """Enumerate input scenarios up to a bounded horizon.
+
+    For every driven signal (by default the declared inputs) and every
+    reaction, all presence/value combinations are considered: events are
+    present or absent, booleans take both truth values, integers range over
+    ``integer_values``.  The enumeration is exponential — it is meant for the
+    small processes on which the paper's properties are checked — and can be
+    truncated with ``limit``.
+    """
+    compiled = process if isinstance(process, CompiledProcess) else CompiledProcess(process)
+    driven = tuple(driven_signals) if driven_signals is not None else compiled.input_names
+    per_signal = {
+        name: _candidate_statuses(compiled.signal_types.get(name, "integer"), integer_values) for name in driven
+    }
+    per_instant: list[dict[str, Any]] = []
+    for combination in product(*(per_signal[name] for name in driven)):
+        per_instant.append(dict(zip(driven, combination)))
+    scenarios: list[list[dict[str, Any]]] = []
+    for combination in product(range(len(per_instant)), repeat=horizon):
+        scenarios.append([dict(per_instant[index]) for index in combination])
+        if limit is not None and len(scenarios) >= limit:
+            break
+    return scenarios
+
+
+def bounded_denotation(
+    process: ProcessDefinition | CompiledProcess,
+    horizon: int = 2,
+    integer_values: Sequence[int] = (0, 1),
+    driven_signals: Optional[Iterable[str]] = None,
+    observed: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> Process:
+    """Denotation of ``process`` over all bounded scenarios (see above)."""
+    scenarios = enumerate_scenarios(process, horizon, integer_values, driven_signals, limit)
+    return denotation(process, scenarios, observed)
+
+
+def flows_denotation(
+    process: ProcessDefinition | CompiledProcess,
+    input_flows: Iterable[Mapping[str, Sequence[Any]]],
+    observed: Optional[Iterable[str]] = None,
+    tick: Optional[Mapping[str, Any]] = None,
+    max_reactions: int = 1000,
+) -> Process:
+    """Denotation under asynchronous input stimulation (per-signal flows).
+
+    Each element of ``input_flows`` is a mapping from input names to the
+    sequences of values offered on them; the simulator's flow driver decides
+    when values are consumed (endochronous reading).
+    """
+    simulator = Simulator(process)
+    names = tuple(observed) if observed is not None else simulator.compiled.signal_names
+    behaviors = []
+    for flows in input_flows:
+        trace = simulator.run_flows(flows, max_reactions=max_reactions, tick=tick, reset=True)
+        behaviors.append(trace.to_behavior(names))
+    return Process(names, behaviors)

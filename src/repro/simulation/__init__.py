@@ -1,0 +1,39 @@
+"""Operational semantics of SIGNAL: compilation, scheduling and simulation."""
+
+from .compiler import CompiledProcess, ConsistencyError, SimulationError, UnresolvedError
+from .scheduler import (
+    DependencyGraph,
+    ScheduleReport,
+    analyse,
+    build_dependency_graph,
+    evaluation_order,
+    find_cycles,
+    instantaneous_reads,
+    schedule,
+)
+from .simulator import Simulator, behaviors_from_scenarios, simulate, simulate_columns
+from .status import PRESENT, Status, UNKNOWN_VALUE
+from .traces import Trace
+
+__all__ = [
+    "CompiledProcess",
+    "ConsistencyError",
+    "DependencyGraph",
+    "PRESENT",
+    "ScheduleReport",
+    "SimulationError",
+    "Simulator",
+    "Status",
+    "Trace",
+    "UNKNOWN_VALUE",
+    "UnresolvedError",
+    "analyse",
+    "behaviors_from_scenarios",
+    "build_dependency_graph",
+    "evaluation_order",
+    "find_cycles",
+    "instantaneous_reads",
+    "schedule",
+    "simulate",
+    "simulate_columns",
+]

@@ -1,0 +1,187 @@
+"""Reaction-level simulation of SIGNAL processes.
+
+The simulator drives a :class:`~repro.simulation.compiler.CompiledProcess`
+through a *scenario*: a sequence of reactions, each described by the statuses
+the environment imposes (input values, absences, or bare presences for signals
+whose clock is free, such as the output ``val`` of the paper's ``Count``
+process).  The result is a :class:`~repro.simulation.traces.Trace`.
+
+Two convenience layers are provided on top of raw scenarios:
+
+* :meth:`Simulator.run_synchronous` drives every input at every reaction
+  (single-clocked operation);
+* :meth:`Simulator.run_flows` feeds asynchronous input flows (per-signal FIFO
+  of values) into an endochronous process, letting the process' own clock
+  hierarchy decide when to consume them — the "asynchronous stimulation of its
+  inputs" of the endochrony definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..core.behaviors import Behavior
+from ..core.values import ABSENT, EVENT
+from ..signal.ast import ProcessDefinition
+from .compiler import CompiledProcess, SimulationError
+from .status import PRESENT
+from .traces import Trace
+
+Scenario = Sequence[Mapping[str, Any]]
+
+
+class Simulator:
+    """Stateful driver around a compiled process."""
+
+    def __init__(self, process: ProcessDefinition | CompiledProcess) -> None:
+        self.compiled = process if isinstance(process, CompiledProcess) else CompiledProcess(process)
+        self.reset()
+
+    # -- state management ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the initial memory of every stateful operator."""
+        self._state = self.compiled.initial_state()
+        self._history: list[dict[str, Any]] = []
+
+    @property
+    def state(self) -> dict[str, Any]:
+        """Current memory of the stateful operators."""
+        return dict(self._state)
+
+    @property
+    def trace(self) -> Trace:
+        """Trace accumulated since the last reset."""
+        return Trace(self.compiled.signal_names, self._history)
+
+    # -- stepping ------------------------------------------------------------------------
+
+    def step(self, driven: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Resolve one reaction under the given scenario directives."""
+        directives = dict(driven or {})
+        new_state, instant = self.compiled.step(self._state, directives)
+        self._state = new_state
+        self._history.append(instant)
+        return instant
+
+    def run(self, scenario: Scenario, reset: bool = True) -> Trace:
+        """Run a full scenario and return the resulting trace."""
+        if reset:
+            self.reset()
+        for directives in scenario:
+            self.step(directives)
+        return self.trace
+
+    # -- convenience drivers -----------------------------------------------------------------
+
+    def run_synchronous(self, columns: Mapping[str, Sequence[Any]], reset: bool = True) -> Trace:
+        """Run a single-clocked scenario given per-input columns.
+
+        Every column must have the same length; each entry is a value or
+        ``ABSENT``.  Signals not mentioned are left undriven.
+        """
+        lengths = {len(c) for c in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"synchronous scenario columns must have equal lengths, got {sorted(lengths)}")
+        length = lengths.pop() if lengths else 0
+        scenario = [{name: column[i] for name, column in columns.items()} for i in range(length)]
+        return self.run(scenario, reset=reset)
+
+    def run_flows(
+        self,
+        flows: Mapping[str, Sequence[Any]],
+        max_reactions: int = 1000,
+        tick: Optional[Mapping[str, Any]] = None,
+        reset: bool = True,
+    ) -> Trace:
+        """Feed asynchronous input flows into an endochronous process.
+
+        Each input signal has a FIFO of pending values.  At every reaction the
+        head of every non-empty FIFO is offered to the process; the reaction is
+        resolved and the values actually *consumed* (inputs present at that
+        reaction) are popped.  Inputs with empty FIFOs are driven absent.  The
+        run stops when every FIFO is empty or ``max_reactions`` is reached.
+
+        ``tick`` gives extra per-reaction directives (e.g. driving a master
+        clock present at every reaction).
+        """
+        if reset:
+            self.reset()
+        pending = {name: list(values) for name, values in flows.items()}
+        unknown = set(pending) - set(self.compiled.signal_names)
+        if unknown:
+            raise ValueError(f"flows drive unknown signals: {sorted(unknown)}")
+        reactions = 0
+        while any(pending.values()) and reactions < max_reactions:
+            directives: dict[str, Any] = dict(tick or {})
+            for name, queue in pending.items():
+                if queue:
+                    directives[name] = queue[0]
+                else:
+                    directives.setdefault(name, ABSENT)
+            try:
+                instant = self.step(directives)
+            except SimulationError:
+                # The process' clock constraints refuse some of the offered
+                # inputs at this instant (it is not ready to consume them):
+                # perform an internal reaction without consuming anything.
+                without_inputs = dict(tick or {})
+                for name in pending:
+                    without_inputs[name] = ABSENT
+                instant = self.step(without_inputs)
+            for name, queue in pending.items():
+                if queue and instant.get(name, ABSENT) is not ABSENT:
+                    queue.pop(0)
+            reactions += 1
+        # Drain: keep reacting (without offering inputs) until the internal
+        # state stabilises, so that computations triggered by the last consumed
+        # values run to completion (e.g. the final word of a workload).
+        while reactions < max_reactions:
+            directives = dict(tick or {})
+            for name in pending:
+                directives[name] = ABSENT
+            state_before = dict(self._state)
+            try:
+                self.step(directives)
+            except SimulationError:
+                break
+            reactions += 1
+            if self._state == state_before:
+                break
+        return self.trace
+
+
+def simulate(
+    process: ProcessDefinition | CompiledProcess,
+    scenario: Scenario,
+) -> Trace:
+    """One-shot simulation helper: run ``scenario`` on a fresh simulator."""
+    return Simulator(process).run(scenario)
+
+
+def simulate_columns(
+    process: ProcessDefinition | CompiledProcess,
+    columns: Mapping[str, Sequence[Any]],
+) -> Trace:
+    """One-shot single-clocked simulation from per-signal columns."""
+    return Simulator(process).run_synchronous(columns)
+
+
+def behaviors_from_scenarios(
+    process: ProcessDefinition | CompiledProcess,
+    scenarios: Iterable[Scenario],
+    observed: Iterable[str] | None = None,
+) -> list[Behavior]:
+    """Simulate several scenarios and return the corresponding behaviors.
+
+    This is the bridge from the operational semantics to the denotational
+    layer: the returned behaviors can be collected into a
+    :class:`~repro.core.processes.Process` for property checking.
+    """
+    simulator = Simulator(process)
+    names = tuple(observed) if observed is not None else simulator.compiled.signal_names
+    behaviors = []
+    for scenario in scenarios:
+        trace = simulator.run(scenario, reset=True)
+        behaviors.append(trace.to_behavior(names))
+    return behaviors

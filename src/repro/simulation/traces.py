@@ -1,0 +1,129 @@
+"""Traces: recorded executions of compiled processes.
+
+A trace is the operational counterpart of a (finite, synchronous) behavior of
+the tagged model: one row per reaction, one column per signal, with ``ABSENT``
+marking the instants at which a signal has no event.  Traces convert to
+:class:`~repro.core.behaviors.Behavior` objects so that every denotational
+relation of :mod:`repro.core` (stretch/flow equivalence, refinement checks)
+applies to simulation output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..core.behaviors import Behavior
+from ..core.relaxation import flow_equivalent, flows
+from ..core.values import ABSENT, render_value
+
+
+class Trace:
+    """A finite sequence of reactions (instants) of a set of signals."""
+
+    def __init__(self, signals: Sequence[str], rows: Iterable[Mapping[str, Any]] = ()) -> None:
+        self._signals = tuple(signals)
+        self._rows: list[dict[str, Any]] = []
+        for row in rows:
+            self.append(row)
+
+    # -- construction --------------------------------------------------------------
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one reaction; missing signals are recorded as absent."""
+        self._rows.append({name: row.get(name, ABSENT) for name in self._signals})
+
+    @staticmethod
+    def from_columns(columns: Mapping[str, Sequence[Any]]) -> "Trace":
+        """Build a trace from per-signal columns (padded with ABSENT)."""
+        length = max((len(c) for c in columns.values()), default=0)
+        rows = []
+        for index in range(length):
+            rows.append({name: (column[index] if index < len(column) else ABSENT) for name, column in columns.items()})
+        return Trace(tuple(columns), rows)
+
+    # -- container protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return dict(self._rows[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._signals == other._signals and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Trace(signals={list(self._signals)}, length={len(self._rows)})"
+
+    # -- observations -------------------------------------------------------------------
+
+    @property
+    def signals(self) -> tuple[str, ...]:
+        """The signals recorded by the trace."""
+        return self._signals
+
+    def column(self, name: str) -> list[Any]:
+        """All recorded statuses of ``name`` (including ABSENT entries)."""
+        return [row[name] for row in self._rows]
+
+    def values(self, name: str) -> list[Any]:
+        """The flow of ``name``: present values only, in order."""
+        return [row[name] for row in self._rows if row[name] is not ABSENT]
+
+    def presence_count(self, name: str) -> int:
+        """Number of instants at which ``name`` is present."""
+        return len(self.values(name))
+
+    def project(self, names: Iterable[str]) -> "Trace":
+        """Trace restricted to the given signals."""
+        keep = [n for n in names if n in self._signals]
+        return Trace(keep, ({n: row[n] for n in keep} for row in self._rows))
+
+    def without_silent_rows(self) -> "Trace":
+        """Drop reactions at which every recorded signal is absent."""
+        rows = [row for row in self._rows if any(v is not ABSENT for v in row.values())]
+        return Trace(self._signals, rows)
+
+    # -- conversions ------------------------------------------------------------------------
+
+    def to_behavior(self, names: Iterable[str] | None = None) -> Behavior:
+        """Convert the trace to a synchronous behavior (tags = row indices)."""
+        keep = tuple(names) if names is not None else self._signals
+        columns = {name: [row[name] for row in self._rows] for name in keep}
+        return Behavior.from_columns(columns)
+
+    def to_flows(self) -> dict[str, tuple]:
+        """The per-signal value sequences of the trace."""
+        return {name: tuple(self.values(name)) for name in self._signals}
+
+    # -- comparisons -------------------------------------------------------------------------
+
+    def flow_equivalent(self, other: "Trace", names: Iterable[str] | None = None) -> bool:
+        """Flow-equivalence of two traces on a set of observed signals."""
+        observed = tuple(names) if names is not None else tuple(set(self._signals) & set(other.signals))
+        return flow_equivalent(self.to_behavior(observed), other.to_behavior(observed))
+
+    def same_columns(self, other: "Trace") -> bool:
+        """Strict synchronous equality of the two traces."""
+        return self._signals == other.signals and list(self) == list(other)
+
+    # -- rendering ----------------------------------------------------------------------------
+
+    def render(self, max_rows: int | None = None) -> str:
+        """Tabular, human-readable rendering of the trace."""
+        rows = self._rows if max_rows is None else self._rows[:max_rows]
+        width = max((len(name) for name in self._signals), default=0)
+        cell = 8
+        header = " " * (width + 3) + "".join(f"{('t' + str(i)):>{cell}}" for i in range(len(rows)))
+        lines = [header]
+        for name in self._signals:
+            cells = "".join(
+                f"{render_value(row[name]) if row[name] is not ABSENT else '.':>{cell}}" for row in rows
+            )
+            lines.append(f"{name:<{width}} : {cells}")
+        return "\n".join(lines)

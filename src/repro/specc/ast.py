@@ -1,0 +1,274 @@
+"""Abstract syntax of the SpecC-like system-level language.
+
+The paper studies the refinement of designs written in SpecC/SystemC:
+*behaviors* (threads with a ``main``), *channels* (shared objects whose methods
+encapsulate synchronisation), *events* with ``wait``/``notify``, ports bound to
+shared variables, and ``par`` composition.  This module defines a Python AST
+for that language fragment — rich enough to express every listing of the paper
+(the ``ones`` behavior, the ``ChMP`` channel, the bus, the RTL FSM) — which the
+discrete-event kernel interprets and the translator encodes into SIGNAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+
+# --------------------------------------------------------------------------- expressions
+
+
+class SpecCExpression:
+    """Base class of expressions (arithmetic / boolean over variables and ports)."""
+
+    def variables(self) -> set[str]:
+        """Variables read by the expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Var(SpecCExpression):
+    """A variable or port read."""
+
+    name: str
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Lit(SpecCExpression):
+    """A literal constant."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Unary(SpecCExpression):
+    """Unary operator application (``!``, ``-``, ``~``)."""
+
+    op: str
+    operand: SpecCExpression
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class Binary(SpecCExpression):
+    """Binary operator application (C-like operator set)."""
+
+    op: str
+    left: SpecCExpression
+    right: SpecCExpression
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+ExpressionLike = Union[SpecCExpression, int, bool, str]
+
+
+def as_specc_expression(value: ExpressionLike) -> SpecCExpression:
+    """Coerce Python literals and names into expressions."""
+    if isinstance(value, SpecCExpression):
+        return value
+    if isinstance(value, (bool, int)):
+        return Lit(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot interpret {value!r} as a SpecC expression")
+
+
+def var(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+def lit(value: Any) -> Lit:
+    """Shorthand for :class:`Lit`."""
+    return Lit(value)
+
+
+def binop(op: str, left: ExpressionLike, right: ExpressionLike) -> Binary:
+    """Shorthand for :class:`Binary`."""
+    return Binary(op, as_specc_expression(left), as_specc_expression(right))
+
+
+# --------------------------------------------------------------------------- statements
+
+
+class SpecCStatement:
+    """Base class of statements."""
+
+
+@dataclass
+class Assign(SpecCStatement):
+    """``target = expression;`` (targets are variables or output ports)."""
+
+    target: str
+    expression: SpecCExpression
+
+    def __init__(self, target: str, expression: ExpressionLike) -> None:
+        self.target = target
+        self.expression = as_specc_expression(expression)
+
+
+@dataclass
+class If(SpecCStatement):
+    """``if (condition) { then } else { otherwise }``."""
+
+    condition: SpecCExpression
+    then: list[SpecCStatement]
+    otherwise: list[SpecCStatement] = field(default_factory=list)
+
+    def __init__(
+        self,
+        condition: ExpressionLike,
+        then: Sequence[SpecCStatement],
+        otherwise: Sequence[SpecCStatement] = (),
+    ) -> None:
+        self.condition = as_specc_expression(condition)
+        self.then = list(then)
+        self.otherwise = list(otherwise)
+
+
+@dataclass
+class While(SpecCStatement):
+    """``while (condition) { body }``."""
+
+    condition: SpecCExpression
+    body: list[SpecCStatement]
+
+    def __init__(self, condition: ExpressionLike, body: Sequence[SpecCStatement]) -> None:
+        self.condition = as_specc_expression(condition)
+        self.body = list(body)
+
+
+@dataclass
+class Wait(SpecCStatement):
+    """``wait(e1, e2, ...);`` — suspend until one of the events is notified."""
+
+    events: tuple[str, ...]
+
+    def __init__(self, *events: str) -> None:
+        if not events:
+            raise ValueError("wait needs at least one event")
+        self.events = tuple(events)
+
+
+@dataclass
+class Notify(SpecCStatement):
+    """``notify(e);`` — wake every process waiting on the event."""
+
+    event: str
+
+
+@dataclass
+class MethodCall(SpecCStatement):
+    """``channel.method(args...)`` with an optional result variable."""
+
+    channel: str
+    method: str
+    arguments: tuple[SpecCExpression, ...]
+    result: Optional[str] = None
+
+    def __init__(
+        self,
+        channel: str,
+        method: str,
+        arguments: Sequence[ExpressionLike] = (),
+        result: Optional[str] = None,
+    ) -> None:
+        self.channel = channel
+        self.method = method
+        self.arguments = tuple(as_specc_expression(a) for a in arguments)
+        self.result = result
+
+
+@dataclass
+class Return(SpecCStatement):
+    """``return expression;`` (inside channel methods)."""
+
+    expression: Optional[SpecCExpression] = None
+
+    def __init__(self, expression: Optional[ExpressionLike] = None) -> None:
+        self.expression = as_specc_expression(expression) if expression is not None else None
+
+
+@dataclass
+class Break(SpecCStatement):
+    """``break;`` out of the innermost while loop."""
+
+
+# --------------------------------------------------------------------------- declarations
+
+
+@dataclass
+class Method:
+    """A channel method: parameters, local variables and a body."""
+
+    name: str
+    parameters: tuple[str, ...] = ()
+    body: list[SpecCStatement] = field(default_factory=list)
+    locals: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Channel:
+    """A channel: shared state plus synchronising methods (e.g. the paper's ChMP)."""
+
+    name: str
+    state: dict[str, Any] = field(default_factory=dict)
+    methods: dict[str, Method] = field(default_factory=dict)
+
+    def method(self, name: str) -> Method:
+        """Look up a method by name."""
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(f"channel {self.name!r} has no method {name!r}") from None
+
+
+@dataclass
+class Behavior:
+    """A behavior: ports, local variables and a ``main`` body (a thread)."""
+
+    name: str
+    ports: tuple[str, ...] = ()
+    locals: dict[str, Any] = field(default_factory=dict)
+    body: list[SpecCStatement] = field(default_factory=list)
+    repeat: bool = False
+    """When true, ``main`` restarts after completing (the ``while(1)`` shell of
+    the paper's listings); wait statements still yield control."""
+
+
+@dataclass
+class Instance:
+    """An instantiated behavior with its port bindings."""
+
+    behavior: Behavior
+    name: str
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    def bound(self, port: str) -> str:
+        """The design-level variable a port is bound to (default: same name)."""
+        return self.bindings.get(port, port)
+
+
+@dataclass
+class Design:
+    """A complete design: shared variables, events, channels and instances run in ``par``."""
+
+    name: str
+    variables: dict[str, Any] = field(default_factory=dict)
+    events: tuple[str, ...] = ()
+    channels: dict[str, Channel] = field(default_factory=dict)
+    instances: list[Instance] = field(default_factory=list)
+
+    def instance(self, name: str) -> Instance:
+        """Look up an instance by name."""
+        for instance in self.instances:
+            if instance.name == name:
+                return instance
+        raise KeyError(f"design {self.name!r} has no instance {name!r}")

@@ -1,0 +1,147 @@
+"""Convenience builders for SpecC-like designs.
+
+The AST in :mod:`repro.specc.ast` is already dataclass-based; these builders
+merely remove the boilerplate of assembling behaviors, channels and designs in
+the examples and the EPC case study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from .ast import (
+    Assign,
+    Behavior,
+    Channel,
+    Design,
+    ExpressionLike,
+    If,
+    Instance,
+    Method,
+    MethodCall,
+    Notify,
+    Return,
+    SpecCStatement,
+    Wait,
+    While,
+    as_specc_expression,
+)
+
+
+class BehaviorBuilder:
+    """Incremental construction of a :class:`~repro.specc.ast.Behavior`."""
+
+    def __init__(self, name: str, ports: Sequence[str] = (), repeat: bool = False) -> None:
+        self.name = name
+        self.ports = tuple(ports)
+        self.repeat = repeat
+        self._locals: dict[str, Any] = {}
+        self._body: list[SpecCStatement] = []
+
+    def local(self, name: str, init: Any = 0) -> "BehaviorBuilder":
+        """Declare a local variable with an initial value."""
+        self._locals[name] = init
+        return self
+
+    def assign(self, target: str, expression: ExpressionLike) -> "BehaviorBuilder":
+        """Append ``target = expression;``."""
+        self._body.append(Assign(target, expression))
+        return self
+
+    def wait(self, *events: str) -> "BehaviorBuilder":
+        """Append ``wait(events...);``."""
+        self._body.append(Wait(*events))
+        return self
+
+    def notify(self, event: str) -> "BehaviorBuilder":
+        """Append ``notify(event);``."""
+        self._body.append(Notify(event))
+        return self
+
+    def when(self, condition: ExpressionLike, then: Sequence[SpecCStatement], otherwise: Sequence[SpecCStatement] = ()) -> "BehaviorBuilder":
+        """Append an ``if`` statement."""
+        self._body.append(If(condition, then, otherwise))
+        return self
+
+    def loop(self, condition: ExpressionLike, body: Sequence[SpecCStatement]) -> "BehaviorBuilder":
+        """Append a ``while`` loop."""
+        self._body.append(While(condition, body))
+        return self
+
+    def call(self, channel: str, method: str, arguments: Sequence[ExpressionLike] = (), result: Optional[str] = None) -> "BehaviorBuilder":
+        """Append a channel method call."""
+        self._body.append(MethodCall(channel, method, arguments, result))
+        return self
+
+    def statement(self, statement: SpecCStatement) -> "BehaviorBuilder":
+        """Append an arbitrary statement."""
+        self._body.append(statement)
+        return self
+
+    def build(self) -> Behavior:
+        """Produce the behavior."""
+        return Behavior(self.name, self.ports, dict(self._locals), list(self._body), self.repeat)
+
+
+class ChannelBuilder:
+    """Incremental construction of a :class:`~repro.specc.ast.Channel`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._state: dict[str, Any] = {}
+        self._methods: dict[str, Method] = {}
+
+    def state(self, name: str, init: Any = 0) -> "ChannelBuilder":
+        """Declare a channel state variable."""
+        self._state[name] = init
+        return self
+
+    def method(
+        self,
+        name: str,
+        parameters: Sequence[str] = (),
+        body: Sequence[SpecCStatement] = (),
+        locals: Optional[Mapping[str, Any]] = None,
+    ) -> "ChannelBuilder":
+        """Declare a channel method."""
+        self._methods[name] = Method(name, tuple(parameters), list(body), dict(locals or {}))
+        return self
+
+    def build(self) -> Channel:
+        """Produce the channel."""
+        return Channel(self.name, dict(self._state), dict(self._methods))
+
+
+class DesignBuilder:
+    """Incremental construction of a :class:`~repro.specc.ast.Design`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._variables: dict[str, Any] = {}
+        self._events: list[str] = []
+        self._channels: dict[str, Channel] = {}
+        self._instances: list[Instance] = []
+
+    def variable(self, name: str, init: Any = 0) -> "DesignBuilder":
+        """Declare a design-level shared variable."""
+        self._variables[name] = init
+        return self
+
+    def event(self, *names: str) -> "DesignBuilder":
+        """Declare design-level events."""
+        self._events.extend(names)
+        return self
+
+    def channel(self, channel: Channel) -> "DesignBuilder":
+        """Register a channel."""
+        self._channels[channel.name] = channel
+        return self
+
+    def instance(self, behavior: Behavior, name: Optional[str] = None, bindings: Optional[Mapping[str, str]] = None) -> "DesignBuilder":
+        """Instantiate a behavior with optional port bindings."""
+        self._instances.append(Instance(behavior, name or behavior.name, dict(bindings or {})))
+        return self
+
+    def build(self) -> Design:
+        """Produce the design."""
+        return Design(self.name, dict(self._variables), tuple(self._events), dict(self._channels), list(self._instances))

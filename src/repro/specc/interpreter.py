@@ -1,0 +1,269 @@
+"""Interpretation of SpecC designs on the discrete-event kernel.
+
+Each behavior instance becomes a cooperative process (a Python generator)
+reading and writing the design's shared variable store; channel methods run
+inline in the calling thread, as in SpecC.  The interpreter records every
+write to designated *observed* variables, producing the port-traffic flows
+that the refinement checks compare against the SIGNAL encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from .ast import (
+    Assign,
+    Behavior,
+    Binary,
+    Break,
+    Channel,
+    Design,
+    If,
+    Instance,
+    Lit,
+    Method,
+    MethodCall,
+    Notify,
+    Return,
+    SpecCExpression,
+    SpecCStatement,
+    Unary,
+    Var,
+    Wait,
+    While,
+)
+from .kernel import NotifyRequest, SimulationKernel, WaitRequest
+
+
+class SpecCRuntimeError(Exception):
+    """Raised on evaluation errors (unknown variable, bad operator, ...)."""
+
+
+_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    ">>": lambda a, b: a >> b,
+    "<<": lambda a, b: a << b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+}
+
+_UNARY = {
+    "-": lambda a: -a,
+    "!": lambda a: not a,
+    "~": lambda a: ~a,
+    "+": lambda a: a,
+}
+
+
+class _BreakLoop(Exception):
+    """Internal: unwinds to the innermost while loop."""
+
+
+class _ReturnValue(Exception):
+    """Internal: unwinds a channel method call."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+@dataclass
+class _Context:
+    """Execution context of one thread of control.
+
+    Attributes:
+        frame: local variables (behavior locals or method locals + parameters).
+        scope: channel name when executing a channel method (prefixes state
+            variables, as in ``ChMP.ready_flag``), empty in behavior bodies.
+        instance: the behavior instance this thread belongs to.
+        rename: port → design-variable bindings of the instance.
+    """
+
+    frame: dict[str, Any]
+    scope: str
+    instance: Instance
+    rename: Mapping[str, str]
+
+
+@dataclass
+class WriteRecord:
+    """One observed write: which instance wrote which value to which variable."""
+
+    instance: str
+    variable: str
+    value: Any
+
+
+@dataclass
+class DesignRun:
+    """The outcome of interpreting a design."""
+
+    design: Design
+    store: dict[str, Any]
+    writes: list[WriteRecord] = field(default_factory=list)
+    finished: bool = False
+    blocked: list[str] = field(default_factory=list)
+    notified_events: list[str] = field(default_factory=list)
+
+    def flow(self, variable: str) -> list[Any]:
+        """The sequence of values written to ``variable`` (its flow)."""
+        return [w.value for w in self.writes if w.variable == variable]
+
+    def flows(self, variables: Iterable[str]) -> dict[str, list[Any]]:
+        """Flows of several observed variables."""
+        return {name: self.flow(name) for name in variables}
+
+
+class Interpreter:
+    """Interpret one design on a fresh kernel."""
+
+    def __init__(self, design: Design, observed: Iterable[str] = ()) -> None:
+        self.design = design
+        self.kernel = SimulationKernel(design.name)
+        self.store: dict[str, Any] = dict(design.variables)
+        for channel in design.channels.values():
+            for key, value in channel.state.items():
+                self.store.setdefault(f"{channel.name}.{key}", value)
+        self.observed = set(observed)
+        self.writes: list[WriteRecord] = []
+
+    # -- variable access -----------------------------------------------------------
+
+    def _resolve(self, name: str, context: _Context) -> str:
+        name = context.rename.get(name, name)
+        scoped = f"{context.scope}.{name}" if context.scope else name
+        if scoped in self.store:
+            return scoped
+        return name
+
+    def _read(self, name: str, context: _Context) -> Any:
+        if name in context.frame:
+            return context.frame[name]
+        key = self._resolve(name, context)
+        if key not in self.store:
+            raise SpecCRuntimeError(f"unknown variable {name!r} (scope {context.scope or 'design'})")
+        return self.store[key]
+
+    def _write(self, name: str, value: Any, context: _Context) -> None:
+        if name in context.frame:
+            context.frame[name] = value
+            return
+        key = self._resolve(name, context)
+        self.store[key] = value
+        if key in self.observed:
+            self.writes.append(WriteRecord(context.instance.name, key, value))
+
+    # -- expression evaluation ----------------------------------------------------------
+
+    def _evaluate(self, expression: SpecCExpression, context: _Context) -> Any:
+        if isinstance(expression, Lit):
+            return expression.value
+        if isinstance(expression, Var):
+            return self._read(expression.name, context)
+        if isinstance(expression, Unary):
+            operand = self._evaluate(expression.operand, context)
+            try:
+                return _UNARY[expression.op](operand)
+            except KeyError:
+                raise SpecCRuntimeError(f"unknown unary operator {expression.op!r}") from None
+        if isinstance(expression, Binary):
+            left = self._evaluate(expression.left, context)
+            right = self._evaluate(expression.right, context)
+            try:
+                return _BINARY[expression.op](left, right)
+            except KeyError:
+                raise SpecCRuntimeError(f"unknown binary operator {expression.op!r}") from None
+        raise SpecCRuntimeError(f"cannot evaluate {expression!r}")
+
+    # -- statement execution ---------------------------------------------------------------
+
+    def _execute(self, statements: Iterable[SpecCStatement], context: _Context):
+        for statement in statements:
+            if isinstance(statement, Assign):
+                value = self._evaluate(statement.expression, context)
+                self._write(statement.target, value, context)
+            elif isinstance(statement, If):
+                branch = statement.then if self._evaluate(statement.condition, context) else statement.otherwise
+                yield from self._execute(branch, context)
+            elif isinstance(statement, While):
+                try:
+                    while self._evaluate(statement.condition, context):
+                        yield from self._execute(statement.body, context)
+                except _BreakLoop:
+                    pass
+            elif isinstance(statement, Break):
+                raise _BreakLoop()
+            elif isinstance(statement, Wait):
+                yield WaitRequest(statement.events)
+            elif isinstance(statement, Notify):
+                yield NotifyRequest(statement.event)
+            elif isinstance(statement, MethodCall):
+                yield from self._call_method(statement, context)
+            elif isinstance(statement, Return):
+                value = self._evaluate(statement.expression, context) if statement.expression else None
+                raise _ReturnValue(value)
+            else:
+                raise SpecCRuntimeError(f"unknown statement {statement!r}")
+
+    def _call_method(self, call: MethodCall, context: _Context):
+        channel = self.design.channels.get(call.channel)
+        if channel is None:
+            raise SpecCRuntimeError(f"unknown channel {call.channel!r}")
+        method = channel.method(call.method)
+        arguments = [self._evaluate(a, context) for a in call.arguments]
+        method_frame = dict(method.locals)
+        method_frame.update(dict(zip(method.parameters, arguments)))
+        method_context = _Context(method_frame, channel.name, context.instance, {})
+        result: Any = None
+        try:
+            yield from self._execute(method.body, method_context)
+        except _ReturnValue as returned:
+            result = returned.value
+        if call.result is not None:
+            self._write(call.result, result, context)
+
+    # -- behaviors ------------------------------------------------------------------------------
+
+    def _behavior_process(self, instance: Instance):
+        behavior = instance.behavior
+        rename = {port: instance.bound(port) for port in behavior.ports}
+        context = _Context(dict(behavior.locals), "", instance, rename)
+        while True:
+            yield from self._execute(behavior.body, context)
+            if not behavior.repeat:
+                break
+
+    # -- public API ---------------------------------------------------------------------------------
+
+    def run(self, max_deltas: int = 10000) -> DesignRun:
+        """Interpret the design until quiescence."""
+        for instance in self.design.instances:
+            self.kernel.register(instance.name, self._behavior_process(instance))
+        trace = self.kernel.run(max_deltas=max_deltas)
+        return DesignRun(
+            design=self.design,
+            store=dict(self.store),
+            writes=list(self.writes),
+            finished=self.kernel.all_finished(),
+            blocked=self.kernel.blocked_processes(),
+            notified_events=trace.notified_events(),
+        )
+
+
+def run_design(design: Design, observed: Iterable[str] = (), max_deltas: int = 10000) -> DesignRun:
+    """One-shot interpretation helper."""
+    return Interpreter(design, observed).run(max_deltas=max_deltas)

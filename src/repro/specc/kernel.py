@@ -1,0 +1,162 @@
+"""A discrete-event simulation kernel for the SpecC-like language.
+
+"Modeling the architecture layer in SIGNAL requires an abstraction of the
+virtual simulation kernel semantics for the wait/notify statements" (Section 4
+of the paper).  This module *is* that simulation kernel, implemented the other
+way around: cooperative processes (Python generators produced by the
+interpreter) are scheduled by a wait/notify discipline with delta cycles, the
+way a SpecC/SystemC kernel arbitrates suspension and resumption of its
+threads.
+
+The kernel knows nothing about the AST: a process is any generator yielding
+:class:`WaitRequest` / :class:`NotifyRequest` actions; the interpreter in
+:mod:`repro.specc.interpreter` produces such generators from behaviors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class WaitRequest:
+    """Yielded by a process to suspend until one of ``events`` is notified."""
+
+    events: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NotifyRequest:
+    """Yielded by a process to notify ``event`` (delta-delayed, as in SpecC)."""
+
+    event: str
+
+
+#: The type of a schedulable process.
+ProcessGenerator = Generator[object, None, None]
+
+
+@dataclass
+class KernelProcess:
+    """Book-keeping for one scheduled process."""
+
+    name: str
+    generator: ProcessGenerator
+    waiting_on: tuple[str, ...] = ()
+    finished: bool = False
+
+
+@dataclass
+class KernelTrace:
+    """A record of the scheduling decisions taken during a run."""
+
+    notifications: list[tuple[int, str, str]] = field(default_factory=list)
+    resumptions: list[tuple[int, str, str]] = field(default_factory=list)
+    delta_cycles: int = 0
+
+    def notified_events(self) -> list[str]:
+        """The sequence of notified events."""
+        return [event for _, _, event in self.notifications]
+
+
+class KernelDeadlock(Exception):
+    """Raised when every process is waiting and no notification is pending."""
+
+
+class SimulationKernel:
+    """The wait/notify scheduler.
+
+    Processes run until they yield.  A yielded :class:`NotifyRequest` records
+    the event; pending notifications are delivered at the end of the current
+    delta cycle, resuming every process waiting on them (SpecC's delta-delayed
+    ``notify``).  The run ends when every process has finished, when nothing
+    can make progress anymore (all waiting, nothing pending — a deadlock if
+    processes remain), or when the delta-cycle budget is exhausted.
+    """
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self.processes: list[KernelProcess] = []
+        self.trace = KernelTrace()
+        self._pending_notifications: list[str] = []
+        self._ready: list[KernelProcess] = []
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, generator: ProcessGenerator) -> KernelProcess:
+        """Register a process; it becomes ready to run."""
+        process = KernelProcess(name, generator)
+        self.processes.append(process)
+        self._ready.append(process)
+        return process
+
+    # -- execution ------------------------------------------------------------------
+
+    def notify(self, event: str, source: str = "environment") -> None:
+        """Schedule a notification (from a process or from the test-bench)."""
+        self._pending_notifications.append(event)
+        self.trace.notifications.append((self.trace.delta_cycles, source, event))
+
+    def _run_process(self, process: KernelProcess) -> None:
+        try:
+            request = next(process.generator)
+        except StopIteration:
+            process.finished = True
+            return
+        if isinstance(request, NotifyRequest):
+            self.notify(request.event, source=process.name)
+            # The process continues in the same delta cycle after a notify.
+            self._ready.append(process)
+        elif isinstance(request, WaitRequest):
+            process.waiting_on = request.events
+        else:
+            raise TypeError(f"process {process.name!r} yielded an unknown request {request!r}")
+
+    def _deliver_notifications(self) -> bool:
+        if not self._pending_notifications:
+            return False
+        delivered = set(self._pending_notifications)
+        self._pending_notifications = []
+        woken = False
+        for process in self.processes:
+            if process.finished or not process.waiting_on:
+                continue
+            if delivered & set(process.waiting_on):
+                self.trace.resumptions.append(
+                    (self.trace.delta_cycles, process.name, ",".join(sorted(delivered & set(process.waiting_on))))
+                )
+                process.waiting_on = ()
+                self._ready.append(process)
+                woken = True
+        return woken
+
+    def run(self, max_deltas: int = 10000, strict: bool = False) -> KernelTrace:
+        """Run until quiescence.
+
+        Args:
+            max_deltas: bound on delta cycles (protection against livelock).
+            strict: raise :class:`KernelDeadlock` when unfinished processes
+                remain blocked at quiescence (otherwise the run simply stops —
+                the usual SpecC test-bench behaviour).
+        """
+        while self.trace.delta_cycles < max_deltas:
+            while self._ready:
+                process = self._ready.pop(0)
+                if not process.finished:
+                    self._run_process(process)
+            self.trace.delta_cycles += 1
+            if not self._deliver_notifications():
+                break
+        blocked = [p.name for p in self.processes if not p.finished]
+        if blocked and strict and not self._ready:
+            raise KernelDeadlock(f"{self.name}: processes {blocked} are blocked on wait()")
+        return self.trace
+
+    def all_finished(self) -> bool:
+        """True when every registered process ran to completion."""
+        return all(p.finished for p in self.processes)
+
+    def blocked_processes(self) -> list[str]:
+        """Names of the processes still waiting at the end of a run."""
+        return [p.name for p in self.processes if not p.finished and p.waiting_on]

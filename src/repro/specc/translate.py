@@ -1,0 +1,394 @@
+"""Translation of SpecC behaviors into SIGNAL processes.
+
+Section 4 of the paper describes the encoding: "The translation of the
+behavior ``ones`` in SIGNAL consists, first, of decomposing the syntactic
+structure of the SpecC program into an intermediate representation that
+renders the imperative structure of the original program [...].  In this
+structure, each thread consists of a sequence of blocks (critical sections)
+delimited by wait and notify synchronization statements.  Within such blocks,
+basic control structures are then encoded.  A method call or a basic
+operation, e.g. ``x = y + 1``, is encoded by an equation, e.g. either
+``x = y$1 + 1 when c`` [...] conditioned by an activation clock ``c``.  A
+conditional statement [...] is encoded by constraining the clock of P by x and
+that of Q by not x.  Internal while loops are encoded by over-sampling."
+
+The translator below implements exactly that intermediate representation: the
+behavior is decomposed into elementary *steps* (one per basic operation, test,
+wait or notify — the same decomposition the paper's RTL listing exhibits as
+states S0..S7), each step becomes an activation condition on the master clock
+``tick``, assignments become equations sampled by their step's condition and
+referring to values of the previous transition (``y$1``), conditionals
+constrain the clocks of their branches, while loops re-enter their test step
+(over-sampling: the loop body runs at ticks where no new input is consumed),
+and wait/notify become boolean input/event output signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from ..signal.ast import Expression as SignalExpression
+from ..signal.ast import ProcessDefinition
+from ..signal.dsl import ProcessBuilder, const, sig
+from .ast import (
+    Assign,
+    Behavior,
+    Binary,
+    Break,
+    If,
+    Lit,
+    MethodCall,
+    Notify,
+    SpecCExpression,
+    SpecCStatement,
+    Unary,
+    Var,
+    Wait,
+    While,
+)
+
+
+class TranslationError(Exception):
+    """Raised when a behavior uses a construct outside the translatable fragment."""
+
+
+@dataclass
+class FSMStep:
+    """One elementary step of the intermediate representation."""
+
+    index: int
+    kind: str  # "assign" | "branch" | "wait" | "notify" | "halt"
+    target: Optional[str] = None
+    expression: Optional[SpecCExpression] = None
+    condition: Optional[SpecCExpression] = None
+    events: tuple[str, ...] = ()
+    next: Optional[int] = None
+    next_true: Optional[int] = None
+    next_false: Optional[int] = None
+    source: str = ""
+
+
+@dataclass
+class TranslationResult:
+    """The SIGNAL encoding of a behavior plus its intermediate representation."""
+
+    process: ProcessDefinition
+    steps: list[FSMStep]
+    state_signal: str
+    input_ports: tuple[str, ...]
+    output_ports: tuple[str, ...]
+    wait_events: tuple[str, ...]
+    notify_events: tuple[str, ...]
+    variables: tuple[str, ...]
+
+    def step_table(self) -> str:
+        """Readable listing of the FSM steps (the paper's S0..S7 table)."""
+        lines = [f"intermediate representation of {self.process.name} ({len(self.steps)} steps):"]
+        for step in self.steps:
+            lines.append(f"  S{step.index}: {step.source}")
+        return "\n".join(lines)
+
+
+_SPECC_TO_SIGNAL_BINARY = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "mod",
+    "&": "&",
+    "|": "|",
+    ">>": ">>",
+    "<<": "<<",
+    "==": "=",
+    "!=": "/=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "&&": "and",
+    "||": "or",
+    "^": "xor",
+}
+
+
+class BehaviorTranslator:
+    """Translate one :class:`~repro.specc.ast.Behavior` into SIGNAL."""
+
+    def __init__(
+        self,
+        behavior: Behavior,
+        name: Optional[str] = None,
+        input_ports: Optional[Sequence[str]] = None,
+        output_ports: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.behavior = behavior
+        self.name = name or behavior.name
+        self.steps: list[FSMStep] = []
+        self._reads: set[str] = set()
+        self._writes: set[str] = set()
+        self._waits: set[str] = set()
+        self._notifies: set[str] = set()
+        self._explicit_inputs = tuple(input_ports) if input_ports is not None else None
+        self._explicit_outputs = tuple(output_ports) if output_ports is not None else None
+
+    # -- intermediate representation ------------------------------------------------
+
+    def _new_step(self, **kwargs) -> FSMStep:
+        step = FSMStep(index=len(self.steps), **kwargs)
+        self.steps.append(step)
+        return step
+
+    def _compile_block(self, statements: Sequence[SpecCStatement], exit_index_holder: list) -> tuple[int, list[FSMStep]]:
+        """Compile a statement list; returns (entry_index, steps needing an exit patch)."""
+        entry: Optional[int] = None
+        pending: list[FSMStep] = []
+        for statement in statements:
+            step_entry, step_pending = self._compile_statement(statement)
+            if entry is None:
+                entry = step_entry
+            for step in pending:
+                self._patch(step, step_entry)
+            pending = step_pending
+        if entry is None:
+            # Empty block: synthesise a no-op assign step (state advance only).
+            step = self._new_step(kind="assign", target=None, expression=None, source="skip")
+            entry = step.index
+            pending = [step]
+        return entry, pending
+
+    def _patch(self, step: FSMStep, target: int) -> None:
+        if step.kind == "branch":
+            if step.next_true is None:
+                step.next_true = target
+            if step.next_false is None:
+                step.next_false = target
+        elif step.next is None:
+            step.next = target
+
+    def _compile_statement(self, statement: SpecCStatement) -> tuple[int, list[FSMStep]]:
+        if isinstance(statement, Assign):
+            self._reads |= statement.expression.variables()
+            self._writes.add(statement.target)
+            step = self._new_step(
+                kind="assign",
+                target=statement.target,
+                expression=statement.expression,
+                source=f"{statement.target} = ...",
+            )
+            return step.index, [step]
+        if isinstance(statement, Wait):
+            self._waits |= set(statement.events)
+            step = self._new_step(kind="wait", events=statement.events, source=f"wait({', '.join(statement.events)})")
+            return step.index, [step]
+        if isinstance(statement, Notify):
+            self._notifies.add(statement.event)
+            step = self._new_step(kind="notify", events=(statement.event,), source=f"notify({statement.event})")
+            return step.index, [step]
+        if isinstance(statement, If):
+            self._reads |= statement.condition.variables()
+            branch = self._new_step(kind="branch", condition=statement.condition, source="if (...)")
+            then_entry, then_pending = self._compile_block(statement.then, [])
+            branch.next_true = then_entry
+            if statement.otherwise:
+                else_entry, else_pending = self._compile_block(statement.otherwise, [])
+                branch.next_false = else_entry
+                return branch.index, then_pending + else_pending
+            return branch.index, then_pending + [branch]
+        if isinstance(statement, While):
+            self._reads |= statement.condition.variables()
+            test = self._new_step(kind="branch", condition=statement.condition, source="while (...)")
+            body_entry, body_pending = self._compile_block(statement.body, [])
+            test.next_true = body_entry
+            for step in body_pending:
+                self._patch(step, test.index)
+            # The loop exits through the false branch of the test.
+            return test.index, [test]
+        if isinstance(statement, Break):
+            raise TranslationError("break statements are not supported by the SIGNAL translation; restructure the loop")
+        if isinstance(statement, MethodCall):
+            raise TranslationError(
+                "channel method calls must be inlined before translation "
+                "(translate the channel's methods as part of the caller)"
+            )
+        raise TranslationError(f"cannot translate statement {statement!r}")
+
+    # -- expression translation --------------------------------------------------------------
+
+    def _signal_expression(self, expression: SpecCExpression, previous: dict[str, str]) -> SignalExpression:
+        if isinstance(expression, Lit):
+            return const(expression.value)
+        if isinstance(expression, Var):
+            name = expression.name
+            if name in previous:
+                return sig(previous[name])
+            return sig(name)
+        if isinstance(expression, Unary):
+            operand = self._signal_expression(expression.operand, previous)
+            if expression.op == "!":
+                return ~operand
+            if expression.op == "-":
+                return -operand
+            if expression.op == "+":
+                return operand
+            raise TranslationError(f"unary operator {expression.op!r} has no SIGNAL counterpart")
+        if isinstance(expression, Binary):
+            left = self._signal_expression(expression.left, previous)
+            right = self._signal_expression(expression.right, previous)
+            op = _SPECC_TO_SIGNAL_BINARY.get(expression.op)
+            if op is None:
+                raise TranslationError(f"binary operator {expression.op!r} has no SIGNAL counterpart")
+            from ..signal.ast import BinaryOp
+
+            return BinaryOp(op, left, right)
+        raise TranslationError(f"cannot translate expression {expression!r}")
+
+    # -- main entry point ---------------------------------------------------------------------
+
+    def translate(self) -> TranslationResult:
+        """Produce the SIGNAL process encoding the behavior."""
+        entry, pending = self._compile_block(list(self.behavior.body), [])
+        halt = self._new_step(kind="halt", source="halt")
+        restart_target = entry if self.behavior.repeat else halt.index
+        for step in pending:
+            self._patch(step, restart_target)
+        halt.next = entry if self.behavior.repeat else halt.index
+
+        fsm_variables = tuple(sorted(self.behavior.locals))
+        ports = set(self.behavior.ports)
+        input_ports = (
+            self._explicit_inputs
+            if self._explicit_inputs is not None
+            else tuple(sorted((self._reads - set(fsm_variables)) & ports))
+        )
+        output_ports = (
+            self._explicit_outputs
+            if self._explicit_outputs is not None
+            else tuple(sorted((self._writes - set(fsm_variables)) & ports))
+        )
+        unknown_writes = self._writes - set(fsm_variables) - set(output_ports)
+        if unknown_writes:
+            raise TranslationError(
+                f"{self.name}: assignments to {sorted(unknown_writes)} target neither a local variable nor a port"
+            )
+
+        builder = ProcessBuilder(self.name)
+        tick = builder.input("tick", "event")
+        wait_inputs = {event: builder.input(event, "boolean") for event in sorted(self._waits)}
+        port_inputs = {port: builder.input(port, "integer") for port in input_ports}
+        port_outputs = {port: builder.output(port, "integer") for port in output_ports}
+        notify_outputs = {event: builder.output(event, "event") for event in sorted(self._notifies)}
+        state = builder.local("state", "integer")
+        state_prev = builder.local("state_prev", "integer")
+        variable_signals = {name: builder.local(name, "integer") for name in fsm_variables}
+        previous_signals = {name: builder.local(f"{name}_prev", "integer") for name in fsm_variables}
+
+        previous_map = {name: f"{name}_prev" for name in fsm_variables}
+
+        # State register.
+        builder.define(state_prev, state.delayed(entry))
+
+        def at_step(index: int):
+            return state_prev.eq(index)
+
+        # Next-state function: one sampled branch per step, merged by default.
+        next_state: Optional[SignalExpression] = None
+        for step in self.steps:
+            if step.kind == "assign" or step.kind == "notify":
+                branch: SignalExpression = const(step.next if step.next is not None else halt.index)
+            elif step.kind == "wait":
+                fired = None
+                for event in step.events:
+                    term = wait_inputs[event]
+                    fired = term if fired is None else (fired | term)
+                branch = (
+                    const(step.next if step.next is not None else halt.index)
+                    .when(fired)
+                    .default(const(step.index))
+                )
+            elif step.kind == "branch":
+                condition = self._signal_expression(step.condition, previous_map)
+                branch = (
+                    const(step.next_true if step.next_true is not None else halt.index)
+                    .when(condition)
+                    .default(const(step.next_false if step.next_false is not None else halt.index))
+                )
+            else:  # halt
+                branch = const(step.next if step.next is not None else step.index)
+            sampled = branch.when(at_step(step.index))
+            next_state = sampled if next_state is None else next_state.default(sampled)
+        builder.define(state, next_state.default(state_prev))
+        builder.synchronize(state, tick)
+
+        # Variable registers: updated by the assign steps, held otherwise.
+        for name in fsm_variables:
+            builder.define(previous_signals[name], variable_signals[name].delayed(self.behavior.locals[name] or 0))
+            update: Optional[SignalExpression] = None
+            for step in self.steps:
+                if step.kind != "assign" or step.target != name or step.expression is None:
+                    continue
+                value = self._signal_expression(step.expression, previous_map).when(at_step(step.index))
+                update = value if update is None else update.default(value)
+            if update is None:
+                builder.define(variable_signals[name], previous_signals[name])
+            else:
+                builder.define(variable_signals[name], update.default(previous_signals[name]))
+            builder.synchronize(variable_signals[name], tick)
+
+        # Output ports: present only at the steps that write them.
+        for port in output_ports:
+            emission: Optional[SignalExpression] = None
+            for step in self.steps:
+                if step.kind != "assign" or step.target != port or step.expression is None:
+                    continue
+                value = self._signal_expression(step.expression, previous_map).when(at_step(step.index))
+                emission = value if emission is None else emission.default(value)
+            if emission is None:
+                raise TranslationError(f"{self.name}: output port {port!r} is never written")
+            builder.define(port_outputs[port], emission)
+
+        # Notify events: present at the notify steps.
+        for event in sorted(self._notifies):
+            pulses: Optional[SignalExpression] = None
+            for step in self.steps:
+                if step.kind != "notify" or step.events != (event,):
+                    continue
+                pulse = tick.clock().when(at_step(step.index))
+                pulses = pulse if pulses is None else pulses.default(pulse)
+            builder.define(notify_outputs[event], pulses)
+
+        # Inputs are read at the master clock.
+        for port_signal in port_inputs.values():
+            builder.synchronize(port_signal, tick)
+        for event_signal in wait_inputs.values():
+            builder.synchronize(event_signal, tick)
+
+        process = builder.build()
+        return TranslationResult(
+            process=process,
+            steps=self.steps,
+            state_signal="state",
+            input_ports=tuple(input_ports),
+            output_ports=tuple(output_ports),
+            wait_events=tuple(sorted(self._waits)),
+            notify_events=tuple(sorted(self._notifies)),
+            variables=fsm_variables,
+        )
+
+
+def translate_behavior(
+    behavior: Behavior,
+    name: Optional[str] = None,
+    input_ports: Optional[Sequence[str]] = None,
+    output_ports: Optional[Sequence[str]] = None,
+) -> TranslationResult:
+    """Translate ``behavior`` into a master-clocked SIGNAL process.
+
+    The resulting process has one ``event`` input ``tick`` (the activation
+    clock of the critical sections), one boolean input per waited event, one
+    integer input per read port, one integer output per written port and one
+    event output per notified event.  All signals are synchronous to ``tick``
+    except the outputs, which are present only at the steps that produce them
+    — exactly the clock discipline of the paper's encoding of ``ones``.
+    """
+    return BehaviorTranslator(behavior, name, input_ports, output_ports).translate()

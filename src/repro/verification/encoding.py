@@ -1,0 +1,265 @@
+"""Encoding of SIGNAL control skeletons as polynomial dynamical systems over Z/3Z.
+
+Sigali, the model checker of the Polychrony platform, abstracts a SIGNAL
+process into a polynomial dynamical system: boolean/event signals become
+ternary variables (absent / true / false), every equation becomes a polynomial
+constraint, every delay becomes a state variable with a polynomial transition
+function.  This module reproduces that encoding for the boolean/event fragment
+of a process (its *control skeleton* — integer data is abstracted away exactly
+as Sigali does) and provides reachability and invariant checking by solution
+enumeration, adequate for the control parts of the paper's case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+from ..signal.ast import (
+    BinaryOp,
+    ClockBinary,
+    ClockConstraint,
+    ClockOf,
+    Constant,
+    Default,
+    Definition,
+    Delay,
+    Expression,
+    ProcessDefinition,
+    SignalRef,
+    UnaryOp,
+    When,
+    expand,
+)
+from ..core.values import EVENT
+from .z3z import (
+    FIELD,
+    Polynomial,
+    PolynomialSystem,
+    absence,
+    from_code,
+    presence,
+    to_code,
+)
+
+
+class EncodingError(Exception):
+    """Raised when an expression falls outside the boolean/event fragment."""
+
+
+@dataclass
+class PolynomialDynamicalSystem:
+    """A Sigali-style model: constraints, state variables and transitions.
+
+    Attributes:
+        name: name of the encoded process.
+        signal_variables: ternary variable per (boolean/event) signal.
+        state_variables: ternary variable per delay operator, with initial code.
+        constraints: instantaneous constraints (polynomials that must be 0).
+        transitions: next-state polynomial for every state variable.
+    """
+
+    name: str
+    signal_variables: list[str] = field(default_factory=list)
+    state_variables: dict[str, int] = field(default_factory=dict)
+    constraints: PolynomialSystem = field(default_factory=PolynomialSystem)
+    transitions: dict[str, Polynomial] = field(default_factory=dict)
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    # -- instantaneous relation -------------------------------------------------------
+
+    def admissible_reactions(self, state: Mapping[str, int]) -> Iterator[dict[str, int]]:
+        """Enumerate the signal assignments compatible with ``state``."""
+        names = self.signal_variables
+        for values in product(FIELD, repeat=len(names)):
+            assignment = dict(zip(names, values))
+            assignment.update(state)
+            if self.constraints.holds(assignment):
+                yield {name: assignment[name] for name in names}
+
+    def next_state(self, state: Mapping[str, int], reaction: Mapping[str, int]) -> dict[str, int]:
+        """Apply the polynomial transition functions."""
+        assignment = dict(state)
+        assignment.update(reaction)
+        return {name: poly.evaluate(assignment) for name, poly in self.transitions.items()}
+
+    def initial_state(self) -> dict[str, int]:
+        """The initial valuation of the state variables."""
+        return dict(self.state_variables)
+
+    # -- exploration ---------------------------------------------------------------------
+
+    def reachable_states(self, max_states: int = 5000) -> set[tuple[tuple[str, int], ...]]:
+        """Reachable state valuations (frozen as sorted tuples)."""
+        initial = tuple(sorted(self.initial_state().items()))
+        seen = {initial}
+        frontier = [initial]
+        while frontier and len(seen) < max_states:
+            current = frontier.pop()
+            state = dict(current)
+            for reaction in self.admissible_reactions(state):
+                successor = tuple(sorted(self.next_state(state, reaction).items()))
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    def check_invariant(self, invariant: Polynomial, max_states: int = 5000) -> bool:
+        """True when ``invariant = 0`` holds for every reachable reaction."""
+        initial = tuple(sorted(self.initial_state().items()))
+        seen = {initial}
+        frontier = [initial]
+        while frontier and len(seen) <= max_states:
+            current = frontier.pop()
+            state = dict(current)
+            for reaction in self.admissible_reactions(state):
+                assignment = dict(state)
+                assignment.update(reaction)
+                if invariant.evaluate(assignment) != 0:
+                    return False
+                successor = tuple(sorted(self.next_state(state, reaction).items()))
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return True
+
+    def decode_reaction(self, reaction: Mapping[str, int]) -> dict[str, Any]:
+        """Translate a ternary reaction back into signal statuses."""
+        return {name: from_code(code) for name, code in reaction.items()}
+
+
+class SigaliEncoder:
+    """Translate the boolean/event fragment of a process into polynomials."""
+
+    def __init__(self, process: ProcessDefinition) -> None:
+        self.process = expand(process)
+        self.system = PolynomialDynamicalSystem(
+            name=process.name,
+            inputs=tuple(self.process.input_names),
+            outputs=tuple(self.process.output_names),
+        )
+        self._delay_counter = 0
+        self._aux_counter = 0
+
+    # -- public API ---------------------------------------------------------------------
+
+    def encode(self) -> PolynomialDynamicalSystem:
+        """Run the encoding.
+
+        Raises:
+            EncodingError: when the process uses non-boolean data in a way
+                that cannot be abstracted (integer arithmetic in the control
+                skeleton).
+        """
+        for name in self.process.all_names:
+            declaration = self.process.declaration_of(name)
+            type_ = declaration.type if declaration is not None else "boolean"
+            if type_ not in ("boolean", "event"):
+                raise EncodingError(
+                    f"{self.process.name}: signal {name!r} has type {type_}; "
+                    "the Sigali encoding covers the boolean/event control skeleton only"
+                )
+            self.system.signal_variables.append(name)
+        for definition in self.process.definitions():
+            target = Polynomial.variable(definition.target)
+            encoded = self._encode_expression(definition.expression)
+            self.system.constraints.add(target - encoded)
+        for constraint in self.process.clock_constraints():
+            self._encode_clock_constraint(constraint)
+        return self.system
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _fresh_state(self, initial_code: int) -> str:
+        self._delay_counter += 1
+        name = f"__state{self._delay_counter}"
+        self.system.state_variables[name] = initial_code
+        return name
+
+    def _encode_expression(self, expression: Expression) -> Polynomial:
+        if isinstance(expression, SignalRef):
+            return Polynomial.variable(expression.name)
+        if isinstance(expression, Constant):
+            # A constant adapts its clock to the context; Sigali models it as a
+            # signal always carrying the constant, constrained elsewhere.  For
+            # the fragment we need (event/boolean constants under ``when``), the
+            # code of the constant value is adequate.
+            return Polynomial.constant(to_code(expression.value if expression.value is not EVENT else True))
+        if isinstance(expression, Delay):
+            operand = self._encode_expression(expression.operand)
+            state = self._fresh_state(to_code(expression.init if expression.init is not None else False))
+            state_poly = Polynomial.variable(state)
+            # The delayed signal is present exactly when its operand is and
+            # carries the stored value: result = state * operand².
+            result = state_poly * (operand * operand)
+            # Next state: keep the old value when the operand is absent,
+            # take the operand's value otherwise.
+            next_state = operand + (Polynomial.constant(1) - operand * operand) * state_poly
+            self.system.transitions[state] = next_state
+            return result
+        if isinstance(expression, When):
+            operand = self._encode_expression(expression.operand)
+            condition = self._encode_expression(expression.condition)
+            return operand * (-condition - condition * condition)
+        if isinstance(expression, Default):
+            left = self._encode_expression(expression.left)
+            right = self._encode_expression(expression.right)
+            return left + (Polynomial.constant(1) - left * left) * right
+        if isinstance(expression, ClockOf):
+            operand = self._encode_expression(expression.operand)
+            return operand * operand
+        if isinstance(expression, UnaryOp) and expression.op == "not":
+            return -self._encode_expression(expression.operand)
+        if isinstance(expression, BinaryOp):
+            left = self._encode_expression(expression.left)
+            right = self._encode_expression(expression.right)
+            if expression.op == "and":
+                xy = left * right
+                return xy * (xy - left - right - 1)
+            if expression.op == "or":
+                xy = left * right
+                return xy * (1 - left - right - xy)
+            if expression.op in ("=", "xor", "/="):
+                # x*y is 1 when both carry the same truth value, -1 when they
+                # differ, 0 when either is absent.
+                eq = left * right
+                if expression.op == "=":
+                    return eq
+                return -eq
+            raise EncodingError(
+                f"{self.process.name}: operator {expression.op!r} is outside the boolean fragment"
+            )
+        if isinstance(expression, ClockBinary):
+            left = self._encode_expression(expression.left)
+            right = self._encode_expression(expression.right)
+            left_clock = left * left
+            right_clock = right * right
+            if expression.op == "^*":
+                return left_clock * right_clock
+            if expression.op == "^+":
+                return left_clock + right_clock - left_clock * right_clock
+            return left_clock * (Polynomial.constant(1) - right_clock)
+        raise EncodingError(f"{self.process.name}: cannot encode {expression!r} over Z/3Z")
+
+    def _encode_clock_constraint(self, constraint: ClockConstraint) -> None:
+        encoded = [self._encode_expression(operand) for operand in constraint.operands]
+        squares = [poly * poly for poly in encoded]
+        if constraint.kind == "=":
+            for left, right in zip(squares, squares[1:]):
+                self.system.constraints.add(left - right)
+        elif constraint.kind == "<":
+            head = squares[0]
+            for other in squares[1:]:
+                # head ⊆ other: head * (1 - other) = 0
+                self.system.constraints.add(head * (Polynomial.constant(1) - other))
+        else:  # ">"
+            head = squares[0]
+            for other in squares[1:]:
+                self.system.constraints.add(other * (Polynomial.constant(1) - head))
+
+
+def encode_process(process: ProcessDefinition) -> PolynomialDynamicalSystem:
+    """Convenience wrapper around :class:`SigaliEncoder`."""
+    return SigaliEncoder(process).encode()

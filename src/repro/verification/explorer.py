@@ -1,0 +1,214 @@
+"""State-space exploration of compiled SIGNAL processes.
+
+The explorer enumerates, from the initial memory of a compiled process, every
+reachable memory state under every admissible reaction of a finite stimulus
+alphabet (events present/absent, booleans over both truth values, integers
+over a user-supplied finite domain).  The result is an :class:`~repro.verification.lts.LTS`
+whose labels are the reactions, ready for invariant checking, bisimulation
+checking and controller synthesis.
+
+This plays the role of the state-space construction that Sigali performs
+symbolically; the designs of the paper's case study have small control state
+spaces, so explicit exploration is adequate (and is benchmarked in E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..core.values import ABSENT, EVENT
+from ..signal.ast import ProcessDefinition
+from ..simulation.compiler import CompiledProcess, SimulationError
+from ..simulation.status import PRESENT
+from .lts import LTS, make_label
+
+
+@dataclass
+class ExplorationOptions:
+    """Parameters of a state-space exploration.
+
+    Attributes:
+        integer_domain: values tried for integer-typed driven signals.
+        driven_signals: signals driven by the environment (default: declared inputs).
+        extra_driven: additional signals to drive (e.g. free-clock outputs).
+        observed: signals recorded in the transition labels (default: interface).
+        max_states: exploration bound (states beyond the bound are not expanded).
+        allow_silent: whether the all-absent stimulus is part of the alphabet.
+    """
+
+    integer_domain: Sequence[int] = (0, 1)
+    driven_signals: Optional[Sequence[str]] = None
+    extra_driven: Sequence[str] = ()
+    observed: Optional[Sequence[str]] = None
+    max_states: int = 10000
+    allow_silent: bool = True
+
+
+@dataclass
+class ExplorationResult:
+    """The LTS produced by an exploration, plus bookkeeping."""
+
+    lts: LTS
+    memories: dict[int, dict[str, Any]] = field(default_factory=dict)
+    complete: bool = True
+    rejected_stimuli: int = 0
+
+    @property
+    def state_count(self) -> int:
+        """Number of explored states."""
+        return self.lts.state_count()
+
+    @property
+    def transition_count(self) -> int:
+        """Number of explored transitions."""
+        return self.lts.transition_count()
+
+
+def _stimulus_domain(compiled: CompiledProcess, name: str, integers: Sequence[int]) -> list[Any]:
+    signal_type = compiled.signal_types.get(name, "integer")
+    if signal_type == "event":
+        return [ABSENT, EVENT]
+    if signal_type == "boolean":
+        return [ABSENT, True, False]
+    return [ABSENT, *integers]
+
+
+def _freeze(memory: Mapping[str, Any]) -> tuple:
+    return tuple(sorted(memory.items()))
+
+
+def explore(
+    process: ProcessDefinition | CompiledProcess,
+    options: Optional[ExplorationOptions] = None,
+) -> ExplorationResult:
+    """Explore the reachable state space of ``process``.
+
+    Raises:
+        ValueError: when a driven signal does not exist in the process.
+    """
+    compiled = process if isinstance(process, CompiledProcess) else CompiledProcess(process)
+    options = options or ExplorationOptions()
+
+    driven = list(options.driven_signals) if options.driven_signals is not None else list(compiled.input_names)
+    driven += [name for name in options.extra_driven if name not in driven]
+    unknown = [name for name in driven if name not in compiled.signal_names]
+    if unknown:
+        raise ValueError(f"{compiled.name}: cannot drive unknown signals {unknown}")
+
+    observed = list(options.observed) if options.observed is not None else list(
+        compiled.input_names + compiled.output_names
+    )
+
+    domains = [_stimulus_domain(compiled, name, options.integer_domain) for name in driven]
+    stimuli: list[dict[str, Any]] = []
+    for combination in product(*domains) if driven else [()]:
+        stimulus = dict(zip(driven, combination))
+        if not options.allow_silent and all(v is ABSENT for v in stimulus.values()):
+            continue
+        stimuli.append(stimulus)
+
+    lts = LTS(compiled.name)
+    result = ExplorationResult(lts)
+
+    initial_memory = compiled.initial_state()
+    initial = lts.add_state(_freeze(initial_memory), initial=True)
+    result.memories[initial] = dict(initial_memory)
+
+    frontier = [initial]
+    explored: set[int] = set()
+    while frontier:
+        state = frontier.pop()
+        if state in explored:
+            continue
+        explored.add(state)
+        memory = result.memories[state]
+        for stimulus in stimuli:
+            try:
+                new_memory, instant = compiled.step(memory, stimulus)
+            except SimulationError:
+                result.rejected_stimuli += 1
+                continue
+            payload = _freeze(new_memory)
+            existing = lts.index_of(payload)
+            if existing is None:
+                if lts.state_count() >= options.max_states:
+                    result.complete = False
+                    continue
+                existing = lts.add_state(payload)
+                result.memories[existing] = dict(new_memory)
+                frontier.append(existing)
+            elif existing not in explored and existing not in frontier:
+                frontier.append(existing)
+            lts.add_transition(state, make_label(instant, observed), existing)
+    return result
+
+
+def explore_product(
+    left: ProcessDefinition | CompiledProcess,
+    right: ProcessDefinition | CompiledProcess,
+    shared_driven: Optional[Sequence[str]] = None,
+    options: Optional[ExplorationOptions] = None,
+) -> ExplorationResult:
+    """Explore the synchronous product of two processes.
+
+    Both processes receive the same stimulus on their shared driven signals at
+    every reaction; the product label is the union of both reactions.  This is
+    the construction used to compare a specification and its refinement under
+    identical environments (experiments E7 and E9).
+    """
+    left_compiled = left if isinstance(left, CompiledProcess) else CompiledProcess(left)
+    right_compiled = right if isinstance(right, CompiledProcess) else CompiledProcess(right)
+    options = options or ExplorationOptions()
+
+    if shared_driven is None:
+        shared_driven = [n for n in left_compiled.input_names if n in right_compiled.input_names]
+    driven = list(shared_driven)
+
+    domains = [_stimulus_domain(left_compiled, name, options.integer_domain) for name in driven]
+    stimuli = [dict(zip(driven, combination)) for combination in product(*domains)] if driven else [{}]
+
+    observed = list(options.observed) if options.observed is not None else sorted(
+        set(left_compiled.output_names) | set(right_compiled.output_names) | set(driven)
+    )
+
+    lts = LTS(f"{left_compiled.name}×{right_compiled.name}")
+    result = ExplorationResult(lts)
+    initial_payload = (_freeze(left_compiled.initial_state()), _freeze(right_compiled.initial_state()))
+    initial = lts.add_state(initial_payload, initial=True)
+    result.memories[initial] = {
+        "left": left_compiled.initial_state(),
+        "right": right_compiled.initial_state(),
+    }
+
+    frontier = [initial]
+    explored: set[int] = set()
+    while frontier:
+        state = frontier.pop()
+        if state in explored:
+            continue
+        explored.add(state)
+        memory = result.memories[state]
+        for stimulus in stimuli:
+            try:
+                left_memory, left_instant = left_compiled.step(memory["left"], stimulus)
+                right_memory, right_instant = right_compiled.step(memory["right"], stimulus)
+            except SimulationError:
+                result.rejected_stimuli += 1
+                continue
+            instant = dict(right_instant)
+            instant.update(left_instant)
+            payload = (_freeze(left_memory), _freeze(right_memory))
+            existing = lts.index_of(payload)
+            if existing is None:
+                if lts.state_count() >= options.max_states:
+                    result.complete = False
+                    continue
+                existing = lts.add_state(payload)
+                result.memories[existing] = {"left": left_memory, "right": right_memory}
+                frontier.append(existing)
+            elif existing not in explored and existing not in frontier:
+                frontier.append(existing)
+            lts.add_transition(state, make_label(instant, observed), existing)
+    return result

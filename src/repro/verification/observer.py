@@ -1,0 +1,276 @@
+"""Observer-based flow-equivalence checking.
+
+The paper illustrates how flow-equivalence of two processes sharing a signal
+``x`` is checked: "installing an observer connected to p and q by a one-place
+buffer of a FIFO queue.  The observer repeatedly checks whether its copy x'' of
+the nth value of p matches the copy y'' of the nth value of q.  Verifying p and
+q flow-invariant amounts to checking that the value of the observer is
+invariantly true."
+
+This module provides that observer:
+
+* :class:`FlowObserver` — the incremental comparator with one FIFO per
+  observed signal and per side;
+* :func:`compare_traces` — feed two recorded traces through the observer;
+* :func:`compare_processes` — run the two processes under the same
+  (asynchronous) input flows and compare what they emit;
+* :func:`observer_process` — the observer as a SIGNAL process (so that it can
+  also be composed with the designs and explored/model-checked like any other
+  component, mirroring the figure in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..core.values import ABSENT
+from ..signal.ast import ProcessDefinition
+from ..signal.dsl import ProcessBuilder, const
+from ..signal.library import one_place_buffer_process
+from ..simulation.compiler import CompiledProcess
+from ..simulation.simulator import Simulator
+from ..simulation.traces import Trace
+
+
+@dataclass
+class Mismatch:
+    """A flow divergence detected by the observer."""
+
+    signal: str
+    index: int
+    left_value: Any
+    right_value: Any
+
+    def __repr__(self) -> str:
+        return (
+            f"Mismatch({self.signal}[{self.index}]: "
+            f"{self.left_value!r} vs {self.right_value!r})"
+        )
+
+
+@dataclass
+class ObserverVerdict:
+    """Outcome of a flow-equivalence observation."""
+
+    equivalent: bool
+    observed: tuple[str, ...]
+    mismatch: Optional[Mismatch] = None
+    compared_values: int = 0
+    pending_left: dict[str, int] = field(default_factory=dict)
+    pending_right: dict[str, int] = field(default_factory=dict)
+    details: str = ""
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def explain(self) -> str:
+        """Readable verdict."""
+        if self.equivalent:
+            return (
+                f"flow-equivalent on {list(self.observed)} "
+                f"({self.compared_values} values compared)"
+            )
+        return f"flow divergence: {self.mismatch!r}"
+
+
+class FlowObserver:
+    """Incremental comparator of the flows of two sides ("left" and "right").
+
+    Values fed on each side are queued per signal; as soon as both sides hold
+    an nth value for a signal the pair is compared and dequeued.  The observer
+    stays "true" (no mismatch) exactly as long as the two flows agree on their
+    common prefix — the invariant of the paper's diagram.
+    """
+
+    def __init__(self, signals: Iterable[str], capacity: Optional[int] = None) -> None:
+        self.signals = tuple(signals)
+        self.capacity = capacity
+        self._queues: dict[str, dict[str, list[Any]]] = {
+            "left": {name: [] for name in self.signals},
+            "right": {name: [] for name in self.signals},
+        }
+        self.mismatch: Optional[Mismatch] = None
+        self.compared_values = 0
+        self._consumed: dict[str, int] = {name: 0 for name in self.signals}
+        self.overflowed = False
+
+    def feed(self, side: str, signal: str, value: Any) -> bool:
+        """Offer one value of ``signal`` on ``side``; returns False on divergence."""
+        if self.mismatch is not None:
+            return False
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left' or 'right'")
+        if signal not in self._queues[side]:
+            raise KeyError(f"signal {signal!r} is not observed")
+        queue = self._queues[side][signal]
+        queue.append(value)
+        if self.capacity is not None and len(queue) > self.capacity:
+            self.overflowed = True
+        return self._drain(signal)
+
+    def feed_reaction(self, side: str, instant: Mapping[str, Any]) -> bool:
+        """Offer every observed signal present in a reaction."""
+        ok = True
+        for name in self.signals:
+            value = instant.get(name, ABSENT)
+            if value is not ABSENT:
+                ok = self.feed(side, name, value) and ok
+        return ok
+
+    def _drain(self, signal: str) -> bool:
+        left = self._queues["left"][signal]
+        right = self._queues["right"][signal]
+        while left and right:
+            left_value = left.pop(0)
+            right_value = right.pop(0)
+            index = self._consumed[signal]
+            self._consumed[signal] += 1
+            self.compared_values += 1
+            if left_value != right_value:
+                self.mismatch = Mismatch(signal, index, left_value, right_value)
+                return False
+        return True
+
+    @property
+    def ok(self) -> bool:
+        """The observer's boolean output: no mismatch so far."""
+        return self.mismatch is None
+
+    def verdict(self, strict: bool = False) -> ObserverVerdict:
+        """Final verdict; ``strict`` additionally requires empty queues."""
+        pending_left = {n: len(q) for n, q in self._queues["left"].items() if q}
+        pending_right = {n: len(q) for n, q in self._queues["right"].items() if q}
+        equivalent = self.ok and (not strict or (not pending_left and not pending_right))
+        details = ""
+        if self.ok and strict and (pending_left or pending_right):
+            details = "flows agree on their common prefix but have different lengths"
+        return ObserverVerdict(
+            equivalent=equivalent,
+            observed=self.signals,
+            mismatch=self.mismatch,
+            compared_values=self.compared_values,
+            pending_left=pending_left,
+            pending_right=pending_right,
+            details=details,
+        )
+
+
+def compare_traces(
+    left: Trace,
+    right: Trace,
+    observed: Sequence[str],
+    rename_right: Optional[Mapping[str, str]] = None,
+    strict: bool = True,
+) -> ObserverVerdict:
+    """Feed two traces through the observer and return its verdict.
+
+    ``rename_right`` maps right-trace signal names onto the observed names
+    (used when the refined design renames interface wires, e.g. ``inport`` at
+    the RTL level vs ``Inport`` at the specification level).
+    """
+    observer = FlowObserver(observed)
+    rename = dict(rename_right or {})
+    for row in left:
+        observer.feed_reaction("left", {n: row.get(n, ABSENT) for n in observed})
+    for row in right:
+        renamed = {rename.get(name, name): value for name, value in row.items()}
+        observer.feed_reaction("right", {n: renamed.get(n, ABSENT) for n in observed})
+    return observer.verdict(strict=strict)
+
+
+def compare_processes(
+    left: ProcessDefinition | CompiledProcess,
+    right: ProcessDefinition | CompiledProcess,
+    input_flows: Mapping[str, Sequence[Any]],
+    observed: Sequence[str],
+    rename_right: Optional[Mapping[str, str]] = None,
+    left_tick: Optional[Mapping[str, Any]] = None,
+    right_tick: Optional[Mapping[str, Any]] = None,
+    max_reactions: int = 2000,
+    strict: bool = True,
+) -> ObserverVerdict:
+    """Run two processes on the same asynchronous input flows and compare them.
+
+    The inputs are offered as per-signal flows (each process consumes them at
+    its own pace, exactly the "asynchronous stimulation" of the endochrony
+    definition); the observer then compares the flows of the observed signals.
+    """
+    rename = dict(rename_right or {})
+    left_trace = Simulator(left).run_flows(dict(input_flows), max_reactions=max_reactions, tick=left_tick)
+    right_inputs = {rename_to_right(name, rename): values for name, values in input_flows.items()}
+    right_trace = Simulator(right).run_flows(right_inputs, max_reactions=max_reactions, tick=right_tick)
+    return compare_traces(left_trace, right_trace, observed, invert_mapping(rename), strict=strict)
+
+
+def rename_to_right(name: str, rename_right: Mapping[str, str]) -> str:
+    """Translate a specification-side name into the refined design's name."""
+    inverse = invert_mapping(rename_right)
+    for right_name, left_name in rename_right.items():
+        if left_name == name:
+            return right_name
+    return name
+
+
+def invert_mapping(mapping: Mapping[str, str]) -> dict[str, str]:
+    """Invert a renaming dictionary."""
+    return {value: key for key, value in mapping.items()}
+
+
+def observer_process(signal: str = "x", name: str = "FlowObserver") -> ProcessDefinition:
+    """The observer of the paper's diagram, as a SIGNAL process.
+
+    Inputs ``x_left`` and ``x_right`` are the two copies of the shared signal,
+    each arriving through its one-place buffer at its own pace; the boolean
+    output ``ok`` is (re)emitted at every comparison and stays true as long as
+    the nth values match.  Composing this process with two designs and model
+    checking ``AG ok`` is exactly the construction pictured in the paper.
+    """
+    builder = ProcessBuilder(name)
+    left = builder.input(f"{signal}_left", "integer")
+    right = builder.input(f"{signal}_right", "integer")
+    ok = builder.output("ok", "boolean")
+    builder.define(ok, left.eq(right))
+    builder.synchronize(left, right)
+    return builder.build()
+
+
+def buffered_observer(signal: str = "x", capacity_init: int = 0, name: str = "BufferedObserver") -> ProcessDefinition:
+    """Observer composed with its two one-place buffers (paper's full diagram).
+
+    The producer sides push ``x_left`` / ``x_right`` at their own clocks; the
+    comparison is triggered by the event ``check`` (the observer's clock) which
+    pops both buffers.
+    """
+    from ..signal.ast import compose
+
+    left_buffer = one_place_buffer_process(init=capacity_init, name="LeftBuffer").renamed(
+        {
+            "push": f"{signal}_left",
+            "pop": "check",
+            "value": "left_value",
+            "full": "left_full",
+            "stored": "left_stored",
+            "fresh": "left_fresh",
+            "previous_fresh": "left_previous_fresh",
+        }
+    )
+    right_buffer = one_place_buffer_process(init=capacity_init, name="RightBuffer").renamed(
+        {
+            "push": f"{signal}_right",
+            "pop": "check",
+            "value": "right_value",
+            "full": "right_full",
+            "stored": "right_stored",
+            "fresh": "right_fresh",
+            "previous_fresh": "right_previous_fresh",
+        }
+    )
+    builder = ProcessBuilder("Comparator")
+    left_value = builder.input("left_value", "integer")
+    right_value = builder.input("right_value", "integer")
+    ok = builder.output("ok", "boolean")
+    builder.define(ok, left_value.eq(right_value))
+    builder.synchronize(left_value, right_value)
+    comparator = builder.build()
+    return compose(name, left_buffer, right_buffer, comparator, hide=["left_full", "right_full"])

@@ -1,0 +1,337 @@
+"""Polynomial algebra over Z/3Z — the encoding used by the Sigali model checker.
+
+The paper delegates refinement (model) checking to Sigali, which represents
+SIGNAL processes as *polynomial dynamical systems over Z/3Z*: every
+boolean/event signal ``x`` is encoded by a ternary variable with
+
+* ``0``  — the signal is absent,
+* ``1``  — the signal is present with value *true*,
+* ``-1`` (≡ 2 mod 3) — the signal is present with value *false*,
+
+so that ``x²`` is the characteristic function of presence, and every SIGNAL
+equation over booleans becomes a polynomial constraint.  This module provides
+the polynomial algebra itself (canonical form with exponents reduced by
+``x³ = x``), the standard encodings of the SIGNAL primitives, and small-system
+solving by enumeration, which is sufficient for the control skeletons of the
+paper's case study.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.values import ABSENT, EVENT
+
+#: The three field elements; -1 is represented canonically as 2.
+FIELD = (0, 1, 2)
+
+#: Readable aliases used by encoders/decoders.
+ABSENT_CODE = 0
+TRUE_CODE = 1
+FALSE_CODE = 2  # i.e. -1 mod 3
+
+
+def to_code(value: Any) -> int:
+    """Encode a signal status (ABSENT / truth value) as a Z/3Z element."""
+    if value is ABSENT:
+        return ABSENT_CODE
+    if value is EVENT or value is True or value == 1:
+        return TRUE_CODE
+    if value is False or value == 0:
+        return FALSE_CODE
+    raise ValueError(f"cannot encode {value!r} over Z/3Z (boolean/event statuses only)")
+
+
+def from_code(code: int) -> Any:
+    """Decode a Z/3Z element into a signal status."""
+    code %= 3
+    if code == ABSENT_CODE:
+        return ABSENT
+    return True if code == TRUE_CODE else False
+
+
+def _normalise_exponent(exponent: int) -> int:
+    """Reduce an exponent using ``x³ = x`` (valid for every element of Z/3Z)."""
+    if exponent <= 2:
+        return exponent
+    # x^3 = x, hence exponents collapse onto {1, 2} by parity beyond 0.
+    return 2 if exponent % 2 == 0 else 1
+
+
+class Polynomial:
+    """A multivariate polynomial over Z/3Z in canonical form.
+
+    The canonical form maps monomials (sorted tuples of ``(variable, exponent)``
+    with exponents in ``{1, 2}``) to non-zero coefficients in ``{1, 2}``.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[tuple[tuple[str, int], ...], int] | None = None) -> None:
+        canonical: dict[tuple[tuple[str, int], ...], int] = {}
+        for monomial, coefficient in (terms or {}).items():
+            coefficient %= 3
+            if coefficient == 0:
+                continue
+            merged: dict[str, int] = {}
+            for variable, exponent in monomial:
+                merged[variable] = _normalise_exponent(merged.get(variable, 0) + exponent)
+            key = tuple(sorted((v, e) for v, e in merged.items() if e))
+            canonical[key] = (canonical.get(key, 0) + coefficient) % 3
+            if canonical[key] == 0:
+                del canonical[key]
+        self._terms = canonical
+
+    # -- constructors --------------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        """The zero polynomial."""
+        return Polynomial()
+
+    @staticmethod
+    def constant(value: int) -> "Polynomial":
+        """A constant polynomial."""
+        return Polynomial({(): value % 3})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        """The polynomial ``name``."""
+        return Polynomial({((name, 1),): 1})
+
+    # -- observations ----------------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[tuple[tuple[str, int], ...], int]:
+        """The canonical monomial → coefficient mapping."""
+        return dict(self._terms)
+
+    def variables(self) -> set[str]:
+        """Variables occurring in the polynomial."""
+        return {variable for monomial in self._terms for variable, _ in monomial}
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self._terms
+
+    def degree(self) -> int:
+        """Total degree (0 for constants and the zero polynomial)."""
+        return max((sum(e for _, e in monomial) for monomial in self._terms), default=0)
+
+    # -- algebra ------------------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial | int") -> "Polynomial":
+        other = other if isinstance(other, Polynomial) else Polynomial.constant(other)
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            terms[monomial] = (terms.get(monomial, 0) + coefficient) % 3
+        return Polynomial(terms)
+
+    def __radd__(self, other: int) -> "Polynomial":
+        return self + other
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: (-c) % 3 for m, c in self._terms.items()})
+
+    def __sub__(self, other: "Polynomial | int") -> "Polynomial":
+        other = other if isinstance(other, Polynomial) else Polynomial.constant(other)
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "Polynomial":
+        return Polynomial.constant(other) - self
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        other = other if isinstance(other, Polynomial) else Polynomial.constant(other)
+        terms: dict[tuple[tuple[str, int], ...], int] = {}
+        for left_monomial, left_coefficient in self._terms.items():
+            for right_monomial, right_coefficient in other._terms.items():
+                key = left_monomial + right_monomial
+                coefficient = (left_coefficient * right_coefficient) % 3
+                accumulated = Polynomial({key: coefficient})
+                for monomial, value in accumulated._terms.items():
+                    terms[monomial] = (terms.get(monomial, 0) + value) % 3
+        return Polynomial(terms)
+
+    def __rmul__(self, other: int) -> "Polynomial":
+        return self * other
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative exponents are not defined")
+        result = Polynomial.constant(1)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._terms.items())))
+
+    # -- evaluation / substitution ----------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Value of the polynomial under a total assignment of its variables."""
+        total = 0
+        for monomial, coefficient in self._terms.items():
+            value = coefficient
+            for variable, exponent in monomial:
+                if variable not in assignment:
+                    raise KeyError(f"assignment misses variable {variable!r}")
+                value = (value * pow(assignment[variable] % 3, exponent, 3)) % 3
+            total = (total + value) % 3
+        return total
+
+    def substitute(self, mapping: Mapping[str, "Polynomial | int"]) -> "Polynomial":
+        """Substitute polynomials (or constants) for variables."""
+        result = Polynomial.zero()
+        for monomial, coefficient in self._terms.items():
+            term = Polynomial.constant(coefficient)
+            for variable, exponent in monomial:
+                replacement = mapping.get(variable, Polynomial.variable(variable))
+                if isinstance(replacement, int):
+                    replacement = Polynomial.constant(replacement)
+                term = term * (replacement ** exponent)
+            result = result + term
+        return result
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in sorted(self._terms.items()):
+            factors = [f"{v}" if e == 1 else f"{v}^{e}" for v, e in monomial]
+            body = "*".join(factors) if factors else "1"
+            parts.append(body if coefficient == 1 else f"{coefficient}*{body}")
+        return " + ".join(parts)
+
+
+# --------------------------------------------------------------------------- encodings
+
+def presence(name: str) -> Polynomial:
+    """``x²``: 1 when the signal is present, 0 when absent."""
+    x = Polynomial.variable(name)
+    return x * x
+
+
+def absence(name: str) -> Polynomial:
+    """``1 - x²``: 1 when the signal is absent."""
+    return Polynomial.constant(1) - presence(name)
+
+
+def is_true(name: str) -> Polynomial:
+    """``-x(x+1)`` ≡ ``-x - x²``: 1 exactly when the signal is present-true."""
+    x = Polynomial.variable(name)
+    return -(x * (x + 1))
+
+
+def is_false(name: str) -> Polynomial:
+    """``x - x²``: 1 exactly when the signal is present-false."""
+    x = Polynomial.variable(name)
+    return x - x * x
+
+
+def synchronous_constraint(left: str, right: str) -> Polynomial:
+    """``x² - y²``: zero exactly when the two signals are synchronous."""
+    return presence(left) - presence(right)
+
+
+def when_constraint(result: str, operand: str, condition: str) -> Polynomial:
+    """Constraint for ``result := operand when condition``.
+
+    The Sigali encoding: ``result = operand * (-condition - condition²)``.
+    """
+    operand_poly = Polynomial.variable(operand)
+    condition_poly = Polynomial.variable(condition)
+    sampled = operand_poly * (-condition_poly - condition_poly * condition_poly)
+    return Polynomial.variable(result) - sampled
+
+
+def default_constraint(result: str, left: str, right: str) -> Polynomial:
+    """Constraint for ``result := left default right``.
+
+    The Sigali encoding: ``result = left + (1 - left²) * right``.
+    """
+    left_poly = Polynomial.variable(left)
+    right_poly = Polynomial.variable(right)
+    merged = left_poly + (Polynomial.constant(1) - left_poly * left_poly) * right_poly
+    return Polynomial.variable(result) - merged
+
+
+def not_constraint(result: str, operand: str) -> Polynomial:
+    """Constraint for ``result := not operand`` (``result = -operand``)."""
+    return Polynomial.variable(result) + Polynomial.variable(operand)
+
+
+def and_constraint(result: str, left: str, right: str) -> Polynomial:
+    """Constraint for ``result := left and right`` (Sigali: ``xy(xy - x - y - 1)``).
+
+    Both operands must be present; the standard encoding is
+    ``result = xy(xy - x - y - 1)``.
+    """
+    x = Polynomial.variable(left)
+    y = Polynomial.variable(right)
+    xy = x * y
+    return Polynomial.variable(result) - xy * (xy - x - y - 1)
+
+
+def or_constraint(result: str, left: str, right: str) -> Polynomial:
+    """Constraint for ``result := left or right`` (``xy(1 - x - y - xy)``)."""
+    x = Polynomial.variable(left)
+    y = Polynomial.variable(right)
+    xy = x * y
+    return Polynomial.variable(result) - xy * (1 - x - y - xy)
+
+
+# --------------------------------------------------------------------------- systems
+
+class PolynomialSystem:
+    """A finite set of polynomial constraints ``p_i = 0`` over Z/3Z."""
+
+    def __init__(self, constraints: Iterable[Polynomial] = ()) -> None:
+        self.constraints: list[Polynomial] = [c for c in constraints]
+
+    def add(self, constraint: Polynomial) -> None:
+        """Add a constraint ``constraint = 0``."""
+        self.constraints.append(constraint)
+
+    def variables(self) -> list[str]:
+        """All variables, sorted."""
+        names: set[str] = set()
+        for constraint in self.constraints:
+            names |= constraint.variables()
+        return sorted(names)
+
+    def holds(self, assignment: Mapping[str, int]) -> bool:
+        """True when every constraint evaluates to zero."""
+        return all(c.evaluate(assignment) == 0 for c in self.constraints)
+
+    def solutions(self, variables: Optional[Sequence[str]] = None) -> Iterator[dict[str, int]]:
+        """Enumerate all solutions over the given (default: all) variables."""
+        names = list(variables) if variables is not None else self.variables()
+        for values in product(FIELD, repeat=len(names)):
+            assignment = dict(zip(names, values))
+            if self.holds(assignment):
+                yield assignment
+
+    def solution_count(self) -> int:
+        """Number of solutions (over the system's own variables)."""
+        return sum(1 for _ in self.solutions())
+
+    def is_satisfiable(self) -> bool:
+        """True when at least one assignment satisfies every constraint."""
+        return next(self.solutions(), None) is not None
+
+    def implies(self, property_polynomial: Polynomial) -> bool:
+        """True when every solution also satisfies ``property_polynomial = 0``."""
+        names = sorted(set(self.variables()) | property_polynomial.variables())
+        for solution in self.solutions(names):
+            if property_polynomial.evaluate(solution) != 0:
+                return False
+        return True

@@ -1,0 +1,203 @@
+"""Tests for the clock calculus: BDDs, clock algebra, hierarchy, endochrony."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import (
+    BDDManager,
+    ClockAlgebra,
+    ClockVar,
+    EmptyClock,
+    FalseSample,
+    Join,
+    Meet,
+    TrueSample,
+    analyse_endochrony,
+    build_hierarchy,
+    check_clock_system,
+    clock_system,
+    join_all,
+    master_clock_of,
+    meet_all,
+)
+from repro.signal.dsl import ProcessBuilder, const, sig
+from repro.signal.library import (
+    alternator_process,
+    count_process,
+    modulo_counter_process,
+    shift_register_process,
+    switch_process,
+)
+
+
+class TestBDD:
+    def test_constants_and_literals(self):
+        manager = BDDManager()
+        assert manager.is_true(manager.true)
+        assert manager.is_false(manager.false)
+        x = manager.var("x")
+        assert manager.equivalent(manager.neg(manager.neg(x)), x)
+
+    def test_boolean_laws(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.equivalent(manager.conj(x, y), manager.conj(y, x))
+        assert manager.equivalent(manager.disj(x, manager.neg(x)), manager.true)
+        assert manager.equivalent(manager.conj(x, manager.neg(x)), manager.false)
+        # De Morgan
+        assert manager.equivalent(
+            manager.neg(manager.conj(x, y)),
+            manager.disj(manager.neg(x), manager.neg(y)),
+        )
+
+    def test_entailment_and_restrict(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        conj = manager.conj(x, y)
+        assert manager.entails(conj, x)
+        assert not manager.entails(x, conj)
+        assert manager.equivalent(manager.restrict(conj, {"x": True}), y)
+        assert manager.is_false(manager.restrict(conj, {"x": False}))
+
+    def test_support_and_counting(self):
+        manager = BDDManager()
+        formula = manager.disj(manager.var("a"), manager.conj(manager.var("b"), manager.var("c")))
+        assert manager.support(formula) == {"a", "b", "c"}
+        assert manager.count_satisfying(formula, ["a", "b", "c"]) == 5
+        assert manager.evaluate(formula, {"a": False, "b": True, "c": True})
+
+    def test_satisfying_assignments(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        models = list(manager.satisfying_assignments(manager.xor(x, y), ["x", "y"]))
+        assert {frozenset(m.items()) for m in models} == {
+            frozenset({("x", True), ("y", False)}),
+            frozenset({("x", False), ("y", True)}),
+        }
+
+    def test_to_expression(self):
+        manager = BDDManager()
+        assert manager.to_expression(manager.true) == "true"
+        assert manager.to_expression(manager.false) == "false"
+        assert "x" in manager.to_expression(manager.var("x"))
+
+
+class TestClockAlgebra:
+    def test_partition_law(self):
+        algebra = ClockAlgebra()
+        assert algebra.equal(Join(TrueSample("c"), FalseSample("c")), ClockVar("c"))
+        assert algebra.is_empty(Meet(TrueSample("c"), FalseSample("c")))
+
+    def test_inclusion_and_disjointness(self):
+        algebra = ClockAlgebra()
+        assert algebra.included(TrueSample("c"), ClockVar("c"))
+        assert algebra.included(Meet(ClockVar("a"), ClockVar("b")), ClockVar("a"))
+        assert algebra.disjoint(TrueSample("c"), FalseSample("c"))
+        assert not algebra.disjoint(ClockVar("a"), ClockVar("a"))
+
+    def test_empty_clock(self):
+        algebra = ClockAlgebra()
+        assert algebra.is_empty(EmptyClock())
+        assert algebra.equal(Join(ClockVar("a"), EmptyClock()), ClockVar("a"))
+
+    def test_join_meet_helpers(self):
+        algebra = ClockAlgebra()
+        clocks = [ClockVar("a"), ClockVar("b"), ClockVar("c")]
+        assert algebra.included(meet_all(clocks), join_all(clocks))
+        assert isinstance(join_all([]), EmptyClock)
+        with pytest.raises(ValueError):
+            meet_all([])
+
+    def test_simplify_renders_cubes(self):
+        algebra = ClockAlgebra()
+        text = algebra.simplify(Meet(ClockVar("a"), TrueSample("c")))
+        assert "p:a" in text and "v:c" in text
+
+
+class TestClockCalculus:
+    def test_count_clock_system(self):
+        system = clock_system(count_process())
+        assert "counter" in system.clock_of and "val" in system.clock_of
+        assert "reset" not in system.clock_of  # free input
+        rendered = system.render()
+        assert "^counter" in rendered
+
+    def test_synthetic_conditions_for_complex_samplings(self):
+        builder = ProcessBuilder("Sampler")
+        x = builder.input("x", "integer")
+        y = builder.output("y", "integer")
+        builder.define(y, x.when(x.eq(0)))
+        system = clock_system(builder.build())
+        assert len(system.conditions) == 1
+        condition = next(iter(system.conditions.values()))
+        assert condition.clock == ClockVar("x")
+
+    def test_check_clock_system_flags_empty_equalities(self):
+        builder = ProcessBuilder("Degenerate")
+        x = builder.input("x", "boolean")
+        y = builder.output("y", "integer")
+        builder.define(y, const(1).when(x & ~x))
+        diagnostics = check_clock_system(clock_system(builder.build()))
+        assert diagnostics == [] or all("empty" in d for d in diagnostics)
+
+
+class TestHierarchy:
+    def test_count_hierarchy_merges_val_and_counter(self):
+        hierarchy = build_hierarchy(count_process())
+        assert hierarchy.synchronous("val", "counter")
+        assert not hierarchy.synchronous("val", "reset")
+        assert hierarchy.faster_or_equal("val", "reset")
+        assert hierarchy.is_singly_rooted()
+        assert hierarchy.depth() == 2
+        assert "val" in hierarchy.render()
+
+    def test_switch_hierarchy(self):
+        hierarchy = build_hierarchy(switch_process())
+        assert hierarchy.synchronous("x", "c")
+        assert hierarchy.class_of("t") is not hierarchy.class_of("f")
+        assert {a.index for a in hierarchy.ancestors("t")} == {hierarchy.class_of("x").index}
+
+    def test_shift_register_is_one_class(self):
+        hierarchy = build_hierarchy(shift_register_process(depth=3))
+        assert len(hierarchy.classes) == 1
+
+    def test_inconsistent_constraints_reported(self):
+        builder = ProcessBuilder("Clash")
+        a = builder.input("a", "event")
+        b = builder.input("b", "event")
+        y = builder.output("y", "event")
+        builder.define(y, a.clock_product(b))
+        builder.constrain(y, a.clock_difference(b))
+        builder.constrain(sig("y"), sig("a"))
+        hierarchy = build_hierarchy(builder.build())
+        # Forcing y = a^*b = a^-b = a is unsatisfiable unless b's clock collapses;
+        # the hierarchy is still produced (possibly flagged inconsistent).
+        assert hierarchy.classes
+
+
+class TestEndochrony:
+    def test_verdicts_on_library_processes(self):
+        assert not analyse_endochrony(count_process())
+        assert analyse_endochrony(switch_process())
+        assert analyse_endochrony(alternator_process())
+        assert analyse_endochrony(modulo_counter_process(4))
+
+    def test_master_clock_of(self):
+        assert "tick" in master_clock_of(alternator_process())
+        assert master_clock_of(switch_process()) == ("c", "x")
+
+    def test_report_summary_mentions_issues(self):
+        report = analyse_endochrony(count_process())
+        assert "NOT endochronous" in report.summary()
+        assert report.issues
+
+    def test_free_output_clock_is_flagged(self):
+        builder = ProcessBuilder("FreeOut")
+        x = builder.input("x", "integer")
+        y = builder.output("y", "integer")
+        z = builder.output("z", "integer")
+        builder.define(y, x + 1)
+        builder.define(z, x.when(sig("hidden")))
+        report = analyse_endochrony(builder.build())
+        assert not report.is_endochronous

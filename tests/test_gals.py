@@ -1,0 +1,182 @@
+"""Tests for the GALS layer: buffers, channels, desynchronisation, architectures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import ABSENT, EVENT
+from repro.gals import (
+    BoundedFifo,
+    BufferOverflow,
+    BufferUnderflow,
+    FifoNetwork,
+    FourPhaseHandshake,
+    GalsArchitecture,
+    GalsNetwork,
+    OnePlaceBuffer,
+)
+from repro.signal.dsl import ProcessBuilder
+
+
+def incrementer(name: str = "Inc"):
+    builder = ProcessBuilder(name)
+    incoming = builder.input("incoming", "integer")
+    outgoing = builder.output("outgoing", "integer")
+    builder.define(outgoing, incoming + 1)
+    builder.synchronize(outgoing, incoming)
+    return builder.build()
+
+
+def accumulator(name: str = "Acc"):
+    builder = ProcessBuilder(name)
+    incoming = builder.input("incoming", "integer")
+    total = builder.output("total", "integer")
+    previous = builder.local("previous", "integer")
+    builder.define(previous, total.delayed(0))
+    builder.define(total, previous + incoming)
+    builder.synchronize(total, incoming)
+    return builder.build()
+
+
+class TestBuffers:
+    def test_fifo_order_and_bounds(self):
+        fifo = BoundedFifo(capacity=2)
+        fifo.push(1)
+        fifo.push(2)
+        with pytest.raises(BufferOverflow):
+            fifo.push(3)
+        assert fifo.pop() == 1
+        assert fifo.peek() == 2
+        assert fifo.pop() == 2
+        with pytest.raises(BufferUnderflow):
+            fifo.pop()
+
+    def test_try_variants(self):
+        buffer = OnePlaceBuffer()
+        assert buffer.try_push(5)
+        assert not buffer.try_push(6)
+        ok, value = buffer.try_pop()
+        assert ok and value == 5
+        ok, value = buffer.try_pop()
+        assert not ok and value is None
+
+    def test_capacity_validation_and_counters(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(capacity=0)
+        fifo = BoundedFifo(capacity=3)
+        for value in (1, 2):
+            fifo.push(value)
+        fifo.pop()
+        assert fifo.pushed == 2 and fifo.popped == 1
+        assert fifo.contents() == (2,)
+
+    def test_fifo_network(self):
+        network = FifoNetwork(capacity=2)
+        network.push("link", 1)
+        network.push("link", 2)
+        assert network.pending() == {"link": 2}
+        assert network.pop("link") == 1
+        assert network.total_traffic() == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_preserves_order(self, values):
+        fifo = BoundedFifo(capacity=max(len(values), 1))
+        for value in values:
+            fifo.push(value)
+        assert [fifo.pop() for _ in values] == values
+
+
+class TestHandshake:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_handshake_preserves_the_flow(self, values):
+        handshake = FourPhaseHandshake()
+        received = [handshake.transfer(value) for value in values]
+        assert received == values
+        assert handshake.transferred == values
+        assert handshake.is_idle()
+
+
+class TestGalsNetwork:
+    def test_pipeline_flows(self):
+        network = GalsNetwork("pipeline")
+        network.add_component("inc", incrementer())
+        network.add_component("acc", accumulator())
+        network.connect("inc", "outgoing", "acc", "incoming", capacity=4)
+        network.feed("inc", "incoming", [1, 2, 3])
+        traces = network.run()
+        assert traces["inc"].values("outgoing") == [2, 3, 4]
+        assert traces["acc"].values("total") == [2, 5, 9]
+
+    def test_schedule_does_not_change_flows(self):
+        results = []
+        for schedule in (None, ["acc", "inc"], ["inc", "inc", "acc"]):
+            network = GalsNetwork("pipeline")
+            network.add_component("inc", incrementer())
+            network.add_component("acc", accumulator())
+            network.connect("inc", "outgoing", "acc", "incoming", capacity=8)
+            network.feed("inc", "incoming", [5, 6, 7, 8])
+            traces = network.run(schedule=schedule)
+            results.append(tuple(traces["acc"].values("total")))
+        assert len(set(results)) == 1
+
+    def test_duplicate_component_rejected(self):
+        network = GalsNetwork()
+        network.add_component("inc", incrementer())
+        with pytest.raises(ValueError):
+            network.add_component("inc", incrementer())
+
+    def test_unknown_input_signal_rejected(self):
+        network = GalsNetwork()
+        network.add_component("inc", incrementer())
+        with pytest.raises(ValueError):
+            network.feed("inc", "ghost", [1])
+
+    def test_stalls_are_counted_not_fatal(self):
+        # A component whose clock constraints refuse lone inputs simply stalls.
+        builder = ProcessBuilder("Pair")
+        a = builder.input("a", "integer")
+        b = builder.input("b", "integer")
+        y = builder.output("y", "integer")
+        builder.define(y, a + b)
+        builder.synchronize(a, b)
+        network = GalsNetwork()
+        network.add_component("pair", builder.build())
+        network.feed("pair", "a", [1, 2])
+        network.feed("pair", "b", [10])
+        traces = network.run()
+        assert traces["pair"].values("y") == [11]
+
+
+class TestGalsArchitecture:
+    def _architecture(self):
+        architecture = GalsArchitecture("demo")
+        architecture.add_component("inc", incrementer())
+        architecture.add_component("acc", accumulator())
+        architecture.connect("inc", "outgoing", "acc", "incoming", capacity=4)
+        architecture.feed("inc", "incoming", [1, 2, 3])
+        return architecture
+
+    def test_analysis_reports_endochrony(self):
+        report = self._architecture().analyse()
+        assert report.all_components_endochronous
+        assert report.holds
+        assert "endochronous" in report.summary()
+
+    def test_desynchronised_run(self):
+        traces = self._architecture().run_desynchronised()
+        assert traces["acc"].values("total") == [2, 5, 9]
+
+    def test_synchronous_composition_structure(self):
+        composite = self._architecture().synchronous_composition()
+        assert "incoming" in composite.input_names
+        assert "total" in composite.output_names
+
+    def test_flow_preservation_check(self):
+        from repro.simulation import Trace
+
+        architecture = self._architecture()
+        reference = Trace.from_columns({"outgoing": [2, 3, 4], "total": [2, 5, 9]})
+        verdict = architecture.check_flow_preservation(reference, ["outgoing", "total"])
+        assert verdict.equivalent

@@ -1,0 +1,213 @@
+"""Tests for the SIGNAL AST, DSL and process definitions."""
+
+import pytest
+
+from repro.signal.ast import (
+    BinaryOp,
+    ClockConstraint,
+    Constant,
+    Default,
+    Definition,
+    Delay,
+    Instantiation,
+    ProcessDefinition,
+    SignalDeclaration,
+    SignalRef,
+    UnaryOp,
+    When,
+    as_expression,
+    compose,
+    expand,
+)
+from repro.signal.dsl import ProcessBuilder, call, const, sig, synchro
+from repro.signal.library import count_process, merge_process
+
+
+class TestExpressions:
+    def test_operator_overloading_builds_ast(self):
+        expr = sig("a") + 1
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert expr.left == SignalRef("a")
+        assert expr.right == Constant(1)
+
+    def test_primitive_constructors(self):
+        delayed = sig("x").delayed(0)
+        assert isinstance(delayed, Delay) and delayed.init == 0 and delayed.depth == 1
+        sampled = sig("x").when(sig("c"))
+        assert isinstance(sampled, When)
+        merged = sig("x").default(sig("y"))
+        assert isinstance(merged, Default)
+
+    def test_delay_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sig("x").delayed(0, depth=0)
+
+    def test_comparison_helpers(self):
+        assert sig("a").eq(1).op == "="
+        assert sig("a").ne(1).op == "/="
+        assert sig("a").lt(1).op == "<"
+        assert sig("a").ge(1).op == ">="
+
+    def test_references_collects_names(self):
+        expr = (sig("a") + sig("b")).when(sig("c")).default(sig("a").delayed(0))
+        assert expr.references() == {"a", "b", "c"}
+
+    def test_substitute_and_rename(self):
+        expr = sig("a") + sig("b")
+        renamed = expr.rename({"a": "z"})
+        assert renamed.references() == {"z", "b"}
+        substituted = expr.substitute({"a": Constant(5)})
+        assert substituted.references() == {"b"}
+
+    def test_as_expression_coercion(self):
+        assert as_expression(3) == Constant(3)
+        assert as_expression(True) == Constant(True)
+        assert as_expression("x") == SignalRef("x")
+        with pytest.raises(TypeError):
+            as_expression(3.5)
+
+    def test_constant_equality_distinguishes_bool_from_int(self):
+        assert Constant(True) != Constant(1)
+        assert Constant(1) == Constant(1)
+
+    def test_structural_equality_and_hash(self):
+        left = sig("a").when(sig("c"))
+        right = SignalRef("a").when(SignalRef("c"))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_unary_not(self):
+        expr = ~sig("b")
+        assert isinstance(expr, UnaryOp) and expr.op == "not"
+
+    def test_clock_operators(self):
+        meet = sig("a").clock_product(sig("b"))
+        assert meet.op == "^*"
+        union = sig("a").clock_union(sig("b"))
+        assert union.op == "^+"
+        difference = sig("a").clock_difference(sig("b"))
+        assert difference.op == "^-"
+
+
+class TestDeclarationsAndStatements:
+    def test_declaration_validation(self):
+        assert SignalDeclaration("x", "integer").type == "integer"
+        with pytest.raises(ValueError):
+            SignalDeclaration("x", "float")
+
+    def test_definition_names(self):
+        definition = Definition("y", sig("x") + 1)
+        assert definition.defined_names() == {"y"}
+        assert definition.referenced_names() == {"x"}
+
+    def test_clock_constraint_validation(self):
+        constraint = ClockConstraint("=", [sig("a"), sig("b")])
+        assert constraint.referenced_names() == {"a", "b"}
+        with pytest.raises(ValueError):
+            ClockConstraint("=", [sig("a")])
+        with pytest.raises(ValueError):
+            ClockConstraint("~", [sig("a"), sig("b")])
+
+    def test_synchro_helper(self):
+        constraint = synchro("a", "b", "c")
+        assert len(constraint.operands) == 3
+
+
+class TestProcessDefinition:
+    def test_count_process_shape(self):
+        count = count_process()
+        assert count.input_names == ("reset",)
+        assert count.output_names == ("val",)
+        assert count.local_names == ("counter",)
+        assert count.definition_of("val") is not None
+        assert count.definition_of("nothing") is None
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessDefinition(
+                "Bad",
+                [SignalDeclaration("x")],
+                [SignalDeclaration("x")],
+                [],
+            )
+
+    def test_defining_an_input_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessDefinition(
+                "Bad",
+                [SignalDeclaration("x")],
+                [SignalDeclaration("y")],
+                [Definition("x", const(1))],
+            )
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessDefinition(
+                "Bad",
+                [],
+                [SignalDeclaration("y")],
+                [Definition("y", const(1)), Definition("y", const(2))],
+            )
+
+    def test_renamed(self):
+        renamed = count_process().renamed({"val": "value"}, name="Count2")
+        assert renamed.name == "Count2"
+        assert renamed.output_names == ("value",)
+        assert renamed.definition_of("value") is not None
+
+    def test_all_names_includes_undeclared(self):
+        builder = ProcessBuilder("P")
+        builder.output("y", "integer")
+        builder.define("y", sig("ghost") + 1)
+        process = builder.build()
+        assert "ghost" in process.all_names
+
+
+class TestInstantiationAndComposition:
+    def test_instantiation_arity_checks(self):
+        count = count_process()
+        with pytest.raises(ValueError):
+            Instantiation(count, [], ["v"])
+        with pytest.raises(ValueError):
+            Instantiation(count, [sig("r")], [])
+
+    def test_expand_inlines_subprocesses(self):
+        merge = merge_process()
+        builder = ProcessBuilder("UsesMerge")
+        builder.input("p", "integer")
+        builder.input("q", "integer")
+        builder.output("out", "integer")
+        builder.instantiate(merge, [sig("p"), sig("q")], ["out"])
+        process = builder.build()
+        flattened = expand(process)
+        assert not list(flattened.instantiations())
+        assert flattened.definition_of("out") is not None
+        # The inlined local names are prefixed by the instance name.
+        assert any(name.startswith("Merge1.") for name in flattened.all_names)
+
+    def test_compose_identifies_shared_signals(self):
+        producer = ProcessBuilder("Prod")
+        producer.input("i", "integer")
+        producer.output("link", "integer")
+        producer.define("link", sig("i") + 1)
+        consumer = ProcessBuilder("Cons")
+        consumer.input("link", "integer")
+        consumer.output("o", "integer")
+        consumer.define("o", sig("link") * 2)
+        composite = compose("Pipeline", producer.build(), consumer.build())
+        assert composite.input_names == ("i",)
+        assert set(composite.output_names) == {"link", "o"}
+
+    def test_compose_with_hiding(self):
+        producer = ProcessBuilder("Prod")
+        producer.input("i", "integer")
+        producer.output("link", "integer")
+        producer.define("link", sig("i") + 1)
+        consumer = ProcessBuilder("Cons")
+        consumer.input("link", "integer")
+        consumer.output("o", "integer")
+        consumer.define("o", sig("link") * 2)
+        composite = compose("Pipeline", producer.build(), consumer.build(), hide=["link"])
+        assert set(composite.output_names) == {"o"}
+        assert "link" in composite.local_names

@@ -1,0 +1,182 @@
+"""Tests for the SIGNAL parser and pretty-printer (round-tripping)."""
+
+import pytest
+
+from repro.signal.ast import (
+    BinaryOp,
+    ClockBinary,
+    ClockConstraint,
+    Constant,
+    Default,
+    Definition,
+    Delay,
+    FunctionCall,
+    SignalRef,
+    When,
+)
+from repro.signal.library import STANDARD_PROCESSES, count_process
+from repro.signal.parser import SignalSyntaxError, parse_expression, parse_file, parse_process, tokenize
+from repro.signal.printer import render_expression, render_process
+
+
+COUNT_SOURCE = """
+process Count = (? event reset ! integer val)
+  (| counter := val$1 init 0
+   | val := (0 when reset) default (counter + 1)
+  |) where integer counter;
+end;
+"""
+
+ONES_SOURCE = """
+process ones = (? integer Inport; event start ! integer Outport; event done)
+  (| start ^= Inport
+   | Outport := ocount when data = 0
+   | data := Inport default rshift(data$1 init 255)
+   | ocount := (ocount$1 init 0) + xand(data, 1)
+   | done ^= Outport
+  |) where integer data, ocount;
+end;
+"""
+
+
+class TestTokenizer:
+    def test_tokenizes_operators(self):
+        kinds = [t.text for t in tokenize("x := a ^= b ^* c $ init 0xFF")]
+        assert ":=" in kinds and "^=" in kinds and "^*" in kinds and "0xFF" in kinds
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("x := 1 % a comment\ny := 2")
+        assert all("%" not in t.text for t in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SignalSyntaxError):
+            tokenize("x := @")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1 and tokens[1].line == 2
+
+
+class TestExpressionParsing:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a + b * 2")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_when_default_precedence(self):
+        expr = parse_expression("0 when reset default counter + 1")
+        assert isinstance(expr, Default)
+        assert isinstance(expr.left, When)
+        assert isinstance(expr.right, BinaryOp)
+
+    def test_unary_when(self):
+        expr = parse_expression("when s = 0")
+        assert isinstance(expr, When)
+        assert isinstance(expr.operand, Constant)
+        assert isinstance(expr.condition, BinaryOp)
+
+    def test_delay_with_init(self):
+        expr = parse_expression("data$1 init 255")
+        assert isinstance(expr, Delay) and expr.init == 255
+        bare = parse_expression("x$")
+        assert isinstance(bare, Delay) and bare.depth == 1
+
+    def test_delay_negative_init(self):
+        expr = parse_expression("x$ init -3")
+        assert expr.init == -3
+
+    def test_function_call(self):
+        expr = parse_expression("xand(data, 1)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.function == "xand" and len(expr.arguments) == 2
+
+    def test_clock_operators(self):
+        expr = parse_expression("a ^* b ^+ c")
+        assert isinstance(expr, ClockBinary)
+
+    def test_hex_and_booleans(self):
+        assert parse_expression("0xff") == Constant(255)
+        assert parse_expression("true") == Constant(True)
+        assert parse_expression("false") == Constant(False)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_expression("a + b extra")
+
+
+class TestProcessParsing:
+    def test_parse_count(self):
+        process = parse_process(COUNT_SOURCE)
+        assert process.name == "Count"
+        assert process.input_names == ("reset",)
+        assert process.output_names == ("val",)
+        assert process.local_names == ("counter",)
+        definition = process.definition_of("val")
+        assert isinstance(definition.expression, Default)
+
+    def test_parse_ones_from_paper(self):
+        process = parse_process(ONES_SOURCE)
+        assert process.input_names == ("Inport", "start")
+        assert process.output_names == ("Outport", "done")
+        constraints = list(process.clock_constraints())
+        assert len(constraints) == 2
+        assert process.definition_of("data") is not None
+
+    def test_parse_file_with_two_processes(self):
+        processes = parse_file(COUNT_SOURCE + "\n" + ONES_SOURCE)
+        assert [p.name for p in processes] == ["Count", "ones"]
+
+    def test_missing_assignment_operator(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_process("process P = (? integer a ! integer b) (| b + 1 |) end;")
+
+    def test_lhs_must_be_a_name(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_process("process P = (? integer a ! integer b) (| b + 1 := a |) end;")
+
+    def test_declaration_type_required(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_process("process P = (? foo a ! integer b) (| b := a |) end;")
+
+    def test_declaration_with_init_clause(self):
+        source = """
+        process P = (? integer a ! integer b)
+          (| b := (0 when a = 0) default (s$1 init 1)
+           | s := b
+          |) where integer s init 1;
+        end;
+        """
+        process = parse_process(source)
+        assert "s" in process.local_names
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(STANDARD_PROCESSES))
+    def test_library_processes_round_trip(self, name):
+        original = STANDARD_PROCESSES[name]()
+        text = render_process(original)
+        reparsed = parse_process(text)
+        assert reparsed.name == original.name
+        assert reparsed.input_names == original.input_names
+        assert reparsed.output_names == original.output_names
+        assert len(reparsed.body) == len(original.body)
+        # Rendering the reparsed process again is stable (fixpoint).
+        assert render_process(reparsed) == text
+
+    def test_expression_round_trip(self):
+        texts = [
+            "(0 when reset) default (counter + 1)",
+            "ocount when data = 0",
+            "Inport default rshift(data$1 init 255)",
+            "a ^* b ^+ c",
+            "not (a and b) or c",
+        ]
+        for text in texts:
+            expr = parse_expression(text)
+            assert parse_expression(render_expression(expr)) == expr
+
+    def test_count_round_trip_preserves_semantics(self):
+        original = count_process()
+        reparsed = parse_process(render_process(original))
+        assert reparsed.definition_of("val") == original.definition_of("val")
+        assert reparsed.definition_of("counter") == original.definition_of("counter")

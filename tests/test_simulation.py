@@ -1,0 +1,325 @@
+"""Tests for the reaction simulator: compiler, statuses, scheduler, traces."""
+
+import pytest
+
+from repro.core.values import ABSENT, EVENT
+from repro.signal.dsl import ProcessBuilder, const, sig
+from repro.signal.library import (
+    accumulator_process,
+    alternator_process,
+    count_process,
+    current_process,
+    edge_detector_process,
+    merge_process,
+    modulo_counter_process,
+    one_place_buffer_process,
+    sample_and_hold_process,
+    shift_register_process,
+    switch_process,
+    watchdog_process,
+)
+from repro.simulation import (
+    CompiledProcess,
+    ConsistencyError,
+    PRESENT,
+    Simulator,
+    Trace,
+    analyse,
+    build_dependency_graph,
+    simulate_columns,
+)
+from repro.simulation.status import Status
+
+
+class TestStatus:
+    def test_constructors_and_predicates(self):
+        assert Status.unknown().is_unknown
+        assert Status.absent().is_absent
+        assert Status.present(3).is_present and Status.present(3).provides_value
+        assert Status.present().has_unknown_value
+        assert Status.constant(1).is_constant
+
+    def test_merge_driven(self):
+        assert Status.unknown().merge_driven(5).value == 5
+        assert Status.unknown().merge_driven(ABSENT).is_absent
+        assert Status.unknown().merge_driven(PRESENT).is_present
+        with pytest.raises(ValueError):
+            Status.present(1).merge_driven(ABSENT)
+        with pytest.raises(ValueError):
+            Status.present(1).merge_driven(2)
+
+
+class TestPrimitives:
+    """The trace tables of Figure 1, executed."""
+
+    def test_delay_pre(self):
+        builder = ProcessBuilder("PreDemo")
+        y = builder.input("y", "integer")
+        x = builder.output("x", "integer")
+        builder.define(x, y.delayed(99))
+        trace = simulate_columns(builder.build(), {"y": [1, 2, 3]})
+        assert trace.values("x") == [99, 1, 2]
+
+    def test_when_sampling(self):
+        builder = ProcessBuilder("WhenDemo")
+        y = builder.input("y", "integer")
+        z = builder.input("z", "boolean")
+        x = builder.output("x", "integer")
+        builder.define(x, y.when(z))
+        trace = simulate_columns(
+            builder.build(),
+            {"y": [1, 2, 3, ABSENT], "z": [ABSENT, True, False, True]},
+        )
+        assert trace.values("x") == [2]
+        assert trace.column("x") == [ABSENT, 2, ABSENT, ABSENT]
+
+    def test_default_merge(self):
+        builder = ProcessBuilder("DefaultDemo")
+        y = builder.input("y", "integer")
+        z = builder.input("z", "integer")
+        x = builder.output("x", "integer")
+        builder.define(x, y.default(z))
+        trace = simulate_columns(
+            builder.build(),
+            {"y": [ABSENT, 2, 3], "z": [1, ABSENT, 30]},
+        )
+        assert trace.column("x") == [1, 2, 3]
+
+    def test_deep_delay(self):
+        builder = ProcessBuilder("Deep")
+        y = builder.input("y", "integer")
+        x = builder.output("x", "integer")
+        builder.define(x, y.delayed(0, depth=2))
+        trace = simulate_columns(builder.build(), {"y": [1, 2, 3, 4]})
+        assert trace.values("x") == [0, 0, 1, 2]
+
+
+class TestCountProcess:
+    def test_count_matches_paper_description(self):
+        simulator = Simulator(count_process())
+        trace = simulator.run(
+            [
+                {"reset": EVENT, "val": PRESENT},
+                {"reset": ABSENT, "val": PRESENT},
+                {"reset": ABSENT, "val": PRESENT},
+                {"reset": EVENT, "val": PRESENT},
+                {"reset": ABSENT, "val": PRESENT},
+            ]
+        )
+        assert trace.values("val") == [0, 1, 2, 0, 1]
+
+    def test_count_is_multiclocked(self):
+        """val can tick at instants where reset is absent (the paper's point)."""
+        simulator = Simulator(count_process())
+        trace = simulator.run(
+            [
+                {"reset": ABSENT, "val": PRESENT},
+                {"reset": ABSENT, "val": PRESENT},
+            ]
+        )
+        assert trace.values("val") == [1, 2]
+        assert trace.values("reset") == []
+
+    def test_count_val_absent_while_reset_present_is_inconsistent(self):
+        simulator = Simulator(count_process())
+        with pytest.raises(ConsistencyError):
+            simulator.step({"reset": EVENT, "val": ABSENT})
+
+
+class TestLibraryProcesses:
+    def test_current_cell_holds_values(self):
+        trace = simulate_columns(
+            current_process(init=0),
+            {"x": [1, ABSENT, 2, ABSENT], "c": [ABSENT, EVENT, ABSENT, EVENT]},
+        )
+        assert trace.column("y") == [1, 1, 2, 2]
+
+    def test_alternator_flips(self):
+        trace = simulate_columns(alternator_process(), {"tick": [EVENT] * 4})
+        assert trace.values("flip") == [True, False, True, False]
+
+    def test_modulo_counter_wraps_and_carries(self):
+        trace = simulate_columns(modulo_counter_process(3), {"tick": [EVENT] * 7})
+        assert trace.values("n") == [0, 1, 2, 0, 1, 2, 0]
+        assert trace.presence_count("carry") == 3
+
+    def test_edge_detector(self):
+        trace = simulate_columns(
+            edge_detector_process(),
+            {"level": [False, True, True, False, True]},
+        )
+        assert trace.column("rise") == [ABSENT, EVENT, ABSENT, ABSENT, EVENT]
+
+    def test_sample_and_hold(self):
+        trace = simulate_columns(
+            sample_and_hold_process(init=0),
+            {
+                "x": [5, ABSENT, 7, ABSENT],
+                "sample": [EVENT, ABSENT, EVENT, ABSENT],
+                "read": [ABSENT, EVENT, ABSENT, EVENT],
+            },
+        )
+        assert trace.values("y") == [5, 7]
+
+    def test_one_place_buffer_passes_values(self):
+        trace = simulate_columns(
+            one_place_buffer_process(init=0),
+            {
+                "push": [4, ABSENT, 6, ABSENT],
+                "pop": [ABSENT, EVENT, ABSENT, EVENT],
+            },
+        )
+        assert trace.values("value") == [4, 6]
+        assert trace.values("full") == [True, True]
+
+    def test_one_place_buffer_reports_empty(self):
+        trace = simulate_columns(
+            one_place_buffer_process(init=0),
+            {
+                "push": [4, ABSENT, ABSENT],
+                "pop": [ABSENT, EVENT, EVENT],
+            },
+        )
+        assert trace.values("full") == [True, False]
+
+    def test_merge_prefers_first_input(self):
+        trace = simulate_columns(
+            merge_process(),
+            {"a": [1, ABSENT, 3], "b": [10, 20, 30]},
+        )
+        assert trace.column("y") == [1, 20, 3]
+
+    def test_switch_routes_by_condition(self):
+        trace = simulate_columns(
+            switch_process(),
+            {"x": [1, 2, 3], "c": [True, False, True]},
+        )
+        assert trace.values("t") == [1, 3]
+        assert trace.values("f") == [2]
+
+    def test_accumulator(self):
+        trace = simulate_columns(
+            accumulator_process(),
+            {"x": [1, 2, 3, 4], "clear": [ABSENT, ABSENT, EVENT, ABSENT]},
+        )
+        assert trace.values("total") == [1, 3, 0, 4]
+
+    def test_watchdog_alarm(self):
+        trace = simulate_columns(
+            watchdog_process(limit=2),
+            {"tick": [EVENT] * 4, "kick": [ABSENT, ABSENT, ABSENT, EVENT]},
+        )
+        assert trace.presence_count("alarm") >= 1
+
+    def test_shift_register(self):
+        trace = simulate_columns(shift_register_process(depth=2, init=0), {"x": [1, 2, 3, 4]})
+        assert trace.values("y") == [0, 0, 1, 2]
+
+
+class TestSimulatorDrivers:
+    def test_run_synchronous_rejects_ragged_columns(self):
+        with pytest.raises(ValueError):
+            simulate_columns(merge_process(), {"a": [1], "b": [1, 2]})
+
+    def test_driving_unknown_signal_rejected(self):
+        simulator = Simulator(merge_process())
+        with pytest.raises(ConsistencyError):
+            simulator.step({"nonexistent": 1})
+
+    def test_run_flows_consumes_asynchronous_inputs(self):
+        builder = ProcessBuilder("Adder")
+        a = builder.input("a", "integer")
+        b = builder.input("b", "integer")
+        y = builder.output("y", "integer")
+        builder.define(y, a + b)
+        builder.synchronize(a, b)
+        simulator = Simulator(builder.build())
+        trace = simulator.run_flows({"a": [1, 2, 3], "b": [10, 20, 30]})
+        assert trace.values("y") == [11, 22, 33]
+
+    def test_run_flows_unknown_signal(self):
+        simulator = Simulator(merge_process())
+        with pytest.raises(ValueError):
+            simulator.run_flows({"zzz": [1]})
+
+    def test_trace_accumulates_until_reset(self):
+        simulator = Simulator(merge_process())
+        simulator.step({"a": 1, "b": ABSENT})
+        simulator.step({"a": 2, "b": ABSENT})
+        assert len(simulator.trace) == 2
+        simulator.reset()
+        assert len(simulator.trace) == 0
+
+
+class TestSchedulerAnalysis:
+    def test_dependency_graph_of_count(self):
+        graph = build_dependency_graph(count_process())
+        assert "val" in graph.defined and "counter" in graph.defined
+        assert "reset" in graph.free
+        # val reads counter instantaneously; counter reads val only through a delay.
+        assert "counter" in graph.dependencies_of("val")
+        assert "val" not in graph.dependencies_of("counter")
+        assert "val" in graph.delayed_edges["counter"]
+
+    def test_schedule_orders_counter_before_val(self):
+        report = analyse(count_process())
+        assert report.order.index("counter") < report.order.index("val")
+        assert not report.has_cycles
+        assert "Count" in report.summary()
+
+    def test_instantaneous_cycle_detected(self):
+        builder = ProcessBuilder("Loop")
+        builder.output("a", "integer")
+        builder.local("b", "integer")
+        builder.define("a", sig("b") + 1)
+        builder.define("b", sig("a") + 1)
+        report = analyse(builder.build())
+        assert report.has_cycles
+
+
+class TestTraces:
+    def test_projection_and_flows(self):
+        trace = Trace(["a", "b"], [{"a": 1, "b": ABSENT}, {"a": 2, "b": 5}])
+        projected = trace.project(["a"])
+        assert projected.signals == ("a",)
+        assert trace.to_flows() == {"a": (1, 2), "b": (5,)}
+
+    def test_to_behavior_round_trip(self):
+        trace = Trace.from_columns({"a": [1, ABSENT, 2], "b": [True, False, ABSENT]})
+        behavior = trace.to_behavior()
+        assert behavior["a"].values == (1, 2)
+        assert behavior["b"].values == (True, False)
+
+    def test_flow_equivalence_of_traces(self):
+        reference = Trace.from_columns({"a": [1, 2]})
+        delayed = Trace.from_columns({"a": [ABSENT, 1, ABSENT, 2]})
+        assert reference.flow_equivalent(delayed, ["a"])
+
+    def test_without_silent_rows(self):
+        trace = Trace.from_columns({"a": [1, ABSENT, 2]})
+        assert len(trace.without_silent_rows()) == 2
+
+    def test_render_contains_dots_for_absent(self):
+        trace = Trace.from_columns({"a": [1, ABSENT]})
+        assert "." in trace.render()
+
+
+class TestCompiledProcessDetails:
+    def test_signal_types_and_names(self):
+        compiled = CompiledProcess(count_process())
+        assert compiled.signal_types["reset"] == "event"
+        assert compiled.signal_types["val"] == "integer"
+        assert set(compiled.input_names) == {"reset"}
+
+    def test_initial_state_contains_delay_slots(self):
+        compiled = CompiledProcess(count_process())
+        state = compiled.initial_state()
+        assert len(state) == 1
+        assert list(state.values())[0] == (0,)
+
+    def test_step_is_pure_with_respect_to_state(self):
+        compiled = CompiledProcess(count_process())
+        state = compiled.initial_state()
+        _, first = compiled.step(state, {"reset": ABSENT, "val": PRESENT})
+        _, second = compiled.step(state, {"reset": ABSENT, "val": PRESENT})
+        assert first == second

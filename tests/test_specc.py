@@ -1,0 +1,281 @@
+"""Tests for the SpecC front end: kernel, interpreter, channels, translation."""
+
+import pytest
+
+from repro.core.values import ABSENT, EVENT
+from repro.gals.channels import FourPhaseHandshake, ProtocolError, bus_channel, chmp_channel
+from repro.simulation import Simulator
+from repro.specc import (
+    Assign,
+    BehaviorBuilder,
+    DesignBuilder,
+    If,
+    NotifyRequest,
+    SimulationKernel,
+    TranslationError,
+    WaitRequest,
+    binop,
+    lit,
+    run_design,
+    translate_behavior,
+    var,
+)
+from repro.specc.interpreter import SpecCRuntimeError
+
+
+class TestKernel:
+    def test_notify_wakes_waiting_process(self):
+        kernel = SimulationKernel()
+        log = []
+
+        def waiter():
+            log.append("waiting")
+            yield WaitRequest(("go",))
+            log.append("woken")
+
+        def notifier():
+            log.append("notifying")
+            yield NotifyRequest("go")
+
+        kernel.register("waiter", waiter())
+        kernel.register("notifier", notifier())
+        kernel.run()
+        assert "woken" in log
+        assert kernel.all_finished()
+
+    def test_deadlock_detection(self):
+        kernel = SimulationKernel()
+
+        def stuck():
+            yield WaitRequest(("never",))
+
+        kernel.register("stuck", stuck())
+        with pytest.raises(Exception):
+            kernel.run(strict=True)
+        assert kernel.blocked_processes() == ["stuck"]
+
+    def test_notification_trace(self):
+        kernel = SimulationKernel()
+
+        def producer():
+            yield NotifyRequest("a")
+            yield NotifyRequest("b")
+
+        kernel.register("producer", producer())
+        trace = kernel.run()
+        assert trace.notified_events() == ["a", "b"]
+
+
+class TestInterpreter:
+    def test_simple_design(self):
+        behavior = (
+            BehaviorBuilder("adder", ports=("a", "b", "sum"))
+            .assign("sum", binop("+", var("a"), var("b")))
+            .build()
+        )
+        design = (
+            DesignBuilder("AdderDesign")
+            .variable("a", 2)
+            .variable("b", 3)
+            .variable("sum", 0)
+            .instance(behavior, "adder")
+            .build()
+        )
+        run = run_design(design, observed=["sum"])
+        assert run.store["sum"] == 5
+        assert run.flow("sum") == [5]
+        assert run.finished
+
+    def test_port_bindings(self):
+        behavior = (
+            BehaviorBuilder("copy", ports=("src", "dst"))
+            .assign("dst", var("src"))
+            .build()
+        )
+        design = (
+            DesignBuilder("BindingDesign")
+            .variable("value_in", 9)
+            .variable("value_out", 0)
+            .instance(behavior, "copy", {"src": "value_in", "dst": "value_out"})
+            .build()
+        )
+        run = run_design(design)
+        assert run.store["value_out"] == 9
+
+    def test_if_while_and_break_semantics(self):
+        behavior = (
+            BehaviorBuilder("sum_to_n", ports=("n", "total"))
+            .local("i", 0)
+            .local("acc", 0)
+            .loop(
+                binop("<=", var("i"), var("n")),
+                [
+                    Assign("acc", binop("+", var("acc"), var("i"))),
+                    Assign("i", binop("+", var("i"), lit(1))),
+                ],
+            )
+            .when(binop(">", var("acc"), lit(100)), [Assign("total", lit(-1))], [Assign("total", var("acc"))])
+            .build()
+        )
+        design = (
+            DesignBuilder("SumDesign")
+            .variable("n", 5)
+            .variable("total", 0)
+            .instance(behavior, "sum")
+            .build()
+        )
+        assert run_design(design).store["total"] == 15
+
+    def test_unknown_variable_raises(self):
+        behavior = BehaviorBuilder("broken").assign("x", var("missing")).build()
+        design = DesignBuilder("Broken").variable("x", 0).instance(behavior, "broken").build()
+        with pytest.raises(SpecCRuntimeError):
+            run_design(design)
+
+    def test_chmp_channel_transfers_values(self):
+        """The paper's ChMP channel, exercised by a producer/consumer pair."""
+        producer = BehaviorBuilder("producer", repeat=False)
+        for value in (11, 22, 33):
+            producer.call("ChMP", "send", [lit(value)])
+        consumer = BehaviorBuilder("consumer", repeat=False)
+        for index in range(3):
+            consumer.call("ChMP", "recv", result="received")
+            consumer.assign(f"out{index}", var("received"))
+        design = (
+            DesignBuilder("ChmpDesign")
+            .variable("received", 0)
+            .variable("out0", 0)
+            .variable("out1", 0)
+            .variable("out2", 0)
+            .channel(chmp_channel())
+            .instance(producer.build(), "producer")
+            .instance(consumer.build(), "consumer")
+            .build()
+        )
+        run = run_design(design, observed=["out0", "out1", "out2"])
+        assert (run.store["out0"], run.store["out1"], run.store["out2"]) == (11, 22, 33)
+        assert run.finished
+
+    def test_bus_channel_transfers_values(self):
+        writer = BehaviorBuilder("writer", repeat=False)
+        for value in (7, 8):
+            writer.call("Bus", "write", [lit(value)])
+        reader = BehaviorBuilder("reader", repeat=False)
+        for index in range(2):
+            reader.call("Bus", "read", result=f"r{index}")
+        design = (
+            DesignBuilder("BusDesign")
+            .variable("r0", 0)
+            .variable("r1", 0)
+            .channel(bus_channel("Bus"))
+            .instance(writer.build(), "writer")
+            .instance(reader.build(), "reader")
+            .build()
+        )
+        run = run_design(design)
+        assert (run.store["r0"], run.store["r1"]) == (7, 8)
+
+
+class TestFourPhaseHandshake:
+    def test_transfer_sequence(self):
+        handshake = FourPhaseHandshake()
+        assert handshake.transfer(42) == 42
+        assert handshake.transfer(43) == 43
+        assert handshake.transferred == [42, 43]
+        assert handshake.is_idle()
+
+    def test_protocol_violation_detected(self):
+        handshake = FourPhaseHandshake()
+        handshake.sender_step(1)
+        handshake.sender_phase = 0
+        with pytest.raises(ProtocolError):
+            handshake.sender_step(2)  # raising ready twice without an ack
+
+
+class TestTranslation:
+    def test_translated_process_interface(self):
+        behavior = (
+            BehaviorBuilder("double", ports=("x", "y"), repeat=True)
+            .local("tmp", 0)
+            .wait("go")
+            .assign("tmp", binop("*", var("x"), lit(2)))
+            .assign("y", var("tmp"))
+            .notify("ready")
+            .build()
+        )
+        translation = translate_behavior(behavior)
+        process = translation.process
+        assert "tick" in process.input_names
+        assert "go" in process.input_names
+        assert "x" in process.input_names
+        assert "y" in process.output_names
+        assert "ready" in process.output_names
+        assert translation.variables == ("tmp",)
+        assert "S0" in translation.step_table()
+
+    def test_translation_matches_interpretation(self):
+        behavior = (
+            BehaviorBuilder("triple", ports=("x", "y"), repeat=True)
+            .wait("go")
+            .assign("y", binop("*", var("x"), lit(3)))
+            .notify("ready")
+            .build()
+        )
+        translation = translate_behavior(behavior)
+        simulator = Simulator(translation.process)
+        horizon = 8
+        trace = simulator.run_synchronous(
+            {
+                "tick": [EVENT] * horizon,
+                "go": [True] + [False] * (horizon - 1),
+                "x": [7] * horizon,
+            }
+        )
+        assert trace.values("y") == [21]
+        assert trace.presence_count("ready") == 1
+
+    def test_if_and_while_translation(self):
+        behavior = (
+            BehaviorBuilder("classify", ports=("x", "verdict"), repeat=True)
+            .local("count", 0)
+            .local("remaining", 0)
+            .wait("go")
+            .assign("count", lit(0))
+            .assign("remaining", var("x"))
+            .loop(
+                binop(">", var("remaining"), lit(0)),
+                [
+                    Assign("remaining", binop("-", var("remaining"), lit(1))),
+                    Assign("count", binop("+", var("count"), lit(1))),
+                ],
+            )
+            .when(binop(">", var("count"), lit(2)), [Assign("verdict", lit(1))], [Assign("verdict", lit(0))])
+            .notify("ready")
+            .build()
+        )
+        translation = translate_behavior(behavior)
+        simulator = Simulator(translation.process)
+        horizon = 30
+        trace = simulator.run_synchronous(
+            {
+                "tick": [EVENT] * horizon,
+                "go": [True] + [False] * (horizon - 1),
+                "x": [4] * horizon,
+            }
+        )
+        assert trace.values("verdict") == [1]
+
+    def test_unsupported_constructs_raise(self):
+        from repro.specc.ast import Break, MethodCall, While
+
+        looping = BehaviorBuilder("bad", repeat=False).statement(While(lit(True), [Break()])).build()
+        with pytest.raises(TranslationError):
+            translate_behavior(looping)
+        caller = BehaviorBuilder("caller", repeat=False).statement(MethodCall("ch", "send", [lit(1)])).build()
+        with pytest.raises(TranslationError):
+            translate_behavior(caller)
+
+    def test_unwritten_output_port_rejected(self):
+        behavior = BehaviorBuilder("silent", ports=("y",), repeat=False).wait("go").build()
+        with pytest.raises(TranslationError):
+            translate_behavior(behavior, output_ports=["y"])

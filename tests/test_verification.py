@@ -1,0 +1,276 @@
+"""Tests for the verification substrate: LTS, exploration, invariants,
+bisimulation, observer, controller synthesis and the Z/3Z encoding."""
+
+import pytest
+
+from repro.core.values import ABSENT, EVENT
+from repro.signal.dsl import ProcessBuilder, const
+from repro.signal.library import alternator_process, edge_detector_process, modulo_counter_process
+from repro.simulation import Trace
+from repro.verification import (
+    ExplorationOptions,
+    FlowObserver,
+    LTS,
+    PolynomialSystem,
+    SynthesisObjective,
+    always_eventually,
+    check_bisimulation,
+    check_invariant_labels,
+    check_invariant_states,
+    check_reachable,
+    check_reaction_reachable,
+    compare_traces,
+    controllable_by_signals,
+    deadlock_free,
+    encode_process,
+    explore,
+    explore_product,
+    label_to_dict,
+    make_label,
+    quotient,
+    safety_from_labels,
+    synthesise,
+)
+from repro.verification.z3z import (
+    Polynomial,
+    and_constraint,
+    default_constraint,
+    from_code,
+    is_true,
+    not_constraint,
+    or_constraint,
+    presence,
+    to_code,
+    when_constraint,
+)
+
+
+class TestLTS:
+    def test_states_and_transitions(self):
+        lts = LTS("demo")
+        a = lts.add_state("a", initial=True)
+        b = lts.add_state("b")
+        lts.add_transition(a, {"x": 1}, b)
+        lts.add_transition(b, {}, a)
+        assert lts.state_count() == 2 and lts.transition_count() == 2
+        assert lts.successors(a) == {b}
+        assert lts.predecessors(a) == {b}
+        assert lts.reachable() == {a, b}
+        assert lts.alphabet() == {make_label({"x": 1}), frozenset()}
+
+    def test_path_to_and_deadlocks(self):
+        lts = LTS("demo")
+        a = lts.add_state("a", initial=True)
+        b = lts.add_state("b")
+        c = lts.add_state("c")
+        lts.add_transition(a, {"go": EVENT}, b)
+        lts.add_transition(b, {"stop": EVENT}, c)
+        path = lts.path_to(lambda s: s == c)
+        assert [t.target for t in path] == [b, c]
+        assert lts.deadlocks() == {c}
+
+    def test_label_projection_and_rendering(self):
+        lts = LTS("demo")
+        a = lts.add_state("a", initial=True)
+        lts.add_transition(a, {"x": 1, "y": 2}, a)
+        projected = lts.project_labels(["x"])
+        assert projected.alphabet() == {make_label({"x": 1})}
+        assert "x=1" in lts.render_label(make_label({"x": 1}))
+        assert lts.render_label(frozenset()) == "τ"
+        assert "digraph" in lts.to_dot()
+
+    def test_label_round_trip(self):
+        label = make_label({"x": 1, "y": ABSENT})
+        assert label_to_dict(label) == {"x": 1}
+
+
+class TestExplorer:
+    def test_alternator_exploration(self):
+        result = explore(alternator_process())
+        assert result.complete
+        assert result.lts.state_count() == 2
+        assert result.lts.transition_count() == 4  # tick present/absent from each state
+
+    def test_driving_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            explore(alternator_process(), ExplorationOptions(driven_signals=["ghost"]))
+
+    def test_max_states_bound(self):
+        result = explore(modulo_counter_process(9), ExplorationOptions(max_states=3))
+        assert not result.complete
+        assert result.lts.state_count() <= 3
+
+    def test_product_exploration(self):
+        result = explore_product(alternator_process(), alternator_process())
+        assert result.lts.state_count() >= 1
+        assert result.complete
+
+
+class TestInvariants:
+    def _counter_lts(self, modulo=3):
+        return explore(modulo_counter_process(modulo)).lts
+
+    def test_invariant_holds(self):
+        lts = self._counter_lts()
+        verdict = check_invariant_labels(lts, lambda r: r.get("n", 0) is ABSENT or r.get("n", 0) < 3)
+        assert verdict.holds and "holds" in verdict.explain()
+
+    def test_invariant_violation_yields_counterexample(self):
+        lts = self._counter_lts()
+        verdict = check_invariant_labels(lts, lambda r: r.get("n", ABSENT) in (ABSENT, 0, 1))
+        assert not verdict.holds
+        assert verdict.counterexample
+
+    def test_reachability(self):
+        lts = self._counter_lts()
+        hit = check_reaction_reachable(lts, lambda r: "carry" in r)
+        assert hit.holds
+        miss = check_reaction_reachable(lts, lambda r: r.get("n") == 99)
+        assert not miss.holds
+
+    def test_state_reachability_and_af(self):
+        lts = self._counter_lts()
+        assert check_reachable(lts, lambda s: s == max(lts.states)).holds
+        assert check_invariant_states(lts, lambda s: True).holds
+        assert always_eventually(lts, lambda s: s == lts.initial).holds
+        assert deadlock_free(lts).holds
+
+
+class TestBisimulation:
+    def test_identical_systems_are_bisimilar(self):
+        left = explore(modulo_counter_process(3)).lts
+        right = explore(modulo_counter_process(3)).lts
+        assert check_bisimulation(left, right).bisimilar
+
+    def test_different_modulos_are_not_bisimilar(self):
+        left = explore(modulo_counter_process(3)).lts
+        right = explore(modulo_counter_process(4)).lts
+        result = check_bisimulation(left, right)
+        assert not result.bisimilar
+        assert "NOT" in result.explain()
+
+    def test_projection_can_recover_bisimilarity(self):
+        left = explore(modulo_counter_process(3)).lts
+        right = explore(modulo_counter_process(4)).lts
+        # Hiding the counter value and the carry leaves only the tick alphabet.
+        assert check_bisimulation(left, right, observed=["tick"]).bisimilar
+
+    def test_quotient_is_bisimilar_to_original(self):
+        lts = explore(modulo_counter_process(4)).lts
+        reduced = quotient(lts)
+        assert reduced.state_count() <= lts.state_count()
+        assert check_bisimulation(lts, reduced).bisimilar
+
+
+class TestObserver:
+    def test_flow_observer_matches_and_diverges(self):
+        observer = FlowObserver(["x"])
+        assert observer.feed("left", "x", 1)
+        assert observer.feed("right", "x", 1)
+        assert observer.ok
+        observer.feed("left", "x", 2)
+        assert not observer.feed("right", "x", 3)
+        verdict = observer.verdict()
+        assert not verdict.equivalent and verdict.mismatch.signal == "x"
+
+    def test_strict_verdict_requires_equal_lengths(self):
+        observer = FlowObserver(["x"])
+        observer.feed("left", "x", 1)
+        assert observer.verdict(strict=False).equivalent
+        assert not observer.verdict(strict=True).equivalent
+
+    def test_feed_validation(self):
+        observer = FlowObserver(["x"])
+        with pytest.raises(ValueError):
+            observer.feed("middle", "x", 1)
+        with pytest.raises(KeyError):
+            observer.feed("left", "unknown", 1)
+
+    def test_compare_traces_with_renaming(self):
+        left = Trace.from_columns({"Outport": [1, 2]})
+        right = Trace.from_columns({"outport": [ABSENT, 1, ABSENT, 2]})
+        verdict = compare_traces(left, right, ["Outport"], rename_right={"outport": "Outport"})
+        assert verdict.equivalent
+
+
+class TestSynthesis:
+    def test_synthesis_on_counter(self):
+        lts = explore(modulo_counter_process(4)).lts
+        objective = SynthesisObjective(
+            safe_states=safety_from_labels(lts, lambda r: "carry" not in r),
+            controllable=controllable_by_signals(["tick"]),
+        )
+        result = synthesise(lts, objective)
+        assert result.success
+        closed = result.controller.restrict(lts)
+        assert check_invariant_labels(closed, lambda r: "carry" not in r).holds
+        assert result.disabled_transitions >= 1
+
+    def test_synthesis_failure_when_uncontrollable(self):
+        lts = explore(modulo_counter_process(2)).lts
+        objective = SynthesisObjective(
+            safe_states=safety_from_labels(lts, lambda r: "carry" not in r),
+            controllable=controllable_by_signals([]),  # nothing can be disabled
+        )
+        result = synthesise(lts, objective)
+        assert not result.success
+        assert "NO controller" in result.explain()
+
+
+class TestZ3Z:
+    def test_polynomial_arithmetic(self):
+        x = Polynomial.variable("x")
+        assert (x + x + x).is_zero()
+        assert (x * x * x) == x  # x^3 = x over Z/3Z
+        assert (x - x).is_zero()
+        assert (2 * x) == (-x)
+        assert (x ** 2).degree() == 2
+
+    def test_substitution_and_evaluation(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        p = x * y + 1
+        assert p.evaluate({"x": 2, "y": 2}) == (2 * 2 + 1) % 3
+        substituted = p.substitute({"x": y})
+        assert substituted == y * y + 1
+
+    def test_primitive_encodings(self):
+        assert to_code(ABSENT) == 0 and to_code(True) == 1 and to_code(False) == 2
+        assert from_code(2) is False
+        for code in (0, 1, 2):
+            assert presence("x").evaluate({"x": code}) == (0 if code == 0 else 1)
+        system = PolynomialSystem([not_constraint("r", "x")])
+        for solution in system.solutions(["r", "x"]):
+            assert solution["r"] == (-solution["x"]) % 3
+
+    def test_and_or_constraints(self):
+        system = PolynomialSystem([and_constraint("r", "x", "y"), or_constraint("s", "x", "y")])
+        for solution in system.solutions(["r", "s", "x", "y"]):
+            x, y = solution["x"], solution["y"]
+            if 0 in (x, y):
+                assert solution["r"] == 0 and solution["s"] == 0
+            else:
+                x_b, y_b = x == 1, y == 1
+                assert solution["r"] == to_code(x_b and y_b)
+                assert solution["s"] == to_code(x_b or y_b)
+
+    def test_encode_alternator_and_check_invariant(self):
+        system = encode_process(alternator_process())
+        assert system.check_invariant(presence("flip") - presence("tick"))
+        assert not system.check_invariant(is_true("flip") - presence("tick"))
+        assert len(system.reachable_states()) == 2
+
+    def test_encode_rejects_integer_signals(self):
+        from repro.signal.library import count_process
+        from repro.verification import EncodingError
+
+        with pytest.raises(EncodingError):
+            encode_process(count_process())
+
+    def test_edge_detector_encoding_matches_simulation(self):
+        system = encode_process(edge_detector_process())
+        # In every admissible reaction, rise present implies level present-true.
+        for state in system.reachable_states():
+            for reaction in system.admissible_reactions(dict(state)):
+                decoded = system.decode_reaction(reaction)
+                if decoded["rise"] is not ABSENT:
+                    assert decoded["level"] is True
