@@ -1,0 +1,21 @@
+# One entry point for the checks CI and local development share.
+#
+#   make test        - the tier-1 suite (tests/, includes the differential
+#                      symbolic-vs-explicit suite and the benchmark smoke runs)
+#   make bench-smoke - only the benchmark smoke runs (every benchmarks/bench_*.py
+#                      main path at its smallest size)
+#   make bench       - the full pytest-benchmark campaign over benchmarks/
+
+PYTHON ?= python
+PYTEST := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
+
+.PHONY: test bench-smoke bench
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) -q -m bench_smoke
+
+bench:
+	$(PYTEST) -q -o python_files='bench_*.py' benchmarks

@@ -8,12 +8,15 @@ the ``ite`` combinator, the usual boolean connectives, restriction,
 satisfiability and model enumeration.
 
 The same engine is reused by the verification layer to represent state
-predicates symbolically.
+predicates symbolically: quantification, variable renaming and the combined
+relational product (``and_exists``) are the primitives the symbolic
+reachability engine of :mod:`repro.verification.symbolic` builds its image
+computation from.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Mapping, Optional
 
 
 class BDDNode:
@@ -48,6 +51,9 @@ class BDDManager:
         self._next_id = 2
         self._unique: dict[tuple[str, int, int], BDDNode] = {}
         self._ite_cache: dict[tuple[int, int, int], BDDNode] = {}
+        self._quant_cache: dict[tuple[int, int, bool], BDDNode] = {}
+        self._relprod_cache: dict[tuple[int, int, int], BDDNode] = {}
+        self._varsets: dict[frozenset, int] = {}
         for name in variables:
             self.declare(name)
 
@@ -171,6 +177,122 @@ class BDDManager:
             result = self.disj(result, node)
         return result
 
+    # -- quantification and relational operations ---------------------------------------
+
+    def _varset_id(self, variables: Iterable[str]) -> tuple[frozenset, int]:
+        names = variables if isinstance(variables, frozenset) else frozenset(variables)
+        identifier = self._varsets.get(names)
+        if identifier is None:
+            identifier = len(self._varsets)
+            self._varsets[names] = identifier
+        return names, identifier
+
+    def cube(self, assignment: Mapping[str, bool]) -> BDDNode:
+        """The conjunction of literals described by ``assignment``."""
+        result = self.true
+        for name, value in assignment.items():
+            result = self.conj(result, self.var(name) if value else self.nvar(name))
+        return result
+
+    def exists(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """Existential quantification ``∃ variables . node``."""
+        names, set_id = self._varset_id(variables)
+        return self._quantify(node, names, set_id, existential=True)
+
+    def forall(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """Universal quantification ``∀ variables . node``."""
+        names, set_id = self._varset_id(variables)
+        return self._quantify(node, names, set_id, existential=False)
+
+    def _quantify(self, node: BDDNode, names: frozenset, set_id: int, existential: bool) -> BDDNode:
+        if node.is_terminal:
+            return node
+        key = (node.identifier, set_id, existential)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._quantify(node.low, names, set_id, existential)
+        high = self._quantify(node.high, names, set_id, existential)
+        if node.variable in names:
+            result = self.disj(low, high) if existential else self.conj(low, high)
+        else:
+            result = self._node(node.variable, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def rename(self, node: BDDNode, mapping: Mapping[str, str]) -> BDDNode:
+        """Simultaneous substitution of variables by variables.
+
+        The substitution is functional composition, so it is correct even when
+        the renaming does not preserve the variable ordering (the result is
+        rebuilt with ``ite``); renaming onto a variable in the support of
+        ``node`` that is not itself renamed away is rejected.
+        """
+        support = self.support(node)
+        relevant = {old: new for old, new in mapping.items() if old in support}
+        clashes = (set(relevant.values()) & support) - set(relevant)
+        if clashes:
+            raise ValueError(f"rename targets {sorted(clashes)} collide with the support")
+        if len(set(relevant.values())) != len(relevant):
+            duplicated = sorted({new for new in relevant.values() if list(relevant.values()).count(new) > 1})
+            raise ValueError(f"rename is not injective on the support: targets {duplicated} are duplicated")
+        for new in relevant.values():
+            self.declare(new)
+        memo: dict[int, BDDNode] = {}
+
+        def walk(current: BDDNode) -> BDDNode:
+            if current.is_terminal:
+                return current
+            done = memo.get(current.identifier)
+            if done is not None:
+                return done
+            low = walk(current.low)
+            high = walk(current.high)
+            target = relevant.get(current.variable, current.variable)
+            result = self.ite(self.var(target), high, low)
+            memo[current.identifier] = result
+            return result
+
+        return walk(node)
+
+    def and_exists(self, left: BDDNode, right: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """The relational product ``∃ variables . left ∧ right`` in one pass.
+
+        Quantifying while conjoining avoids materialising the (often much
+        larger) conjunction — the classical optimisation of symbolic image
+        computation.
+        """
+        names, set_id = self._varset_id(variables)
+        return self._and_exists(left, right, names, set_id)
+
+    def _and_exists(self, left: BDDNode, right: BDDNode, names: frozenset, set_id: int) -> BDDNode:
+        if left is self.false or right is self.false:
+            return self.false
+        if left is self.true and right is self.true:
+            return self.true
+        if left is self.true:
+            return self._quantify(right, names, set_id, existential=True)
+        if right is self.true:
+            return self._quantify(left, names, set_id, existential=True)
+        key = (min(left.identifier, right.identifier), max(left.identifier, right.identifier), set_id)
+        cached = self._relprod_cache.get(key)
+        if cached is not None:
+            return cached
+        variable = self._top_variable(left, right)
+        l_low, l_high = self._cofactors(left, variable)
+        r_low, r_high = self._cofactors(right, variable)
+        low = self._and_exists(l_low, r_low, names, set_id)
+        if variable in names and low is self.true:
+            result = self.true
+        else:
+            high = self._and_exists(l_high, r_high, names, set_id)
+            if variable in names:
+                result = self.disj(low, high)
+            else:
+                result = self._node(variable, low, high)
+        self._relprod_cache[key] = result
+        return result
+
     # -- queries ----------------------------------------------------------------------------
 
     def equivalent(self, left: BDDNode, right: BDDNode) -> bool:
@@ -214,9 +336,23 @@ class BDDManager:
             stack.append(current.high)
         return variables
 
+    def _counting_order(self, node: BDDNode, variables: Optional[list[str]]) -> list[str]:
+        """Normalise a variable list to diagram order (undeclared names are
+        declared): the positional cofactor walks below would silently skip a
+        support variable listed out of order or omitted, losing models."""
+        if variables is None:
+            return sorted(self.support(node), key=lambda v: self._rank[v])
+        names = set(variables)  # duplicates would double-count via identity cofactors
+        for name in names:
+            self.declare(name)
+        missing = self.support(node) - names
+        if missing:
+            raise ValueError(f"variable list omits support variables {sorted(missing)}")
+        return sorted(names, key=lambda v: self._rank[v])
+
     def satisfying_assignments(self, node: BDDNode, variables: Optional[list[str]] = None) -> Iterator[dict[str, bool]]:
         """Enumerate total satisfying assignments over ``variables``."""
-        names = variables if variables is not None else sorted(self.support(node), key=lambda v: self._rank[v])
+        names = self._counting_order(node, variables)
 
         def recurse(index: int, current: BDDNode, assignment: dict[str, bool]) -> Iterator[dict[str, bool]]:
             if index == len(names):
@@ -235,9 +371,26 @@ class BDDManager:
         yield from recurse(0, node, {})
 
     def count_satisfying(self, node: BDDNode, variables: Optional[list[str]] = None) -> int:
-        """Number of satisfying assignments over ``variables``."""
-        names = variables if variables is not None else sorted(self.support(node), key=lambda v: self._rank[v])
-        return sum(1 for _ in self.satisfying_assignments(node, names))
+        """Number of satisfying assignments over ``variables``.
+
+        Computed by dynamic programming over the diagram (not by enumeration),
+        so counting the 2^n states of a large symbolic reachable set is cheap.
+        """
+        names = self._counting_order(node, variables)
+        memo: dict[tuple[int, int], int] = {}
+
+        def count(current: BDDNode, index: int) -> int:
+            if index == len(names):
+                return 1 if current is self.true else 0
+            key = (current.identifier, index)
+            cached = memo.get(key)
+            if cached is None:
+                low, high = self._cofactors(current, names[index])
+                cached = count(low, index + 1) + count(high, index + 1)
+                memo[key] = cached
+            return cached
+
+        return count(node, 0)
 
     def evaluate(self, node: BDDNode, assignment: dict[str, bool]) -> bool:
         """Evaluate the function under a total assignment of its support."""

@@ -250,6 +250,24 @@ def shift_register_process(depth: int, init: int = 0, name: str = "ShiftRegister
     return builder.build()
 
 
+def boolean_shift_register_process(depth: int, name: Optional[str] = None) -> ProcessDefinition:
+    """A boolean shift register with every stage ``s0 … s{depth-1}`` observable.
+
+    Exactly 2^depth memory states are reachable, all within ``depth`` steps,
+    which makes this the canonical design for comparing explicit and symbolic
+    reachability (differential tests and the symbolic benchmarks).
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    builder = ProcessBuilder(name or f"Shift{depth}")
+    stage = builder.input("x", "boolean")
+    for index in range(depth):
+        target = builder.output(f"s{index}", "boolean")
+        builder.define(target, stage.delayed(False))
+        stage = target
+    return builder.build()
+
+
 #: Mapping of library process names to their constructors, for discovery.
 STANDARD_PROCESSES = {
     "Count": count_process,

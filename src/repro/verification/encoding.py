@@ -13,7 +13,6 @@ enumeration, adequate for the control parts of the paper's case study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
 from typing import Any, Iterable, Iterator, Mapping, Optional
 
 from ..signal.ast import (
@@ -33,6 +32,8 @@ from ..signal.ast import (
     expand,
 )
 from ..core.values import EVENT
+from .invariants import CheckResult
+from .reachability import BoundReached, Reachability, ReactionPredicate
 from .z3z import (
     FIELD,
     Polynomial,
@@ -71,13 +72,36 @@ class PolynomialDynamicalSystem:
     # -- instantaneous relation -------------------------------------------------------
 
     def admissible_reactions(self, state: Mapping[str, int]) -> Iterator[dict[str, int]]:
-        """Enumerate the signal assignments compatible with ``state``."""
+        """Enumerate the signal assignments compatible with ``state``.
+
+        Backtracking search: each constraint is checked as soon as the last
+        signal of its support is assigned, pruning the 3^signals product down
+        to the admissible branches (the difference between milliseconds and
+        minutes on designs with a dozen signals).
+        """
         names = self.signal_variables
-        for values in product(FIELD, repeat=len(names)):
-            assignment = dict(zip(names, values))
-            assignment.update(state)
-            if self.constraints.holds(assignment):
+        position = {name: index for index, name in enumerate(names)}
+        ready: list[list[Polynomial]] = [[] for _ in range(len(names) + 1)]
+        for constraint in self.constraints.constraints:
+            undecided = [position[v] for v in constraint.variables() if v in position]
+            ready[max(undecided) + 1 if undecided else 0].append(constraint)
+
+        assignment = dict(state)
+
+        def backtrack(index: int) -> Iterator[dict[str, int]]:
+            for constraint in ready[index]:
+                if constraint.evaluate(assignment) != 0:
+                    return
+            if index == len(names):
                 yield {name: assignment[name] for name in names}
+                return
+            name = names[index]
+            for value in FIELD:
+                assignment[name] = value
+                yield from backtrack(index + 1)
+            del assignment[name]
+
+        yield from backtrack(0)
 
     def next_state(self, state: Mapping[str, int], reaction: Mapping[str, int]) -> dict[str, int]:
         """Apply the polynomial transition functions."""
@@ -91,43 +115,141 @@ class PolynomialDynamicalSystem:
 
     # -- exploration ---------------------------------------------------------------------
 
-    def reachable_states(self, max_states: int = 5000) -> set[tuple[tuple[str, int], ...]]:
-        """Reachable state valuations (frozen as sorted tuples)."""
+    def _explore(
+        self,
+        max_states: int,
+        visit: Optional[Any] = None,
+    ) -> tuple[set[tuple[tuple[str, int], ...]], bool]:
+        """Shared depth-first search core: reachable frozen states, plus a completeness flag.
+
+        ``visit(state, reaction)`` is called on every reachable (state,
+        reaction) pair; returning a non-``None`` value aborts the search (used
+        by invariant checking to stop at the first violation).
+        """
         initial = tuple(sorted(self.initial_state().items()))
         seen = {initial}
         frontier = [initial]
-        while frontier and len(seen) < max_states:
+        complete = True
+        while frontier:
             current = frontier.pop()
             state = dict(current)
             for reaction in self.admissible_reactions(state):
+                if visit is not None and visit(state, reaction) is not None:
+                    return seen, complete
                 successor = tuple(sorted(self.next_state(state, reaction).items()))
                 if successor not in seen:
+                    if len(seen) >= max_states:
+                        complete = False
+                        continue
                     seen.add(successor)
                     frontier.append(successor)
+        return seen, complete
+
+    def reachable_states(self, max_states: int = 5000) -> set[tuple[tuple[str, int], ...]]:
+        """Reachable state valuations (frozen as sorted tuples).
+
+        Truncated silently at ``max_states``; use :meth:`explore` for a
+        completeness-aware handle.
+        """
+        seen, _ = self._explore(max_states)
         return seen
 
     def check_invariant(self, invariant: Polynomial, max_states: int = 5000) -> bool:
-        """True when ``invariant = 0`` holds for every reachable reaction."""
-        initial = tuple(sorted(self.initial_state().items()))
-        seen = {initial}
-        frontier = [initial]
-        while frontier and len(seen) <= max_states:
-            current = frontier.pop()
-            state = dict(current)
-            for reaction in self.admissible_reactions(state):
-                assignment = dict(state)
-                assignment.update(reaction)
-                if invariant.evaluate(assignment) != 0:
-                    return False
-                successor = tuple(sorted(self.next_state(state, reaction).items()))
-                if successor not in seen:
-                    seen.add(successor)
-                    frontier.append(successor)
-        return True
+        """True when ``invariant = 0`` holds for every reachable reaction.
+
+        Raises:
+            BoundReached: when no violation was found but the search was
+                truncated at ``max_states`` — a ``True`` would be unsound.
+        """
+        violated = []
+
+        def visit(state: dict[str, int], reaction: dict[str, int]) -> Optional[bool]:
+            assignment = dict(state)
+            assignment.update(reaction)
+            if invariant.evaluate(assignment) != 0:
+                violated.append(True)
+                return True
+            return None
+
+        _, complete = self._explore(max_states, visit)
+        if not violated and not complete:
+            raise BoundReached(
+                f"{self.name}: invariant search truncated at max_states={max_states}; "
+                "no violation found below the bound, but the verdict would be unsound"
+            )
+        return not violated
+
+    def explore(self, max_states: int = 5000) -> "PolynomialReachability":
+        """Explicit exploration packaged behind the shared Reachability interface."""
+        return PolynomialReachability(self, max_states)
 
     def decode_reaction(self, reaction: Mapping[str, int]) -> dict[str, Any]:
         """Translate a ternary reaction back into signal statuses."""
         return {name: from_code(code) for name, code in reaction.items()}
+
+
+class PolynomialReachability(Reachability):
+    """Explicit enumeration over a polynomial dynamical system.
+
+    The third backend of the differential test suite: it shares the encoding
+    with the symbolic engine (so state counts are directly comparable) but
+    explores state by state like the explicit explorer.  The distinct
+    admissible reactions encountered during the construction search are cached,
+    so every predicate check afterwards is a scan of that cache instead of a
+    fresh ``O(states × 3^signals)`` enumeration.
+    """
+
+    def __init__(self, system: PolynomialDynamicalSystem, max_states: int = 5000) -> None:
+        self.system = system
+        self.max_states = max_states
+        reactions: set[tuple[tuple[str, int], ...]] = set()
+
+        def record(_state: Mapping[str, int], reaction: Mapping[str, int]) -> None:
+            reactions.add(tuple(sorted(reaction.items())))
+            return None
+
+        self._states, self._complete = system._explore(max_states, record)
+        self._reactions = [system.decode_reaction(dict(frozen)) for frozen in sorted(reactions)]
+
+    @property
+    def state_count(self) -> int:
+        """Number of reachable ternary state valuations."""
+        return len(self._states)
+
+    @property
+    def complete(self) -> bool:
+        """False when the ``max_states`` bound truncated the search."""
+        return self._complete
+
+    def reactions(self) -> list[dict[str, Any]]:
+        """The distinct decoded reactions reachable states admit (copies)."""
+        return [dict(decoded) for decoded in self._reactions]
+
+    def _scan(self, predicate: ReactionPredicate) -> Optional[dict[str, Any]]:
+        """First reachable decoded reaction satisfying ``predicate``, if any."""
+        self._validate_signals(
+            predicate.signals(), self.system.signal_variables, self.system.name, "predicate"
+        )
+        for decoded in self._reactions:
+            if predicate.evaluate(decoded):
+                return dict(decoded)
+        return None
+
+    def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
+        """AG over reactions, against the cached reachable reaction alphabet."""
+        witness = self._scan(~predicate)
+        if witness is None:
+            self._require_complete(name)
+            return CheckResult(True, name, details=f"{self.state_count} reachable states")
+        return CheckResult(False, name, details=f"violating reaction {witness}")
+
+    def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
+        """EF over reactions."""
+        witness = self._scan(predicate)
+        if witness is None:
+            self._require_complete(name)
+            return CheckResult(False, name, details="no reachable reaction satisfies the predicate")
+        return CheckResult(True, name, details=f"witness reaction {witness}")
 
 
 class SigaliEncoder:
@@ -162,6 +284,11 @@ class SigaliEncoder:
                     "the Sigali encoding covers the boolean/event control skeleton only"
                 )
             self.system.signal_variables.append(name)
+            if type_ == "event":
+                # An event carries no value: its code is 0 or 1, never 2
+                # (present-false), which the constraint x² = x pins down.
+                variable = Polynomial.variable(name)
+                self.system.constraints.add(variable * variable - variable)
         for definition in self.process.definitions():
             target = Polynomial.variable(definition.target)
             encoded = self._encode_expression(definition.expression)

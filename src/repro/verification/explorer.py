@@ -7,22 +7,34 @@ over a user-supplied finite domain).  The result is an :class:`~repro.verificati
 whose labels are the reactions, ready for invariant checking, bisimulation
 checking and controller synthesis.
 
-This plays the role of the state-space construction that Sigali performs
-symbolically; the designs of the paper's case study have small control state
-spaces, so explicit exploration is adequate (and is benchmarked in E12).
+This is the *explicit* half of the verification pipeline: Sigali performs the
+same construction symbolically, and so does our
+:mod:`repro.verification.symbolic` engine, which represents state sets as
+BDDs and scales far beyond the ``max_states`` bound of this module.  Explicit
+exploration remains the reference semantics (it handles integer data the
+boolean abstraction cannot) and the oracle the differential test suite
+(``tests/test_symbolic_vs_explicit.py``) checks the symbolic engine against;
+prefer the symbolic engine for large boolean/event control skeletons.
+
+Explorations that hit ``max_states`` are never silently truncated: the result
+carries ``bound_reached`` (and ``complete = False``), and
+``ExplorationOptions(on_bound="raise")`` turns the truncation into a
+:class:`BoundReached` exception.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Iterable, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from ..core.values import ABSENT, EVENT
 from ..signal.ast import ProcessDefinition
 from ..simulation.compiler import CompiledProcess, SimulationError
 from ..simulation.status import PRESENT
+from .invariants import CheckResult, check_invariant_labels, check_reaction_reachable
 from .lts import LTS, make_label
+from .reachability import BoundReached, ControlVerdict, Reachability, ReactionPredicate
 
 
 @dataclass
@@ -36,6 +48,9 @@ class ExplorationOptions:
         observed: signals recorded in the transition labels (default: interface).
         max_states: exploration bound (states beyond the bound are not expanded).
         allow_silent: whether the all-absent stimulus is part of the alphabet.
+        on_bound: what to do when ``max_states`` is hit — ``"flag"`` records
+            ``bound_reached`` on the result, ``"raise"`` raises
+            :class:`BoundReached`.
     """
 
     integer_domain: Sequence[int] = (0, 1)
@@ -44,16 +59,28 @@ class ExplorationOptions:
     observed: Optional[Sequence[str]] = None
     max_states: int = 10000
     allow_silent: bool = True
+    on_bound: str = "flag"
+
+    def __post_init__(self) -> None:
+        if self.on_bound not in ("flag", "raise"):
+            raise ValueError(f"on_bound must be 'flag' or 'raise', not {self.on_bound!r}")
 
 
 @dataclass
-class ExplorationResult:
-    """The LTS produced by an exploration, plus bookkeeping."""
+class ExplorationResult(Reachability):
+    """The LTS produced by an exploration, plus bookkeeping.
+
+    Implements the shared :class:`~repro.verification.reachability.Reachability`
+    interface, so invariant checking and controller synthesis can be run
+    against an explicit exploration and a symbolic one interchangeably.
+    """
 
     lts: LTS
     memories: dict[int, dict[str, Any]] = field(default_factory=dict)
     complete: bool = True
+    bound_reached: bool = False
     rejected_stimuli: int = 0
+    observed: Optional[tuple[str, ...]] = None
 
     @property
     def state_count(self) -> int:
@@ -64,6 +91,49 @@ class ExplorationResult:
     def transition_count(self) -> int:
         """Number of explored transitions."""
         return self.lts.transition_count()
+
+    # -- Reachability interface ---------------------------------------------------
+    # Labels only carry the observed alphabet (None on hand-built results):
+    # that is the universe predicates are validated against.
+
+    def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
+        """AG over reactions, on the explored LTS."""
+        self._validate_signals(predicate.signals(), self.observed, self.lts.name, "predicate")
+        result = check_invariant_labels(self.lts, predicate, name)
+        if result.holds:
+            self._require_complete(name)
+        return result
+
+    def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
+        """EF over reactions, on the explored LTS."""
+        self._validate_signals(predicate.signals(), self.observed, self.lts.name, "predicate")
+        result = check_reaction_reachable(self.lts, predicate, name)
+        if not result.holds:
+            self._require_complete(name)
+        return result
+
+    def synthesise(
+        self,
+        safe: ReactionPredicate,
+        controllable: Sequence[str],
+        ensure_nonblocking: bool = True,
+    ) -> ControlVerdict:
+        """Explicit supervisory-control synthesis on the explored LTS.
+
+        Raises:
+            BoundReached: when the exploration was truncated — the LTS then
+                lacks the boundary transitions (in particular uncontrollable
+                escapes into unexplored states), so any verdict would be
+                about a different plant.
+        """
+        self._validate_signals(safe.signals(), self.observed, self.lts.name, "safety predicate")
+        self._validate_signals(
+            controllable, self.observed, self.lts.name, "controllable set", error=ValueError
+        )
+        self._require_complete("synthesis")
+        from .synthesis import synthesise_with
+
+        return synthesise_with(self.lts, safe, controllable, ensure_nonblocking)
 
 
 def _stimulus_domain(compiled: CompiledProcess, name: str, integers: Sequence[int]) -> list[Any]:
@@ -77,6 +147,55 @@ def _stimulus_domain(compiled: CompiledProcess, name: str, integers: Sequence[in
 
 def _freeze(memory: Mapping[str, Any]) -> tuple:
     return tuple(sorted(memory.items()))
+
+
+def _search(
+    result: ExplorationResult,
+    options: ExplorationOptions,
+    stimuli: Sequence[Mapping[str, Any]],
+    observed: Sequence[str],
+    step: Any,
+    name: str,
+) -> ExplorationResult:
+    """The exploration loop shared by single and product exploration.
+
+    ``step(memory, stimulus)`` resolves one reaction, returning the record to
+    store for the successor state, its hashable payload, and the instant; it
+    raises SimulationError for inadmissible stimuli.  The frontier is a
+    stack, so traversal order is depth-first — the reachable *set* is the
+    same either way, but do not rely on shortest-path discovery order.
+    """
+    lts = result.lts
+    frontier = [lts.initial]
+    pending = {lts.initial}
+    explored: set[int] = set()
+    while frontier:
+        state = frontier.pop()
+        pending.discard(state)
+        if state in explored:
+            continue
+        explored.add(state)
+        memory = result.memories[state]
+        for stimulus in stimuli:
+            try:
+                record, payload, instant = step(memory, stimulus)
+            except SimulationError:
+                result.rejected_stimuli += 1
+                continue
+            existing = lts.index_of(payload)
+            if existing is None:
+                if lts.state_count() >= options.max_states:
+                    _hit_bound(result, options, name)
+                    continue
+                existing = lts.add_state(payload)
+                result.memories[existing] = record
+                frontier.append(existing)
+                pending.add(existing)
+            elif existing not in explored and existing not in pending:
+                frontier.append(existing)
+                pending.add(existing)
+            lts.add_transition(state, make_label(instant, observed), existing)
+    return result
 
 
 def explore(
@@ -100,6 +219,9 @@ def explore(
     observed = list(options.observed) if options.observed is not None else list(
         compiled.input_names + compiled.output_names
     )
+    unknown = [name for name in observed if name not in compiled.signal_names]
+    if unknown:
+        raise ValueError(f"{compiled.name}: cannot observe unknown signals {unknown}")
 
     domains = [_stimulus_domain(compiled, name, options.integer_domain) for name in driven]
     stimuli: list[dict[str, Any]] = []
@@ -110,39 +232,27 @@ def explore(
         stimuli.append(stimulus)
 
     lts = LTS(compiled.name)
-    result = ExplorationResult(lts)
+    result = ExplorationResult(lts, observed=tuple(observed))
 
     initial_memory = compiled.initial_state()
     initial = lts.add_state(_freeze(initial_memory), initial=True)
     result.memories[initial] = dict(initial_memory)
 
-    frontier = [initial]
-    explored: set[int] = set()
-    while frontier:
-        state = frontier.pop()
-        if state in explored:
-            continue
-        explored.add(state)
-        memory = result.memories[state]
-        for stimulus in stimuli:
-            try:
-                new_memory, instant = compiled.step(memory, stimulus)
-            except SimulationError:
-                result.rejected_stimuli += 1
-                continue
-            payload = _freeze(new_memory)
-            existing = lts.index_of(payload)
-            if existing is None:
-                if lts.state_count() >= options.max_states:
-                    result.complete = False
-                    continue
-                existing = lts.add_state(payload)
-                result.memories[existing] = dict(new_memory)
-                frontier.append(existing)
-            elif existing not in explored and existing not in frontier:
-                frontier.append(existing)
-            lts.add_transition(state, make_label(instant, observed), existing)
-    return result
+    def step(memory: Mapping[str, Any], stimulus: Mapping[str, Any]):
+        new_memory, instant = compiled.step(memory, stimulus)
+        return dict(new_memory), _freeze(new_memory), instant
+
+    return _search(result, options, stimuli, observed, step, compiled.name)
+
+
+def _hit_bound(result: ExplorationResult, options: ExplorationOptions, name: str) -> None:
+    result.complete = False
+    result.bound_reached = True
+    if options.on_bound == "raise":
+        raise BoundReached(
+            f"{name}: exploration truncated at max_states={options.max_states}; "
+            "raise the bound or switch to repro.verification.symbolic"
+        )
 
 
 def explore_product(
@@ -165,6 +275,14 @@ def explore_product(
     if shared_driven is None:
         shared_driven = [n for n in left_compiled.input_names if n in right_compiled.input_names]
     driven = list(shared_driven)
+    # Both processes step on every stimulus, so a driven signal must exist on
+    # both sides — a one-sided name would reject every stimulus and yield an
+    # empty exploration certifying vacuous verdicts.
+    for compiled in (left_compiled, right_compiled):
+        unknown = [name for name in driven if name not in compiled.signal_names]
+        if unknown:
+            raise ValueError(f"{compiled.name}: cannot drive unknown signals {unknown}")
+    known = set(left_compiled.signal_names) | set(right_compiled.signal_names)
 
     domains = [_stimulus_domain(left_compiled, name, options.integer_domain) for name in driven]
     stimuli = [dict(zip(driven, combination)) for combination in product(*domains)] if driven else [{}]
@@ -172,9 +290,14 @@ def explore_product(
     observed = list(options.observed) if options.observed is not None else sorted(
         set(left_compiled.output_names) | set(right_compiled.output_names) | set(driven)
     )
+    unknown = [name for name in observed if name not in known]
+    if unknown:
+        raise ValueError(
+            f"{left_compiled.name}×{right_compiled.name}: cannot observe unknown signals {unknown}"
+        )
 
     lts = LTS(f"{left_compiled.name}×{right_compiled.name}")
-    result = ExplorationResult(lts)
+    result = ExplorationResult(lts, observed=tuple(observed))
     initial_payload = (_freeze(left_compiled.initial_state()), _freeze(right_compiled.initial_state()))
     initial = lts.add_state(initial_payload, initial=True)
     result.memories[initial] = {
@@ -182,33 +305,12 @@ def explore_product(
         "right": right_compiled.initial_state(),
     }
 
-    frontier = [initial]
-    explored: set[int] = set()
-    while frontier:
-        state = frontier.pop()
-        if state in explored:
-            continue
-        explored.add(state)
-        memory = result.memories[state]
-        for stimulus in stimuli:
-            try:
-                left_memory, left_instant = left_compiled.step(memory["left"], stimulus)
-                right_memory, right_instant = right_compiled.step(memory["right"], stimulus)
-            except SimulationError:
-                result.rejected_stimuli += 1
-                continue
-            instant = dict(right_instant)
-            instant.update(left_instant)
-            payload = (_freeze(left_memory), _freeze(right_memory))
-            existing = lts.index_of(payload)
-            if existing is None:
-                if lts.state_count() >= options.max_states:
-                    result.complete = False
-                    continue
-                existing = lts.add_state(payload)
-                result.memories[existing] = {"left": left_memory, "right": right_memory}
-                frontier.append(existing)
-            elif existing not in explored and existing not in frontier:
-                frontier.append(existing)
-            lts.add_transition(state, make_label(instant, observed), existing)
-    return result
+    def step(memory: Mapping[str, Any], stimulus: Mapping[str, Any]):
+        left_memory, left_instant = left_compiled.step(memory["left"], stimulus)
+        right_memory, right_instant = right_compiled.step(memory["right"], stimulus)
+        instant = dict(right_instant)
+        instant.update(left_instant)
+        record = {"left": left_memory, "right": right_memory}
+        return record, (_freeze(left_memory), _freeze(right_memory)), instant
+
+    return _search(result, options, stimuli, observed, step, lts.name)

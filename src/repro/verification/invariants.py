@@ -8,6 +8,13 @@ execution?* and *is some state/reaction reachable?*  This module answers both,
 producing counterexample paths when the answer is negative, and offers the
 small CTL-like operators (AG, EF, AF) that the refinement obligations and the
 controller-synthesis objectives are phrased with.
+
+The checks also come in engine-agnostic form: :func:`invariant_holds` and
+:func:`reaction_reachable` accept either a plain :class:`~.lts.LTS`, or any
+backend of the shared :class:`~repro.verification.reachability.Reachability`
+interface (explicit exploration, polynomial enumeration, or the symbolic BDD
+engine), so a property written once can be checked by every engine — which is
+exactly what the differential test suite does.
 """
 
 from __future__ import annotations
@@ -85,6 +92,40 @@ def check_reaction_reachable(lts: LTS, predicate: LabelPredicate, name: str = "r
             path = lts.path_to(lambda s: s == transition.source) or []
             return CheckResult(True, name, path + [transition], transition.target, "witness reaction found")
     return CheckResult(False, name, details="no reachable reaction satisfies the predicate")
+
+
+def _as_reachability(target: Any, caller: str) -> Any:
+    # Late import: reachability imports CheckResult from this module.  The
+    # isinstance check matters — bare duck-typing would silently match e.g.
+    # PolynomialDynamicalSystem.check_invariant(polynomial, max_states) and
+    # misinterpret both arguments.
+    from .reachability import Reachability
+
+    if not isinstance(target, Reachability):
+        raise TypeError(
+            f"{caller} expects an LTS or a Reachability backend, not "
+            f"{type(target).__name__} (for a PolynomialDynamicalSystem, call .explore() first)"
+        )
+    return target
+
+
+def invariant_holds(target: Any, predicate: LabelPredicate, name: str = "invariant") -> CheckResult:
+    """Engine-agnostic AG over reactions.
+
+    ``target`` may be an LTS (checked transition by transition) or any
+    Reachability backend (delegated to its own ``check_invariant``, which for
+    the symbolic engine is a single BDD emptiness test).
+    """
+    if isinstance(target, LTS):
+        return check_invariant_labels(target, predicate, name)
+    return _as_reachability(target, "invariant_holds").check_invariant(predicate, name)
+
+
+def reaction_reachable(target: Any, predicate: LabelPredicate, name: str = "reachability") -> CheckResult:
+    """Engine-agnostic EF over reactions (see :func:`invariant_holds`)."""
+    if isinstance(target, LTS):
+        return check_reaction_reachable(target, predicate, name)
+    return _as_reachability(target, "reaction_reachable").check_reachable(predicate, name)
 
 
 def states_satisfying_ef(lts: LTS, targets: set[int]) -> set[int]:

@@ -1,0 +1,270 @@
+"""The shared reachability interface of the verification pipeline.
+
+The paper's tool-chain computes reachable state spaces in two ways: the
+explicit explorer (:mod:`repro.verification.explorer`) enumerates memory
+states one by one, and the Sigali-style symbolic engine
+(:mod:`repro.verification.symbolic`) manipulates whole state *sets* as BDDs.
+Invariant checking and controller synthesis should not care which engine
+produced the state space, so both implement the :class:`Reachability`
+interface defined here, and properties are phrased in a small declarative
+predicate language (:class:`ReactionPredicate`) that every backend can
+interpret — the explicit engines evaluate a predicate on concrete reactions,
+the symbolic engine compiles it to a BDD over presence/value bits.
+
+Backends:
+
+* :class:`~repro.verification.explorer.ExplorationResult` — explicit LTS
+  exploration of a compiled process;
+* :class:`~repro.verification.encoding.PolynomialReachability` — explicit
+  enumeration over the Z/3Z polynomial dynamical system;
+* :class:`~repro.verification.symbolic.SymbolicReachability` — BDD fixpoint
+  over the boolean encoding of the same polynomial system.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.values import ABSENT, EVENT
+from .invariants import CheckResult
+
+
+# --------------------------------------------------------------------------- predicates
+
+class ReactionPredicate:
+    """A boolean combination of presence/value atoms over one reaction.
+
+    Instances are built with the factory classmethods and combined with
+    ``&``, ``|`` and ``~``.  :meth:`evaluate` interprets the predicate on a
+    concrete reaction (a mapping from signal names to values, with absent
+    signals either omitted or mapped to ``ABSENT``); the symbolic engine
+    instead compiles the same tree into a BDD, so one property definition
+    serves every backend of the differential test suite.
+    """
+
+    def __init__(self, kind: str, *operands: Any) -> None:
+        self.kind = kind
+        self.operands = operands
+
+    # -- factories ---------------------------------------------------------------
+
+    @classmethod
+    def present(cls, name: str) -> "ReactionPredicate":
+        """The signal is present in the reaction."""
+        return cls("present", name)
+
+    @classmethod
+    def absent(cls, name: str) -> "ReactionPredicate":
+        """The signal is absent from the reaction."""
+        return ~cls.present(name)
+
+    @classmethod
+    def true_of(cls, name: str) -> "ReactionPredicate":
+        """The signal is present with value true (events count as true)."""
+        return cls("true", name)
+
+    @classmethod
+    def false_of(cls, name: str) -> "ReactionPredicate":
+        """The signal is present with value false."""
+        return cls("false", name)
+
+    @classmethod
+    def always(cls) -> "ReactionPredicate":
+        """The constant-true predicate."""
+        return cls("const", True)
+
+    @classmethod
+    def never(cls) -> "ReactionPredicate":
+        """The constant-false predicate."""
+        return cls("const", False)
+
+    # -- combinators --------------------------------------------------------------
+
+    def __and__(self, other: "ReactionPredicate") -> "ReactionPredicate":
+        return ReactionPredicate("and", self, other)
+
+    def __or__(self, other: "ReactionPredicate") -> "ReactionPredicate":
+        return ReactionPredicate("or", self, other)
+
+    def __invert__(self) -> "ReactionPredicate":
+        return ReactionPredicate("not", self)
+
+    def implies(self, other: "ReactionPredicate") -> "ReactionPredicate":
+        """``self ⇒ other``."""
+        return ~self | other
+
+    # -- interpretation ------------------------------------------------------------
+
+    def signals(self) -> set[str]:
+        """The signal names mentioned by the predicate."""
+        if self.kind in ("present", "true", "false"):
+            return {self.operands[0]}
+        if self.kind == "const":
+            return set()
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.signals()
+        return result
+
+    def evaluate(self, reaction: Mapping[str, Any]) -> bool:
+        """Interpret the predicate on a concrete reaction."""
+        if self.kind == "const":
+            return self.operands[0]
+        if self.kind == "not":
+            return not self.operands[0].evaluate(reaction)
+        if self.kind == "and":
+            return all(operand.evaluate(reaction) for operand in self.operands)
+        if self.kind == "or":
+            return any(operand.evaluate(reaction) for operand in self.operands)
+        value = reaction.get(self.operands[0], ABSENT)
+        if self.kind == "present":
+            return value is not ABSENT
+        if value is ABSENT:
+            return False
+        # Value atoms are strictly boolean: a present signal carrying an
+        # integer (even 0/1) is neither true nor false, mirroring the ternary
+        # encoding where only boolean/event signals have truth values.
+        if self.kind == "true":
+            return value is EVENT or value is True
+        return value is False
+
+    def __call__(self, reaction: Mapping[str, Any]) -> bool:
+        return self.evaluate(reaction)
+
+    def __repr__(self) -> str:
+        if self.kind in ("present", "true", "false"):
+            return f"{self.kind}({self.operands[0]})"
+        if self.kind == "const":
+            return "⊤" if self.operands[0] else "⊥"
+        if self.kind == "not":
+            return f"¬{self.operands[0]!r}"
+        joiner = " ∧ " if self.kind == "and" else " ∨ "
+        return "(" + joiner.join(repr(operand) for operand in self.operands) + ")"
+
+
+class BoundReached(RuntimeError):
+    """A bounded analysis cannot stand behind the requested verdict.
+
+    Raised by the explicit explorer when ``max_states`` is hit with
+    ``on_bound="raise"``, and by every Reachability backend when a truncated
+    (``complete = False``) analysis is asked to certify a universally
+    quantified answer — "the invariant holds" or "nothing satisfies the
+    predicate" — that only a complete exploration can support.  Negative
+    existential answers stay available through the legacy per-LTS checkers,
+    which document their bounded semantics.
+    """
+
+
+# --------------------------------------------------------------------------- verdicts
+
+@dataclass
+class ControlVerdict:
+    """Backend-independent outcome of a controller-synthesis run.
+
+    ``backend`` carries the engine-specific artefact (an explicit
+    :class:`~repro.verification.synthesis.SynthesisResult`, or the kept-state
+    BDD of the symbolic engine) for callers that want more than the verdict.
+    """
+
+    success: bool
+    kept_states: int
+    total_states: int
+    details: str = ""
+    backend: Any = None
+
+    def __bool__(self) -> bool:
+        return self.success
+
+    def explain(self) -> str:
+        """Readable summary."""
+        verdict = "controller found" if self.success else "NO controller exists"
+        text = f"{verdict}: kept {self.kept_states}/{self.total_states} states"
+        if self.details:
+            text += f" — {self.details}"
+        return text
+
+
+# --------------------------------------------------------------------------- interface
+
+class Reachability(ABC):
+    """What every reachable-state-space backend exposes.
+
+    The interface is deliberately phrased in terms of *reactions* (the labels
+    of the paper's LTSs) rather than state payloads, because state identities
+    differ between backends (frozen memory dicts vs. ternary valuations vs.
+    BDD cubes) while the observable alphabet is shared.
+    """
+
+    @property
+    @abstractmethod
+    def state_count(self) -> int:
+        """Number of reachable states."""
+
+    @property
+    @abstractmethod
+    def complete(self) -> bool:
+        """False when a bound (states or iterations) truncated the analysis."""
+
+    @abstractmethod
+    def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
+        """AG over reactions: every reachable reaction satisfies ``predicate``.
+
+        Raises:
+            BoundReached: when the analysis is incomplete and no violation was
+                found — a "holds" verdict would be unsound.
+        """
+
+    @abstractmethod
+    def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
+        """EF over reactions: some reachable reaction satisfies ``predicate``.
+
+        Raises:
+            BoundReached: when the analysis is incomplete and no witness was
+                found — an "unreachable" verdict would be unsound.
+        """
+
+    def _require_complete(self, name: str) -> None:
+        """Guard for the verdicts only a complete exploration can certify."""
+        if not self.complete:
+            raise BoundReached(
+                f"{name}: the analysis was truncated (state or iteration bound); "
+                "a definitive verdict would be unsound — raise the bound"
+            )
+
+    def _validate_signals(
+        self,
+        names: Any,
+        alphabet: Any,
+        context: str,
+        what: str,
+        error: type = KeyError,
+    ) -> None:
+        """The shared unknown-signal contract of every backend.
+
+        A name outside the backend's alphabet would silently read as
+        always-absent and certify a wrong verdict, so it is rejected up
+        front.  ``alphabet`` is ``None`` when the backend has no alphabet
+        knowledge (hand-built results) — validation is then skipped.
+        """
+        if alphabet is None:
+            return
+        unknown = [name for name in names if name not in alphabet]
+        if unknown:
+            raise error(f"{context}: {what} mentions unknown or unobserved signals {unknown}")
+
+    def synthesise(
+        self,
+        safe: ReactionPredicate,
+        controllable: Sequence[str],
+        ensure_nonblocking: bool = True,
+    ) -> ControlVerdict:
+        """Greatest controllable invariant under ``safe`` (see :mod:`.synthesis`).
+
+        A reaction is controllable when it makes one of the ``controllable``
+        signals present; a state is unsafe when it is the target of a
+        reaction violating ``safe``.  Backends that do not support synthesis
+        keep this default, which refuses.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement controller synthesis")

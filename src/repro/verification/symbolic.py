@@ -1,0 +1,460 @@
+"""BDD-backed symbolic reachability and invariant checking.
+
+This module is the symbolic half of the verification pipeline — the
+construction Sigali actually performs, where the explicit explorer
+(:mod:`repro.verification.explorer`) enumerates states one by one.  A SIGNAL
+process's boolean/event control skeleton is first abstracted into a
+polynomial dynamical system over Z/3Z (:mod:`repro.verification.encoding`);
+here every ternary variable ``x`` is *bit-blasted* into two boolean
+variables, ``x.p`` (presence) and ``x.v`` (carried truth value), with the
+well-formedness invariant ``¬x.p ⇒ ¬x.v`` so state valuations are in
+bijection with ternary valuations:
+
+====== ======= =======
+code    x.p     x.v
+====== ======= =======
+0       false   false
+1       true    true
+2       true    false
+====== ======= =======
+
+Every polynomial constraint becomes a BDD by enumerating the (few) ternary
+variables of its own support; their conjunction is the instantaneous relation
+``T_inst(state, signals)``, and the next-state polynomials extend it to the
+full transition relation ``T(state, signals, state')``.  Reachability is then
+the least fixed point of relational image computation::
+
+    reach₀ = init;   reachₖ₊₁ = reachₖ ∪ rename(∃ signals, state . reachₖ ∧ T)
+
+using the quantification / renaming / ``and_exists`` primitives of
+:mod:`repro.clocks.bdd`.  The frontier never enumerates individual states, so
+designs whose reachable set is far beyond the explicit engine's
+``max_states`` bound (e.g. the 2^n states of an n-stage boolean shift
+register) are handled in time proportional to the BDD sizes instead —
+``benchmarks/bench_symbolic_reachability.py`` measures the crossover.
+
+Invariant checking, reaction reachability and controller synthesis are
+offered through the same :class:`~repro.verification.reachability.Reachability`
+interface as the explicit engines, which is what
+``tests/test_symbolic_vs_explicit.py`` exploits to cross-check the two
+implementations reaction for reaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+from ..clocks.bdd import BDDManager, BDDNode
+from ..core.values import ABSENT
+from ..signal.ast import ProcessDefinition
+from ..simulation.compiler import CompiledProcess
+from .encoding import PolynomialDynamicalSystem, encode_process
+from .invariants import CheckResult
+from .reachability import ControlVerdict, Reachability, ReactionPredicate
+from .z3z import FIELD, Polynomial
+
+
+class SymbolicEncodingError(Exception):
+    """Raised when a polynomial's support is too wide to bit-blast locally."""
+
+
+@dataclass
+class SymbolicOptions:
+    """Parameters of a symbolic exploration.
+
+    Attributes:
+        max_iterations: bound on image-computation rounds (None = run to the
+            fixpoint; the fixpoint always terminates on these finite systems).
+        max_support: per-polynomial support width accepted by the local
+            enumeration that builds constraint BDDs (3^width assignments).
+    """
+
+    max_iterations: Optional[int] = None
+    max_support: int = 12
+
+
+def _presence(name: str) -> str:
+    return f"{name}.p"
+
+
+def _value(name: str) -> str:
+    return f"{name}.v"
+
+
+def _primed(bit: str) -> str:
+    return f"{bit}'"
+
+
+class SymbolicEngine:
+    """Boolean transition-relation encoding of a polynomial dynamical system."""
+
+    def __init__(
+        self,
+        source: Union[ProcessDefinition, CompiledProcess, PolynomialDynamicalSystem],
+        options: Optional[SymbolicOptions] = None,
+        manager: Optional[BDDManager] = None,
+    ) -> None:
+        if isinstance(source, CompiledProcess):
+            source = encode_process(source.definition)
+        elif isinstance(source, ProcessDefinition):
+            source = encode_process(source)
+        self.system: PolynomialDynamicalSystem = source
+        self.options = options or SymbolicOptions()
+        self.manager = manager or BDDManager()
+        self._declare_variables()
+        self._build_relation()
+
+    # -- variable layout ---------------------------------------------------------
+
+    def _declare_variables(self) -> None:
+        """Declare BDD bits in constraint-locality order.
+
+        Variables that occur in the same constraint are declared next to each
+        other (first-use order over the constraint list), which keeps the
+        relation BDD small for pipelined designs such as shift registers; a
+        state variable's primed bits sit directly below its unprimed ones.
+        """
+        system = self.system
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def note(name: str) -> None:
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+
+        for constraint in system.constraints.constraints:
+            for name in sorted(constraint.variables()):
+                note(name)
+        for state, polynomial in system.transitions.items():
+            note(state)
+            for name in sorted(polynomial.variables()):
+                note(name)
+        for name in system.signal_variables:
+            note(name)
+        for name in system.state_variables:
+            note(name)
+
+        self.state_names = list(system.state_variables)
+        self.signal_names = list(system.signal_variables)
+        states = set(self.state_names)
+        self.signal_bits: list[str] = []
+        self.state_bits: list[str] = []
+        self.primed_bits: list[str] = []
+        for name in order:
+            bits = (_presence(name), _value(name))
+            for bit in bits:
+                self.manager.declare(bit)
+            if name in states:
+                self.state_bits.extend(bits)
+                for bit in bits:
+                    self.manager.declare(_primed(bit))
+                    self.primed_bits.append(_primed(bit))
+            else:
+                self.signal_bits.extend(bits)
+        self._prime_map = {bit: _primed(bit) for bit in self.state_bits}
+        self._unprime_map = {primed: bit for bit, primed in self._prime_map.items()}
+
+    # -- encoding helpers ----------------------------------------------------------
+
+    def code_cube(self, name: str, code: int, primed: bool = False) -> BDDNode:
+        """The cube of presence/value bits encoding ternary ``code`` for ``name``."""
+        presence_bit, value_bit = _presence(name), _value(name)
+        if primed:
+            presence_bit, value_bit = _primed(presence_bit), _primed(value_bit)
+        code %= 3
+        return self.manager.cube({presence_bit: code != 0, value_bit: code == 1})
+
+    def _assignment_cube(self, assignment: Mapping[str, int]) -> BDDNode:
+        cube = self.manager.true
+        for name, code in assignment.items():
+            cube = self.manager.conj(cube, self.code_cube(name, code))
+        return cube
+
+    def _polynomial_bdd(self, polynomial: Polynomial, next_state: Optional[str] = None) -> BDDNode:
+        """BDD of ``polynomial = 0``, or of ``next_state' = polynomial`` when given.
+
+        Built by enumerating the ternary assignments of the polynomial's own
+        support — each equation touches only a handful of signals, so this
+        local enumeration stays tiny even when the global state space is huge.
+        """
+        support = sorted(polynomial.variables())
+        if len(support) > self.options.max_support:
+            raise SymbolicEncodingError(
+                f"polynomial support {len(support)} exceeds max_support="
+                f"{self.options.max_support}: {polynomial!r}"
+            )
+        result = self.manager.false
+        for values in product(FIELD, repeat=len(support)):
+            assignment = dict(zip(support, values))
+            outcome = polynomial.evaluate(assignment)
+            if next_state is None:
+                if outcome != 0:
+                    continue
+                cube = self._assignment_cube(assignment)
+            else:
+                cube = self.manager.conj(
+                    self._assignment_cube(assignment),
+                    self.code_cube(next_state, outcome, primed=True),
+                )
+            result = self.manager.disj(result, cube)
+        return result
+
+    def _well_formed(self, names: Sequence[str]) -> BDDNode:
+        """``¬p ⇒ ¬v`` for every listed ternary variable."""
+        manager = self.manager
+        constraint = manager.true
+        for name in names:
+            implied = manager.implies(manager.var(_value(name)), manager.var(_presence(name)))
+            constraint = manager.conj(constraint, implied)
+        return constraint
+
+    def _build_relation(self) -> None:
+        manager = self.manager
+        system = self.system
+        instantaneous = self._well_formed(self.signal_names + self.state_names)
+        for constraint in system.constraints.constraints:
+            instantaneous = manager.conj(instantaneous, self._polynomial_bdd(constraint))
+        self.instantaneous = instantaneous
+
+        transition = instantaneous
+        for state, polynomial in system.transitions.items():
+            transition = manager.conj(transition, self._polynomial_bdd(polynomial, next_state=state))
+        self.transition = transition
+
+        self.initial = manager.conj(
+            self._well_formed(self.state_names),
+            self._assignment_cube(system.initial_state()),
+        )
+
+    # -- predicates ------------------------------------------------------------------
+
+    def predicate_bdd(self, predicate: ReactionPredicate) -> BDDNode:
+        """Compile a reaction predicate onto the signal presence/value bits."""
+        manager = self.manager
+        kind = predicate.kind
+        if kind == "const":
+            return manager.true if predicate.operands[0] else manager.false
+        if kind == "not":
+            return manager.neg(self.predicate_bdd(predicate.operands[0]))
+        if kind == "and":
+            return manager.conj_all(self.predicate_bdd(p) for p in predicate.operands)
+        if kind == "or":
+            return manager.disj_all(self.predicate_bdd(p) for p in predicate.operands)
+        name = predicate.operands[0]
+        if name not in self.system.signal_variables:
+            raise KeyError(f"{self.system.name}: predicate mentions unknown signal {name!r}")
+        presence = manager.var(_presence(name))
+        if kind == "present":
+            return presence
+        value = manager.var(_value(name))
+        if kind == "true":
+            return manager.conj(presence, value)
+        return manager.conj(presence, manager.neg(value))
+
+    def invariant_bdd(self, invariant: Polynomial) -> BDDNode:
+        """BDD of ``invariant = 0``, for Sigali-style polynomial objectives."""
+        return self._polynomial_bdd(invariant)
+
+    # -- image computation -----------------------------------------------------------
+
+    def image(self, states: BDDNode) -> BDDNode:
+        """Successors of ``states`` under the transition relation, unprimed."""
+        quantified = self.signal_bits + self.state_bits
+        successors = self.manager.and_exists(states, self.transition, quantified)
+        return self.manager.rename(successors, self._unprime_map)
+
+    def reach(self) -> "SymbolicReachability":
+        """Least fixpoint of image computation from the initial state."""
+        manager = self.manager
+        reach = self.initial
+        frontier = self.initial
+        iterations = 0
+        complete = True
+        while frontier is not manager.false:
+            if self.options.max_iterations is not None and iterations >= self.options.max_iterations:
+                complete = False
+                break
+            successors = self.image(frontier)
+            frontier = manager.diff(successors, reach)
+            reach = manager.disj(reach, frontier)
+            iterations += 1
+        return SymbolicReachability(self, reach, iterations, complete)
+
+    def count_states(self, states: BDDNode) -> int:
+        """Number of ternary state valuations in a well-formed state set."""
+        return self.manager.count_satisfying(states, self.state_bits)
+
+    def decode_reaction(self, assignment: Mapping[str, bool]) -> dict[str, Any]:
+        """Signal statuses of a bit-level satisfying assignment."""
+        decoded: dict[str, Any] = {}
+        for name in self.signal_names:
+            if not assignment.get(_presence(name), False):
+                decoded[name] = ABSENT
+            else:
+                decoded[name] = bool(assignment.get(_value(name), False))
+        return decoded
+
+    def reactions_of(self, states: BDDNode) -> Iterator[dict[str, Any]]:
+        """Enumerate decoded admissible reactions of a symbolic state set.
+
+        The state bits are quantified out first, so enumeration yields exactly
+        one model per distinct reaction however many states admit it.
+        """
+        admissible = self.manager.and_exists(states, self.instantaneous, self.state_bits)
+        for model in self.manager.satisfying_assignments(admissible, self.signal_bits):
+            yield self.decode_reaction(model)
+
+
+@dataclass
+class SymbolicReachability(Reachability):
+    """A symbolically computed reachable state set, behind the shared interface."""
+
+    engine: SymbolicEngine
+    states: BDDNode
+    iterations: int
+    fixpoint: bool = True
+
+    @property
+    def state_count(self) -> int:
+        """Number of reachable state valuations (model counting, no enumeration)."""
+        return self.engine.count_states(self.states)
+
+    @property
+    def complete(self) -> bool:
+        """False when ``max_iterations`` stopped the fixpoint early."""
+        return self.fixpoint
+
+    def _witness(self, condition: BDDNode, name: str, found_holds: bool, missing) -> CheckResult:
+        manager = self.engine.manager
+        hit = manager.conj_all([self.states, self.engine.instantaneous, condition])
+        if manager.is_false(hit):
+            # "No reaction satisfies the condition" is only certain when the
+            # fixpoint actually converged.  ``missing`` is a thunk so the
+            # model count it typically reports is only paid on this branch.
+            self._require_complete(name)
+            return CheckResult(not found_holds, name, details=missing())
+        bits = self.engine.signal_bits + self.engine.state_bits
+        model = next(manager.satisfying_assignments(hit, bits))
+        reaction = {k: v for k, v in self.engine.decode_reaction(model).items() if v is not ABSENT}
+        return CheckResult(found_holds, name, details=f"witness reaction {reaction}")
+
+    def _validate_predicate(self, predicate: ReactionPredicate) -> None:
+        system = self.engine.system
+        self._validate_signals(predicate.signals(), system.signal_variables, system.name, "predicate")
+
+    def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
+        """AG over reactions: no reachable reaction violates ``predicate``."""
+        self._validate_predicate(predicate)
+        violating = self.engine.manager.neg(self.engine.predicate_bdd(predicate))
+        return self._witness(
+            violating, name, found_holds=False, missing=lambda: f"{self.state_count} reachable states"
+        )
+
+    def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
+        """EF over reactions: some reachable reaction satisfies ``predicate``."""
+        self._validate_predicate(predicate)
+        return self._witness(
+            self.engine.predicate_bdd(predicate),
+            name,
+            found_holds=True,
+            missing=lambda: "no reachable reaction satisfies the predicate",
+        )
+
+    def check_polynomial_invariant(self, invariant: Polynomial, name: str = "invariant") -> CheckResult:
+        """Sigali-style objective: ``invariant = 0`` on every reachable reaction."""
+        system = self.engine.system
+        known = set(system.signal_variables) | set(system.state_variables)
+        self._validate_signals(invariant.variables(), known, system.name, "polynomial invariant")
+        violating = self.engine.manager.neg(self.engine.invariant_bdd(invariant))
+        return self._witness(
+            violating, name, found_holds=False, missing=lambda: f"{self.state_count} reachable states"
+        )
+
+    def synthesise(
+        self,
+        safe: ReactionPredicate,
+        controllable: Sequence[str],
+        ensure_nonblocking: bool = True,
+    ) -> ControlVerdict:
+        """Symbolic supervisory-control synthesis (greatest controllable invariant).
+
+        Mirrors the explicit construction of :mod:`.synthesis`: a state is
+        unsafe when it is the target of a reachable reaction violating
+        ``safe``; a reaction is uncontrollable when every ``controllable``
+        signal is absent; kept states must not let an uncontrollable reaction
+        escape and (optionally) must keep at least one allowed reaction.
+
+        Raises:
+            BoundReached: when the reach fixpoint did not converge — the
+                greatest-controllable-invariant fixpoint would treat every
+                reachable-but-unexplored state as an escape target and could
+                report "no controller" for a controllable plant.
+        """
+        engine = self.engine
+        manager = engine.manager
+        self._validate_predicate(safe)
+        self._validate_signals(
+            controllable,
+            engine.system.signal_variables,
+            engine.system.name,
+            "controllable set",
+            error=ValueError,
+        )
+        self._require_complete("synthesis")
+
+        quantified = engine.signal_bits + engine.state_bits
+        transition = manager.conj(engine.transition, self.states)
+        bad_reaction = manager.neg(engine.predicate_bdd(safe))
+        bad_targets = manager.rename(
+            manager.and_exists(bad_reaction, transition, quantified), engine._unprime_map
+        )
+        kept = manager.diff(self.states, bad_targets)
+
+        uncontrollable = manager.conj_all(
+            manager.nvar(_presence(name)) for name in controllable
+        )
+        uncontrolled_transition = manager.conj(transition, uncontrollable)
+        if ensure_nonblocking:
+            has_outgoing = manager.exists(transition, engine.signal_bits + engine.primed_bits)
+
+        iterations = 0
+        while True:
+            iterations += 1
+            kept_primed = manager.rename(kept, engine._prime_map)
+            escape = manager.and_exists(
+                uncontrolled_transition,
+                manager.neg(kept_primed),
+                engine.signal_bits + engine.primed_bits,
+            )
+            refined = manager.diff(kept, escape)
+            if ensure_nonblocking:
+                alive = manager.and_exists(
+                    transition,
+                    manager.rename(refined, engine._prime_map),
+                    engine.signal_bits + engine.primed_bits,
+                )
+                refined = manager.conj(refined, manager.disj(alive, manager.neg(has_outgoing)))
+            if refined is kept:
+                break
+            kept = refined
+
+        success = not manager.is_false(self.states) and manager.entails(engine.initial, kept)
+        details = "" if success else "the initial state is outside the greatest controllable invariant set"
+        return ControlVerdict(
+            success=success,
+            kept_states=engine.count_states(kept),
+            total_states=self.state_count,
+            details=details,
+            backend=kept,
+        )
+
+
+def symbolic_explore(
+    source: Union[ProcessDefinition, CompiledProcess, PolynomialDynamicalSystem],
+    options: Optional[SymbolicOptions] = None,
+) -> SymbolicReachability:
+    """Encode ``source`` and compute its reachable state space symbolically."""
+    return SymbolicEngine(source, options).reach()

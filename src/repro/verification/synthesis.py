@@ -24,9 +24,11 @@ finite LTS (the approach of Marchand et al., reference [10] of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
+from .invariants import _as_reachability
 from .lts import LTS, Label, Transition, label_to_dict
+from .reachability import ControlVerdict, ReactionPredicate
 
 
 @dataclass
@@ -145,6 +147,36 @@ def synthesise(lts: LTS, objective: SynthesisObjective) -> SynthesisResult:
     removed = set(lts.states) - kept
     details = "" if success else "the initial state is outside the greatest controllable invariant set"
     return SynthesisResult(success, controller, lts, removed, disabled, iterations, details)
+
+
+def synthesise_with(
+    target: Any,
+    safe: ReactionPredicate,
+    controllable: Sequence[str],
+    ensure_nonblocking: bool = True,
+) -> ControlVerdict:
+    """Engine-agnostic controller synthesis.
+
+    ``target`` may be a plain LTS or any backend of the shared Reachability
+    interface; the objective is phrased once, as a reaction predicate plus the
+    set of controllable signals, and dispatched to the explicit fixpoint below
+    or to the symbolic BDD fixpoint of :mod:`.symbolic`.
+    """
+    if isinstance(target, LTS):
+        objective = SynthesisObjective(
+            safe_states=safety_from_labels(target, safe),
+            controllable=controllable_by_signals(controllable),
+            ensure_nonblocking=ensure_nonblocking,
+        )
+        result = synthesise(target, objective)
+        return ControlVerdict(
+            success=result.success,
+            kept_states=len(result.controller.kept_states),
+            total_states=target.state_count(),
+            details=result.details,
+            backend=result,
+        )
+    return _as_reachability(target, "synthesise_with").synthesise(safe, controllable, ensure_nonblocking)
 
 
 def controllable_by_signals(signals: Iterable[str]) -> Callable[[dict[str, Any]], bool]:

@@ -83,6 +83,127 @@ class TestBDD:
         assert "x" in manager.to_expression(manager.var("x"))
 
 
+class TestBDDRelational:
+    """The quantification / renaming / relational-product layer the symbolic
+    verification engine is built on."""
+
+    def _xor_chain(self, manager, names):
+        result = manager.false
+        for name in names:
+            result = manager.xor(result, manager.var(name))
+        return result
+
+    def test_hash_consing_canonical_form(self):
+        # Same boolean function, built through different syntax trees, must be
+        # the very same node (identical id): this is what makes equivalence,
+        # cache lookups and fixpoint termination O(1).
+        manager = BDDManager()
+        x, y, z = manager.var("x"), manager.var("y"), manager.var("z")
+        left = manager.disj(manager.conj(x, y), manager.conj(x, z))
+        right = manager.conj(x, manager.disj(y, z))
+        assert left is right
+        assert left.identifier == right.identifier
+        morgan = manager.neg(manager.disj(manager.neg(y), manager.neg(z)))
+        assert morgan is manager.conj(y, z)
+
+    def test_exists_and_forall(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.conj(x, y)
+        assert manager.equivalent(manager.exists(f, ["x"]), y)
+        assert manager.is_false(manager.forall(f, ["x"]))
+        g = manager.disj(x, y)
+        assert manager.is_true(manager.exists(g, ["x", "y"]))
+        assert manager.is_false(manager.forall(g, ["x", "y"]))
+        # Quantifying a variable outside the support is the identity.
+        assert manager.exists(f, ["ghost"]) is f
+        assert manager.forall(f, ["ghost"]) is f
+
+    def test_exists_forall_duality(self):
+        manager = BDDManager()
+        formula = self._xor_chain(manager, ["a", "b", "c"])
+        for variables in (["a"], ["b", "c"], ["a", "b", "c"]):
+            dual = manager.neg(manager.forall(manager.neg(formula), variables))
+            assert manager.exists(formula, variables) is dual
+
+    def test_rename_preserves_shape(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        renamed = manager.rename(manager.conj(x, manager.neg(y)), {"x": "u", "y": "v"})
+        expected = manager.conj(manager.var("u"), manager.neg(manager.var("v")))
+        assert renamed is expected
+
+    def test_rename_swap_and_clash(self):
+        manager = BDDManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.conj(x, manager.neg(y))
+        swapped = manager.rename(f, {"x": "y", "y": "x"})
+        assert swapped is manager.conj(y, manager.neg(x))
+        with pytest.raises(ValueError):
+            manager.rename(f, {"x": "y"})  # y still in the support
+        with pytest.raises(ValueError):
+            manager.rename(f, {"x": "z", "y": "z"})  # non-injective: conflates x and y
+
+    def test_rename_against_order(self):
+        # Renaming onto a variable declared *earlier* in the ordering must
+        # still produce the canonical diagram.
+        manager = BDDManager(["early", "late"])
+        f = manager.conj(manager.var("late"), manager.nvar("aux"))
+        renamed = manager.rename(f, {"late": "early"})
+        assert renamed is manager.conj(manager.var("early"), manager.nvar("aux"))
+
+    def test_and_exists_is_relational_product(self):
+        manager = BDDManager()
+        a, b, c, d = (manager.var(n) for n in "abcd")
+        left = manager.disj(manager.conj(a, b), manager.conj(c, d))
+        right = manager.xor(b, c)
+        for variables in ([], ["b"], ["b", "c"], ["a", "b", "c", "d"]):
+            assert manager.and_exists(left, right, variables) is manager.exists(
+                manager.conj(left, right), variables
+            )
+
+    def test_cube(self):
+        manager = BDDManager()
+        cube = manager.cube({"p": True, "q": False})
+        assert manager.evaluate(cube, {"p": True, "q": False})
+        assert not manager.evaluate(cube, {"p": True, "q": True})
+        assert manager.count_satisfying(cube, ["p", "q"]) == 1
+        assert manager.cube({}) is manager.true
+
+    def test_counting_and_enumeration_accept_any_variable_order(self):
+        manager = BDDManager()
+        f = manager.conj(manager.var("a"), manager.var("b"))
+        assert manager.count_satisfying(f, ["b", "a"]) == manager.count_satisfying(f, ["a", "b"]) == 1
+        models = list(manager.satisfying_assignments(f, ["b", "a"]))
+        assert models == [{"a": True, "b": True}]
+        # Omitting a support variable would silently lose models: reject it.
+        with pytest.raises(ValueError):
+            manager.count_satisfying(f, ["a"])
+        with pytest.raises(ValueError):
+            list(manager.satisfying_assignments(f, ["a"]))
+        # Duplicates are deduplicated, not double-counted.
+        assert manager.count_satisfying(f, ["a", "a", "b"]) == 1
+
+    def test_counting_is_not_enumeration(self):
+        # 40 free variables: enumeration would need 2^40 steps, the dynamic
+        # programming counter must be instant and exact.
+        manager = BDDManager()
+        names = [f"v{i}" for i in range(40)]
+        formula = self._xor_chain(manager, names[:3])
+        assert manager.count_satisfying(formula, names) == 4 * 2 ** 37
+        assert manager.count_satisfying(manager.true, names) == 2 ** 40
+        assert manager.count_satisfying(manager.false, names) == 0
+
+    def test_image_computation_round_trip(self):
+        # One step of the symbolic reachability recipe: T(s, s') = (s' = ¬s)
+        # maps the state set {s=0} to {s=1}.
+        manager = BDDManager(["s", "s'"])
+        transition = manager.xor(manager.var("s"), manager.var("s'"))  # s' = ¬s
+        current = manager.nvar("s")
+        image = manager.rename(manager.and_exists(current, transition, ["s"]), {"s'": "s"})
+        assert image is manager.var("s")
+
+
 class TestClockAlgebra:
     def test_partition_law(self):
         algebra = ClockAlgebra()

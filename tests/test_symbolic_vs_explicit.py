@@ -1,0 +1,259 @@
+"""Differential tests: symbolic BDD reachability vs. the explicit engines.
+
+Every process of the corpus is pushed through three independent
+implementations of the same state-space construction:
+
+* the explicit explorer (``repro.verification.explorer``), which enumerates
+  memory states by stepping the compiled process;
+* the explicit polynomial enumerator
+  (``repro.verification.encoding.PolynomialReachability``), which enumerates
+  ternary valuations of the Sigali encoding;
+* the symbolic BDD engine (``repro.verification.symbolic``), which computes
+  the same set as a fixpoint of relational images.
+
+The three must agree exactly on reachable-state counts, on invariant
+verdicts, on reaction reachability, and on controller-synthesis outcomes.
+Any divergence is a bug in (at least) one engine — this suite is the oracle
+that lets the symbolic engine replace the explicit one on large designs.
+"""
+
+import random
+
+import pytest
+
+from repro.signal.dsl import ProcessBuilder, const
+from repro.signal.library import (
+    alternator_process,
+    boolean_shift_register_process,
+    edge_detector_process,
+)
+from repro.signal.ast import compose
+from repro.verification import (
+    ReactionPredicate as P,
+    SymbolicEngine,
+    encode_process,
+    explore,
+    invariant_holds,
+    reaction_reachable,
+    symbolic_explore,
+    synthesise_with,
+)
+
+
+# --------------------------------------------------------------------------- corpus
+
+def toggle_count_process():
+    """A boolean abstraction of the paper's Count: restart on reset, toggle on tick."""
+    builder = ProcessBuilder("CountFlag")
+    reset = builder.input("reset", "event")
+    tick = builder.input("tick", "event")
+    val = builder.output("val", "boolean")
+    prev = builder.local("prev", "boolean")
+    builder.define(prev, val.delayed(False))
+    builder.define(val, const(False).when(reset).default((~prev).when(tick.clock())))
+    builder.synchronize(val, reset.clock_union(tick))
+    return builder.build()
+
+
+def boolean_observer_process():
+    """The paper's flow observer, over boolean flows (encodable over Z/3Z)."""
+    builder = ProcessBuilder("BoolObserver")
+    left = builder.input("x_left", "boolean")
+    right = builder.input("x_right", "boolean")
+    ok = builder.output("ok", "boolean")
+    builder.define(ok, left.eq(right))
+    builder.synchronize(left, right)
+    return builder.build()
+
+
+def observer_composition():
+    """Two alternators feeding the observer — the paper's checking diagram."""
+    left = alternator_process("Left").renamed(
+        {"tick": "tick_left", "flip": "x_left", "previous": "prev_left"}
+    )
+    right = alternator_process("Right").renamed(
+        {"tick": "tick_right", "flip": "x_right", "previous": "prev_right"}
+    )
+    return compose("ObserverDesign", left, right, boolean_observer_process())
+
+
+def desynchronised_observer_composition():
+    """One alternator observed against its own delayed copy (ok can go false)."""
+    left = alternator_process("Left").renamed(
+        {"tick": "tick", "flip": "x_left", "previous": "prev_left"}
+    )
+    builder = ProcessBuilder("Delayed")
+    x_left = builder.input("x_left", "boolean")
+    x_right = builder.output("x_right", "boolean")
+    builder.define(x_right, x_left.delayed(True))
+    return compose("SkewedDesign", left, builder.build(), boolean_observer_process())
+
+
+def toggle_pair_process():
+    """Two alternators on independent clocks: the full 2×2 product is reachable."""
+    left = alternator_process("A").renamed({"tick": "tick_a", "flip": "flip_a", "previous": "prev_a"})
+    right = alternator_process("B").renamed({"tick": "tick_b", "flip": "flip_b", "previous": "prev_b"})
+    return compose("TogglePair", left, right)
+
+
+def random_process(seed: int):
+    """A small deterministic boolean process drawn from a fixed-seed grammar.
+
+    Every equation derives its clock from the inputs (pointwise operators,
+    sampling, merging, delays), so the explicit explorer and the Z/3Z
+    encoding describe the same reaction relation by construction.  Delays are
+    over-weighted to keep the reachable memory spaces non-trivial.
+    """
+    rng = random.Random(seed)
+    builder = ProcessBuilder(f"Rand{seed}")
+    pool = [builder.input("i0", "boolean")]
+    if rng.random() < 0.5:
+        pool.append(builder.input("i1", "boolean"))
+    for index in range(rng.randint(2, 4)):
+        target = builder.output(f"o{index}", "boolean")
+        left = rng.choice(pool)
+        right = rng.choice(pool)
+        kind = rng.choice(
+            ["not", "and", "or", "when", "default", "delay", "delay", "delayed-merge", "delayed-not"]
+        )
+        if kind == "not":
+            expression = ~left
+        elif kind == "and":
+            expression = left & right
+        elif kind == "or":
+            expression = left | right
+        elif kind == "when":
+            expression = left.when(right)
+        elif kind == "default":
+            expression = left.default(right)
+        elif kind == "delayed-merge":
+            expression = left.default(right).delayed(rng.random() < 0.5)
+        elif kind == "delayed-not":
+            expression = (~left).delayed(rng.random() < 0.5)
+        else:
+            expression = left.delayed(rng.random() < 0.5)
+        builder.define(target, expression)
+        pool.append(target)
+    return builder.build()
+
+
+RANDOM_SEEDS = list(range(20))
+
+CORPUS = [
+    ("alternator", alternator_process),
+    ("edge-detector", edge_detector_process),
+    ("toggle-count", toggle_count_process),
+    ("observer-composition", observer_composition),
+    ("skewed-observer", desynchronised_observer_composition),
+    ("shift-register-3", lambda: boolean_shift_register_process(3)),
+    ("shift-register-5", lambda: boolean_shift_register_process(5)),
+    ("toggle-pair", toggle_pair_process),
+] + [(f"random-{seed}", lambda seed=seed: random_process(seed)) for seed in RANDOM_SEEDS]
+
+
+def engines_for(process):
+    """The three backends under differential test."""
+    return (
+        explore(process),
+        encode_process(process).explore(),
+        symbolic_explore(process),
+    )
+
+
+def interface_signals(process):
+    return [decl.name for decl in process.inputs] + [decl.name for decl in process.outputs]
+
+
+def predicates_for(process):
+    """A deterministic battery of properties over the process interface."""
+    names = interface_signals(process)
+    predicates = []
+    for name in names:
+        predicates.append(P.present(name))
+        predicates.append(P.true_of(name))
+        predicates.append(P.false_of(name))
+    for left, right in zip(names, names[1:]):
+        predicates.append(P.present(left).implies(P.present(right)))
+        predicates.append(P.true_of(left) | P.false_of(right))
+    predicates.append(P.always())
+    predicates.append(P.never())
+    return predicates
+
+
+# --------------------------------------------------------------------------- tests
+
+@pytest.mark.parametrize("label,factory", CORPUS, ids=[label for label, _ in CORPUS])
+class TestDifferential:
+    def test_reachable_state_counts_agree(self, label, factory):
+        process = factory()
+        explicit, polynomial, symbolic = engines_for(process)
+        assert explicit.complete and polynomial.complete and symbolic.complete
+        assert symbolic.state_count == explicit.state_count == polynomial.state_count
+
+    def test_invariant_verdicts_agree(self, label, factory):
+        process = factory()
+        explicit, polynomial, symbolic = engines_for(process)
+        for predicate in predicates_for(process):
+            verdicts = {
+                "explicit": invariant_holds(explicit, predicate).holds,
+                "polynomial": invariant_holds(polynomial, predicate).holds,
+                "symbolic": invariant_holds(symbolic, predicate).holds,
+            }
+            assert len(set(verdicts.values())) == 1, f"{predicate!r}: {verdicts}"
+
+    def test_reachability_verdicts_agree(self, label, factory):
+        process = factory()
+        explicit, polynomial, symbolic = engines_for(process)
+        for predicate in predicates_for(process):
+            verdicts = {
+                "explicit": reaction_reachable(explicit, predicate).holds,
+                "polynomial": reaction_reachable(polynomial, predicate).holds,
+                "symbolic": reaction_reachable(symbolic, predicate).holds,
+            }
+            assert len(set(verdicts.values())) == 1, f"{predicate!r}: {verdicts}"
+
+    def test_reaction_alphabets_agree(self, label, factory):
+        """The *full* decoded reaction sets must coincide, not just verdicts."""
+        process = factory()
+        engine = SymbolicEngine(process)
+        symbolic = engine.reach()
+        symbolic_alphabet = {
+            frozenset(reaction.items()) for reaction in engine.reactions_of(symbolic.states)
+        }
+        polynomial_alphabet = {
+            frozenset(reaction.items())
+            for reaction in encode_process(process).explore().reactions()
+        }
+        assert symbolic_alphabet == polynomial_alphabet
+
+
+class TestDifferentialSynthesis:
+    @pytest.mark.parametrize("controllable", [["tick"], []], ids=["controllable-tick", "uncontrollable"])
+    def test_synthesis_verdicts_agree_on_alternator(self, controllable):
+        process = alternator_process()
+        explicit, _, symbolic = engines_for(process)
+        safe = ~P.false_of("flip")
+        explicit_verdict = synthesise_with(explicit, safe, controllable)
+        symbolic_verdict = synthesise_with(symbolic, safe, controllable)
+        assert explicit_verdict.success == symbolic_verdict.success
+        assert explicit_verdict.kept_states == symbolic_verdict.kept_states
+
+    def test_synthesis_verdicts_agree_on_skewed_observer(self):
+        process = desynchronised_observer_composition()
+        explicit, _, symbolic = engines_for(process)
+        safe = ~P.false_of("ok")
+        for controllable in (["tick"], []):
+            explicit_verdict = synthesise_with(explicit, safe, controllable)
+            symbolic_verdict = synthesise_with(symbolic, safe, controllable)
+            assert explicit_verdict.success == symbolic_verdict.success, controllable
+            assert explicit_verdict.kept_states == symbolic_verdict.kept_states, controllable
+
+    def test_observer_invariant_ag_ok(self):
+        """The paper's check: AG ok on the lock-step design, refuted on the skewed one."""
+        for engine in engines_for(observer_composition()):
+            assert invariant_holds(engine, P.present("ok").implies(P.true_of("ok"))).holds
+        verdicts = [
+            invariant_holds(engine, P.present("ok").implies(P.true_of("ok"))).holds
+            for engine in engines_for(desynchronised_observer_composition())
+        ]
+        assert verdicts == [False, False, False]

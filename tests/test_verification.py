@@ -4,14 +4,21 @@ bisimulation, observer, controller synthesis and the Z/3Z encoding."""
 import pytest
 
 from repro.core.values import ABSENT, EVENT
-from repro.signal.dsl import ProcessBuilder, const
-from repro.signal.library import alternator_process, edge_detector_process, modulo_counter_process
+from repro.signal.library import (
+    alternator_process,
+    boolean_shift_register_process,
+    edge_detector_process,
+    modulo_counter_process,
+)
 from repro.simulation import Trace
 from repro.verification import (
+    BoundReached,
     ExplorationOptions,
     FlowObserver,
     LTS,
     PolynomialSystem,
+    ReactionPredicate,
+    SymbolicOptions,
     SynthesisObjective,
     always_eventually,
     check_bisimulation,
@@ -25,11 +32,15 @@ from repro.verification import (
     encode_process,
     explore,
     explore_product,
+    invariant_holds,
     label_to_dict,
     make_label,
     quotient,
+    reaction_reachable,
     safety_from_labels,
+    symbolic_explore,
     synthesise,
+    synthesise_with,
 )
 from repro.verification.z3z import (
     Polynomial,
@@ -95,15 +106,61 @@ class TestExplorer:
         with pytest.raises(ValueError):
             explore(alternator_process(), ExplorationOptions(driven_signals=["ghost"]))
 
-    def test_max_states_bound(self):
+    def test_max_states_bound_is_flagged(self):
         result = explore(modulo_counter_process(9), ExplorationOptions(max_states=3))
         assert not result.complete
+        assert result.bound_reached
         assert result.lts.state_count() <= 3
+
+    def test_max_states_bound_can_raise(self):
+        with pytest.raises(BoundReached, match="max_states=3"):
+            explore(modulo_counter_process(9), ExplorationOptions(max_states=3, on_bound="raise"))
+
+    def test_unbounded_exploration_is_not_flagged(self):
+        result = explore(modulo_counter_process(3))
+        assert result.complete
+        assert not result.bound_reached
+
+    def test_invalid_on_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationOptions(on_bound="ignore")
+
+    def test_observing_unknown_signal_rejected(self):
+        # A typo here would otherwise make the signal silently always-absent
+        # in every label while passing the predicate validation.
+        with pytest.raises(ValueError, match="observe"):
+            explore(alternator_process(), ExplorationOptions(observed=["tick", "filp"]))
+        with pytest.raises(ValueError, match="observe"):
+            explore_product(
+                alternator_process(),
+                alternator_process(),
+                options=ExplorationOptions(observed=["ghost"]),
+            )
 
     def test_product_exploration(self):
         result = explore_product(alternator_process(), alternator_process())
         assert result.lts.state_count() >= 1
         assert result.complete
+
+    def test_product_exploration_bound(self):
+        options = ExplorationOptions(max_states=1, on_bound="raise")
+        with pytest.raises(BoundReached):
+            explore_product(modulo_counter_process(5), modulo_counter_process(7), options=options)
+
+    def test_product_driving_unknown_signal_rejected(self):
+        # A typo here would otherwise reject every stimulus and produce an
+        # empty-but-"complete" exploration certifying vacuous verdicts.
+        with pytest.raises(ValueError, match="drive"):
+            explore_product(alternator_process(), alternator_process(), shared_driven=["tikc"])
+        # A signal known to only ONE side rejects every stimulus the same way.
+        left = alternator_process("Left").renamed(
+            {"tick": "tick_l", "flip": "flip_l", "previous": "prev_l"}
+        )
+        right = alternator_process("Right").renamed(
+            {"tick": "tick_r", "flip": "flip_r", "previous": "prev_r"}
+        )
+        with pytest.raises(ValueError, match="drive"):
+            explore_product(left, right, shared_driven=["tick_l"])
 
 
 class TestInvariants:
@@ -274,3 +331,169 @@ class TestZ3Z:
                 decoded = system.decode_reaction(reaction)
                 if decoded["rise"] is not ABSENT:
                     assert decoded["level"] is True
+
+    def test_event_signals_never_carry_false(self):
+        system = encode_process(alternator_process())
+        for state in system.reachable_states():
+            for reaction in system.admissible_reactions(dict(state)):
+                assert system.decode_reaction(reaction)["tick"] in (ABSENT, True)
+
+    def test_polynomial_reachability_interface(self):
+        engine = encode_process(alternator_process()).explore()
+        assert engine.complete
+        assert engine.state_count == 2
+        predicate = ReactionPredicate.present("flip").implies(ReactionPredicate.present("tick"))
+        assert engine.check_invariant(predicate).holds
+        assert engine.check_reachable(ReactionPredicate.true_of("flip")).holds
+        assert not engine.check_reachable(ReactionPredicate.false_of("tick")).holds
+
+
+class TestSymbolic:
+    def test_symbolic_matches_known_state_space(self):
+        result = symbolic_explore(alternator_process())
+        assert result.complete
+        assert result.state_count == 2
+        assert result.iterations == 2
+
+    def test_iteration_bound_flags_incompleteness(self):
+        result = symbolic_explore(edge_detector_process(), SymbolicOptions(max_iterations=0))
+        assert not result.complete
+        assert result.state_count == 1  # only the initial state
+
+    def test_truncated_analyses_refuse_unsound_verdicts(self):
+        # "Invariant holds" / "nothing reachable" from a truncated state space
+        # would be unsound: every backend must refuse instead of certifying.
+        symbolic = symbolic_explore(edge_detector_process(), SymbolicOptions(max_iterations=0))
+        with pytest.raises(BoundReached):
+            symbolic.check_invariant(ReactionPredicate.always())
+        # previous=true only happens after a step, i.e. beyond the truncation
+        with pytest.raises(BoundReached):
+            symbolic.check_reachable(ReactionPredicate.true_of("previous"))
+        explicit = explore(modulo_counter_process(9), ExplorationOptions(max_states=3))
+        with pytest.raises(BoundReached):
+            explicit.check_invariant(ReactionPredicate.always())
+        polynomial = encode_process(alternator_process()).explore(max_states=1)
+        assert not polynomial.complete
+        with pytest.raises(BoundReached):
+            polynomial.check_invariant(ReactionPredicate.always())
+        # The legacy polynomial-objective checker obeys the same rule.
+        with pytest.raises(BoundReached):
+            encode_process(alternator_process()).check_invariant(
+                presence("flip") - presence("tick"), max_states=1
+            )
+
+    def test_truncated_exploration_refuses_synthesis(self):
+        explicit = explore(modulo_counter_process(9), ExplorationOptions(max_states=3))
+        assert not explicit.complete
+        with pytest.raises(BoundReached):
+            explicit.synthesise(ReactionPredicate.always(), ["tick"])
+        # Unconverged symbolic fixpoints would treat unexplored states as
+        # escapes and report "no controller" for a controllable plant.
+        symbolic = symbolic_explore(
+            boolean_shift_register_process(3), SymbolicOptions(max_iterations=1)
+        )
+        assert not symbolic.complete
+        with pytest.raises(BoundReached):
+            symbolic.synthesise(ReactionPredicate.always(), [])
+
+    def test_truncated_analyses_still_report_found_violations(self):
+        # A violation (or witness) found below the bound is sound to report.
+        symbolic = symbolic_explore(alternator_process(), SymbolicOptions(max_iterations=1))
+        assert not symbolic.complete
+        verdict = symbolic.check_invariant(ReactionPredicate.never())
+        assert not verdict.holds and "witness reaction" in verdict.details
+        assert symbolic.check_reachable(ReactionPredicate.always()).holds
+
+    def test_symbolic_invariants_and_witnesses(self):
+        result = symbolic_explore(alternator_process())
+        holds = result.check_invariant(ReactionPredicate.present("flip").implies(ReactionPredicate.present("tick")))
+        assert holds.holds and "reachable states" in holds.details
+        fails = result.check_invariant(~ReactionPredicate.false_of("flip"))
+        assert not fails.holds and "witness reaction" in fails.details
+        assert result.check_reachable(ReactionPredicate.true_of("flip")).holds
+
+    def test_symbolic_rejects_unknown_predicate_signal(self):
+        result = symbolic_explore(alternator_process())
+        with pytest.raises(KeyError):
+            result.check_invariant(ReactionPredicate.present("ghost"))
+
+    def test_symbolic_polynomial_invariant(self):
+        result = symbolic_explore(alternator_process())
+        assert result.check_polynomial_invariant(presence("flip") - presence("tick")).holds
+        assert not result.check_polynomial_invariant(is_true("flip") - presence("tick")).holds
+        with pytest.raises(KeyError):
+            result.check_polynomial_invariant(presence("flpi"))
+
+    def test_engine_agnostic_helpers_reject_non_backends(self):
+        # A raw PolynomialDynamicalSystem has a check_invariant(polynomial,
+        # max_states) method that duck-typing would silently misinterpret.
+        system = encode_process(alternator_process())
+        predicate = ReactionPredicate.present("flip")
+        with pytest.raises(TypeError, match="explore"):
+            invariant_holds(system, predicate)
+        with pytest.raises(TypeError, match="explore"):
+            reaction_reachable(system, predicate)
+        with pytest.raises(TypeError, match="explore"):
+            synthesise_with(system, predicate, [])
+
+    def test_symbolic_scales_past_the_explicit_bound(self):
+        process = boolean_shift_register_process(12)
+        explicit = explore(process, ExplorationOptions(max_states=64))
+        assert explicit.bound_reached
+        symbolic = symbolic_explore(process)
+        assert symbolic.complete
+        assert symbolic.state_count == 2 ** 12
+        assert symbolic.state_count > 10 * 64
+
+    def test_engine_agnostic_helpers_accept_lts_and_engines(self):
+        predicate = ReactionPredicate.present("flip").implies(ReactionPredicate.present("tick"))
+        explicit = explore(alternator_process())
+        symbolic = symbolic_explore(alternator_process())
+        assert invariant_holds(explicit.lts, predicate).holds
+        assert invariant_holds(explicit, predicate).holds
+        assert invariant_holds(symbolic, predicate).holds
+        assert reaction_reachable(explicit.lts, ReactionPredicate.true_of("flip")).holds
+        assert reaction_reachable(symbolic, ReactionPredicate.true_of("flip")).holds
+
+    def test_synthesise_with_dispatch(self):
+        safe = ~ReactionPredicate.false_of("flip")
+        explicit = explore(alternator_process())
+        symbolic = symbolic_explore(alternator_process())
+        for target in (explicit, explicit.lts, symbolic):
+            verdict = synthesise_with(target, safe, ["tick"])
+            assert not verdict.success  # flip must eventually go false
+            assert "kept" in verdict.explain()
+        with pytest.raises(ValueError):
+            symbolic.synthesise(safe, ["ghost"])
+        with pytest.raises(ValueError):
+            explicit.synthesise(safe, ["ghost"])
+
+    def test_explicit_backends_reject_unknown_predicate_signals(self):
+        # A typo'd signal would silently read as always-absent and certify a
+        # wrong verdict; every backend must reject it like the symbolic one.
+        typo = ReactionPredicate.true_of("flpi")
+        explicit = explore(alternator_process())
+        with pytest.raises(KeyError):
+            explicit.check_reachable(typo)
+        with pytest.raises(KeyError):
+            explicit.check_invariant(typo)
+        polynomial = encode_process(alternator_process()).explore()
+        with pytest.raises(KeyError):
+            polynomial.check_reachable(typo)
+        # An explicitly empty observed alphabet rejects every named signal
+        # rather than silently certifying from empty labels.
+        blind = explore(alternator_process(), ExplorationOptions(observed=[]))
+        with pytest.raises(KeyError):
+            blind.check_reachable(ReactionPredicate.present("flip"))
+
+    def test_value_atoms_are_boolean_only(self):
+        # A present integer signal — whatever it carries — is neither true
+        # nor false; only booleans and events have truth values.
+        for integer in (0, 1, 2):
+            reaction = {"data": integer}
+            assert ReactionPredicate.present("data").evaluate(reaction)
+            assert not ReactionPredicate.true_of("data").evaluate(reaction)
+            assert not ReactionPredicate.false_of("data").evaluate(reaction)
+        assert ReactionPredicate.false_of("data").evaluate({"data": False})
+        assert ReactionPredicate.true_of("data").evaluate({"data": True})
+        assert ReactionPredicate.true_of("data").evaluate({"data": EVENT})
