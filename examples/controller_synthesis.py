@@ -8,64 +8,67 @@ this property as a control objective and to automatically generate a coercive
 process that wraps the initial specification so as to guarantee that the
 objective is an invariant".
 
-This example explores a small SIGNAL process (a bounded counter fed by
-requests), shows that the objective "the counter never saturates" does NOT
-hold for the free environment, and synthesises the maximally permissive
-controller that inhibits requests just enough to make it an invariant.
+This example wraps a small SIGNAL process (a load counter fed by requests) in
+a workbench Design, shows with one batch query that the objective "the load
+never saturates" does NOT hold for the free environment, and synthesises the
+maximally permissive controller that inhibits requests just enough to make it
+an invariant.  The property tests carried integer data, so ``backend="auto"``
+routes everything to the explicit engine.
 
 Run with:  python examples/controller_synthesis.py
 """
 
-from repro.core.values import ABSENT
 from repro.signal.dsl import ProcessBuilder, const
-from repro.verification import (
-    ExplorationOptions,
-    SynthesisObjective,
-    check_invariant_labels,
-    controllable_by_signals,
-    explore,
-    safety_from_labels,
-    synthesise,
-)
+from repro.verification import ExplorationOptions, ReactionPredicate, check_invariant_labels
+from repro.workbench import Design
 
 
-def elevator_process(capacity: int = 3):
-    """A load counter: `enter` increments, `leave` decrements, saturating at 0."""
+def elevator_design(capacity: int = 3, limit: int = 6) -> tuple[Design, int]:
+    """A load counter: `enter` increments, `leave` decrements, clamped to [0, limit].
+
+    ``limit`` is the physical saturation of the counter (the register width),
+    ``capacity`` the smaller bound the control objective asks for — the free
+    environment can drive the load anywhere up to ``limit``.
+    """
     builder = ProcessBuilder("Load")
     enter = builder.input("enter", "event")
     leave = builder.input("leave", "event")
     load = builder.output("load", "integer")
     previous = builder.local("previous", "integer")
+    candidate = builder.local("candidate", "integer")
     builder.define(previous, load.delayed(0))
     change = const(1).when(enter.clock()).default(const(-1).when(leave.clock())).default(const(0))
-    bounded = (previous + change).when((previous + change).ge(0)).default(const(0))
-    builder.define(load, bounded)
-    builder.synchronize(load, enter.clock_union(leave))
-    return builder.build(), capacity
+    builder.define(candidate, (previous + change).when((previous + change).ge(0)).default(const(0)))
+    builder.define(load, candidate.when(candidate.le(limit)).default(const(limit)))
+    builder.synchronize(load, candidate, enter.clock_union(leave))
+    design = builder.design(
+        exploration_options=ExplorationOptions(observed=["enter", "leave", "load"], max_states=200)
+    )
+    return design, capacity
 
 
 def main() -> None:
-    process, capacity = elevator_process()
+    design, capacity = elevator_design()
 
-    result = explore(process, ExplorationOptions(observed=["enter", "leave", "load"], max_states=200))
-    lts = result.lts
-    print(f"explored plant: {lts.state_count()} states, {lts.transition_count()} transitions")
-
-    def within_capacity(reaction: dict) -> bool:
-        return reaction.get("load", 0) is ABSENT or reaction.get("load", 0) <= capacity
-
-    verdict = check_invariant_labels(lts, within_capacity, f"load <= {capacity}")
-    print(f"model checking the free system: {verdict.explain()}")
-
-    objective = SynthesisObjective(
-        safe_states=safety_from_labels(lts, within_capacity),
-        controllable=controllable_by_signals(["enter"]),
+    within_capacity = ReactionPredicate.absent("load") | ReactionPredicate.value(
+        "load", lambda value: value <= capacity
     )
-    synthesis = synthesise(lts, objective)
-    print(f"controller synthesis: {synthesis.explain()}")
 
+    report = design.check_all(invariants={f"load <= {capacity}": within_capacity})
+    lts = design.exploration.lts
+    print(f"explored plant: {lts.state_count()} states, {lts.transition_count()} transitions")
+    print(f"model checking the free system ({report.backend_name} backend):")
+    print(report.summary())
+    print()
+
+    verdict = design.synthesise(within_capacity, controllable=["enter"])
+    print(f"controller synthesis: {verdict.explain()}")
+
+    synthesis = verdict.backend  # the explicit SynthesisResult artefact
     closed_loop = synthesis.controller.restrict(lts)
-    verdict_closed = check_invariant_labels(closed_loop, within_capacity, f"load <= {capacity} (closed loop)")
+    verdict_closed = check_invariant_labels(
+        closed_loop, within_capacity, f"load <= {capacity} (closed loop)"
+    )
     print(f"model checking the controlled system: {verdict_closed.explain()}")
     print()
     print("The synthesised wrapper disables `enter` exactly in the states where")

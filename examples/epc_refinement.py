@@ -6,40 +6,45 @@ level (SpecC specification, ChMP architecture, GALS deployment, bus-level
 communication, RTL finite-state machine) on the same workload, and every
 refinement step is formally checked (flow preservation, endochrony of the
 desynchronised components, bisimulation of the RTL against its cycle-accurate
-reference).
+reference).  The SIGNAL encodings are inspected through the workbench Design
+facade — including the SpecC ``ones`` behavior, translated on the fly with
+``Design.from_specc``.
 
 Run with:  python examples/epc_refinement.py [words...]
 """
 
 import sys
+from typing import Optional, Sequence
 
-from repro.clocks import analyse_endochrony
 from repro.epc import (
     DEFAULT_WORKLOAD,
     ablation_drop_handshake,
     check_refinement_chain,
+    ones_behavior,
     ones_paper_process,
-    ones_translated,
 )
 from repro.signal.printer import render_process
+from repro.workbench import Design
 
 
-def main() -> None:
-    workload = [int(arg) for arg in sys.argv[1:]] or list(DEFAULT_WORKLOAD)
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    workload = [int(arg) for arg in arguments] or list(DEFAULT_WORKLOAD)
 
     print("=" * 72)
     print("The SIGNAL encoding of the SpecC `ones` behavior (paper, Section 4)")
     print("=" * 72)
-    print(render_process(ones_paper_process()))
+    paper_design = Design.from_process(ones_paper_process())
+    print(render_process(paper_design.process))
     print()
-    print(analyse_endochrony(ones_paper_process()).summary())
+    print(paper_design.endochrony.summary())
     print()
 
     print("=" * 72)
     print("SpecC -> SIGNAL translation (critical sections / one step per operation)")
     print("=" * 72)
-    translation = ones_translated()
-    print(translation.step_table())
+    translated = Design.from_specc(ones_behavior())
+    print(translated.translation.step_table())
     print()
 
     print("=" * 72)

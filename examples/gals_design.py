@@ -2,17 +2,18 @@
 """Designing a GALS architecture with the polychronous methodology.
 
 A small producer/filter/consumer pipeline is built from endochronous SIGNAL
-components, analysed (static endochrony of every component), deployed over
-FIFOs with *different relative speeds*, and checked flow-preserving against
-its synchronous reference — the flow-invariance obligation of the paper.
+components (each one wrapped in a workbench Design for its clock analysis),
+deployed over FIFOs with *different relative speeds*, and checked
+flow-preserving against its synchronous reference — the flow-invariance
+obligation of the paper.
 
 Run with:  python examples/gals_design.py
 """
 
-from repro.core.values import EVENT
 from repro.gals import GalsArchitecture
-from repro.signal.dsl import ProcessBuilder, const
+from repro.signal.dsl import ProcessBuilder
 from repro.verification.observer import FlowObserver
+from repro.workbench import Design
 
 
 def producer_process():
@@ -26,7 +27,7 @@ def producer_process():
 
 
 def filter_process():
-    """Keep only samples above a threshold, tagging them with a sequence number."""
+    """Keep only samples above a threshold."""
     builder = ProcessBuilder("Filter")
     sample = builder.input("sample", "integer")
     kept = builder.output("kept", "integer")
@@ -46,9 +47,7 @@ def consumer_process():
     return builder.build()
 
 
-def main() -> None:
-    requests = [1, 2, 3, 4, 5, 6, 7]
-
+def build_architecture(requests) -> GalsArchitecture:
     architecture = GalsArchitecture("pipeline")
     architecture.add_component("producer", producer_process())
     architecture.add_component("filter", filter_process())
@@ -56,11 +55,21 @@ def main() -> None:
     architecture.connect("producer", "sample", "filter", "sample", capacity=4)
     architecture.connect("filter", "kept", "consumer", "kept", capacity=4)
     architecture.feed("producer", "request", requests)
+    return architecture
+
+
+def main() -> None:
+    requests = [1, 2, 3, 4, 5, 6, 7]
 
     print("=" * 72)
-    print("Component analysis (static endochrony)")
+    print("Component analysis (clock hierarchy + static endochrony, per Design)")
     print("=" * 72)
-    print(architecture.analyse().summary())
+    for process in (producer_process(), filter_process(), consumer_process()):
+        design = Design.from_process(process)
+        print(design.endochrony.summary())
+    print()
+    print("(the GALS layer re-runs the same analysis architecture-wide:)")
+    print(build_architecture(requests).analyse().summary())
     print()
 
     print("=" * 72)
@@ -70,13 +79,7 @@ def main() -> None:
     expected_totals = [sum(expected_kept[: i + 1]) for i in range(len(expected_kept))]
 
     for schedule in (None, ["producer", "producer", "filter", "consumer"], ["consumer", "filter", "producer"]):
-        run = GalsArchitecture("pipeline")
-        run.add_component("producer", producer_process())
-        run.add_component("filter", filter_process())
-        run.add_component("consumer", consumer_process())
-        run.connect("producer", "sample", "filter", "sample", capacity=4)
-        run.connect("filter", "kept", "consumer", "kept", capacity=4)
-        run.feed("producer", "request", requests)
+        run = build_architecture(requests)
         traces = run.run_desynchronised(schedule=schedule)
         totals = traces["consumer"].values("total")
         observer = FlowObserver(["total"])

@@ -1,22 +1,25 @@
 #!/usr/bin/env python
-"""Quickstart: write a SIGNAL process, simulate it, analyse its clocks.
+"""Quickstart: one Design object, the whole polychronous tool-chain.
 
-This walks through the three layers a new user touches first:
+This walks through the layers a new user touches first, all through the
+:class:`repro.workbench.Design` facade:
 
 1. the SIGNAL language (the paper's ``Count`` process, Section 2);
 2. the reaction simulator (the Fig. 1 primitives, executed);
-3. the clock calculus (hierarchy + static endochrony analysis).
+3. the clock calculus (hierarchy + static endochrony analysis);
+4. a first verification query (``design.check`` with an auto-picked backend).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.clocks import analyse_endochrony, build_hierarchy
+import repro
 from repro.core.values import ABSENT, EVENT
-from repro.signal.dsl import ProcessBuilder, const
+from repro.signal.dsl import ProcessBuilder
 from repro.signal.library import count_process
-from repro.signal.parser import parse_process
 from repro.signal.printer import render_process
-from repro.simulation import PRESENT, Simulator, simulate_columns
+from repro.simulation import PRESENT
+from repro.verification import ReactionPredicate
+from repro.workbench import Design
 
 
 def figure1_primitives() -> None:
@@ -32,13 +35,14 @@ def figure1_primitives() -> None:
     builder.define(builder.output("pre_y", "integer"), y.delayed(99))
     builder.define(builder.output("y_when_z", "integer"), y.when(z))
     builder.define(builder.output("y_default_w", "integer"), y.default(w))
-    trace = simulate_columns(
-        builder.build(),
+
+    design = builder.design()
+    trace = design.simulate_columns(
         {
             "y": [1, 2, 3, ABSENT],
             "z": [ABSENT, True, False, True],
             "w": [10, ABSENT, 30, 40],
-        },
+        }
     )
     print(trace.render())
     print()
@@ -50,12 +54,11 @@ def count_example() -> None:
     print("Section 2 — the Count process")
     print("=" * 72)
 
-    count = count_process()
-    print(render_process(count))
+    design = Design.from_process(count_process())
+    print(render_process(design.process))
     print()
 
-    simulator = Simulator(count)
-    trace = simulator.run(
+    trace = design.simulate(
         [
             {"reset": EVENT, "val": PRESENT},
             {"reset": ABSENT, "val": PRESENT},
@@ -68,7 +71,15 @@ def count_example() -> None:
     print()
     print("val is clocked independently of reset — Count is multi-clocked,")
     print("which the clock calculus confirms:")
-    print(analyse_endochrony(count).summary())
+    print(design.endochrony.summary())
+    print()
+    print("Count carries integer data, so the Z/3Z encoding refuses it and the")
+    print(f"auto policy picks the {design.backend_info('auto').name!r} backend:")
+    report = design.check_all(
+        invariants={"counter-stays-private": ReactionPredicate.always()},
+        reachables={"reset-can-fire": ReactionPredicate.present("reset")},
+    )
+    print(report.summary())
     print()
 
 
@@ -78,27 +89,28 @@ def parse_and_analyse() -> None:
     print("Parsing the paper's concrete syntax + clock hierarchization")
     print("=" * 72)
 
-    source = """
-    process Filter = (? integer sample; boolean keep ! integer kept)
-      (| kept := sample when keep
-       | sample ^= keep
-      |) end;
-    """
-    process = parse_process(source)
-    print(render_process(process))
-    hierarchy = build_hierarchy(process)
-    print(hierarchy.render())
-    print(analyse_endochrony(hierarchy).summary())
+    design = Design.from_source(
+        """
+        process Filter = (? integer sample; boolean keep ! integer kept)
+          (| kept := sample when keep
+           | sample ^= keep
+          |) end;
+        """
+    )
+    print(render_process(design.process))
+    print(design.clock_hierarchy.render())
+    print(design.endochrony.summary())
     print()
 
-    trace = simulate_columns(
-        process,
-        {"sample": [5, 6, 7, 8], "keep": [True, False, True, False]},
+    trace = design.simulate_columns(
+        {"sample": [5, 6, 7, 8], "keep": [True, False, True, False]}
     )
     print(trace.render())
 
 
 def main() -> None:
+    print(f"repro {repro.__version__} — Polychrony for refinement-based design")
+    print()
     figure1_primitives()
     count_example()
     parse_and_analyse()

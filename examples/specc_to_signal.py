@@ -3,18 +3,19 @@
 
 Demonstrates the front-end path of the paper's tool-chain: write an imperative
 SpecC-like behavior, simulate it on the discrete-event (wait/notify) kernel,
-translate it into a master-clocked SIGNAL process (critical sections, one step
-per basic operation), simulate the SIGNAL encoding, and check with the flow
-observer that both produce the same port traffic.
+translate it into a master-clocked SIGNAL process with ``Design.from_specc``
+(critical sections, one step per basic operation), simulate the SIGNAL
+encoding through the same Design facade, and check with the flow observer that
+both produce the same port traffic.
 
 Run with:  python examples/specc_to_signal.py
 """
 
 from repro.core.values import EVENT
 from repro.signal.printer import render_process
-from repro.simulation import Simulator
-from repro.specc import Assign, BehaviorBuilder, DesignBuilder, If, binop, lit, run_design, translate_behavior, var
+from repro.specc import Assign, BehaviorBuilder, DesignBuilder, If, binop, lit, run_design, var
 from repro.verification.observer import FlowObserver
+from repro.workbench import Design
 
 
 def gcd_behavior():
@@ -51,7 +52,7 @@ def main() -> None:
     testbench = BehaviorBuilder("tb", repeat=False)
     for a, b in pairs:
         testbench.assign("a_port", lit(a)).assign("b_port", lit(b)).notify("go").wait("ready")
-    design = (
+    specc_design = (
         DesignBuilder("GcdDesign")
         .variable("a_port", 0)
         .variable("b_port", 0)
@@ -61,22 +62,21 @@ def main() -> None:
         .instance(testbench.build(), "tb")
         .build()
     )
-    run = run_design(design, observed=["result"])
+    run = run_design(specc_design, observed=["result"])
     print(f"SpecC (discrete-event kernel) result flow: {run.flow('result')}")
 
     # ----------------------------------------------------------------- SIGNAL side
-    translation = translate_behavior(gcd)
+    design = Design.from_specc(gcd)
     print()
-    print(translation.step_table())
+    print(design.translation.step_table())
     print()
-    print(render_process(translation.process))
+    print(render_process(design.process))
     print()
 
-    simulator = Simulator(translation.process)
     horizon = 120
-    signal_results = []
+    signal_results: list = []
     for a, b in pairs:
-        trace = simulator.run_synchronous(
+        trace = design.simulate_columns(
             {
                 "tick": [EVENT] * horizon,
                 "go": [True] + [False] * (horizon - 1),

@@ -19,13 +19,18 @@ Sub-packages:
 * :mod:`repro.specc` — SpecC-like behaviors/channels, kernel, translation.
 * :mod:`repro.gals` — buffers, channels, desynchronisation, architectures.
 * :mod:`repro.epc` — the even-parity-checker case study and refinement chain.
+* :mod:`repro.workbench` — the :class:`~repro.workbench.design.Design` facade
+  over the whole pipeline, with the verification backend registry and the
+  shared-artifact batch-checking API (the recommended entry point).
 """
 
-from . import clocks, core, epc, gals, signal, simulation, specc, verification
+from . import clocks, core, epc, gals, signal, simulation, specc, verification, workbench
+from .workbench import Design
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Design",
     "clocks",
     "core",
     "epc",
@@ -34,5 +39,6 @@ __all__ = [
     "simulation",
     "specc",
     "verification",
+    "workbench",
     "__version__",
 ]

@@ -144,3 +144,13 @@ class ProcessBuilder:
     def build(self) -> ProcessDefinition:
         """Produce the immutable :class:`ProcessDefinition`."""
         return ProcessDefinition(self.name, self._inputs, self._outputs, self._body, self._locals)
+
+    def design(self, **options: Any):
+        """Build the process and wrap it in a workbench :class:`Design` facade.
+
+        Keyword arguments are forwarded to the Design constructor
+        (``exploration_options``, ``symbolic_options``, ``registry``, ...).
+        """
+        from ..workbench import Design
+
+        return Design.from_builder(self, **options)

@@ -89,6 +89,16 @@ class TranslationResult:
             lines.append(f"  S{step.index}: {step.source}")
         return "\n".join(lines)
 
+    def design(self, **options: Any):
+        """Wrap the translated process in a workbench :class:`Design` facade.
+
+        The returned design keeps this translation available as its
+        ``translation`` attribute (step table, port and event lists).
+        """
+        from ..workbench import Design
+
+        return Design(self.process, translation=self, **options)
+
 
 _SPECC_TO_SIGNAL_BINARY = {
     "+": "+",

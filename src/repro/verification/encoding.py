@@ -33,7 +33,7 @@ from ..signal.ast import (
 )
 from ..core.values import EVENT
 from .invariants import CheckResult
-from .reachability import BoundReached, Reachability, ReactionPredicate
+from .reachability import BackendCapabilities, BoundReached, Reachability, ReactionPredicate
 from .z3z import (
     FIELD,
     Polynomial,
@@ -210,6 +210,12 @@ class PolynomialReachability(Reachability):
 
         self._states, self._complete = system._explore(max_states, record)
         self._reactions = [system.decode_reaction(dict(frozen)) for frozen in sorted(reactions)]
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """Explicit enumeration of the ternary abstraction: boolean/event
+        skeleton only, bounded by ``max_states``, no synthesis."""
+        return BackendCapabilities(integer_data=False, bounded=True, synthesis=False)
 
     @property
     def state_count(self) -> int:

@@ -34,7 +34,13 @@ from ..simulation.compiler import CompiledProcess, SimulationError
 from ..simulation.status import PRESENT
 from .invariants import CheckResult, check_invariant_labels, check_reaction_reachable
 from .lts import LTS, make_label
-from .reachability import BoundReached, ControlVerdict, Reachability, ReactionPredicate
+from .reachability import (
+    BackendCapabilities,
+    BoundReached,
+    ControlVerdict,
+    Reachability,
+    ReactionPredicate,
+)
 
 
 @dataclass
@@ -95,6 +101,12 @@ class ExplorationResult(Reachability):
     # -- Reachability interface ---------------------------------------------------
     # Labels only carry the observed alphabet (None on hand-built results):
     # that is the universe predicates are validated against.
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """The reference semantics: concrete reactions (integer data included),
+        bounded by ``max_states``, with explicit supervisory synthesis."""
+        return BackendCapabilities(integer_data=True, bounded=True, synthesis=True)
 
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions, on the explored LTS."""

@@ -94,19 +94,33 @@ def check_reaction_reachable(lts: LTS, predicate: LabelPredicate, name: str = "r
     return CheckResult(False, name, details="no reachable reaction satisfies the predicate")
 
 
-def _as_reachability(target: Any, caller: str) -> Any:
+def _as_reachability(
+    target: Any,
+    caller: str,
+    needs_synthesis: bool = False,
+    predicates: tuple = (),
+) -> Any:
     # Late import: reachability imports CheckResult from this module.  The
     # isinstance check matters — bare duck-typing would silently match e.g.
     # PolynomialDynamicalSystem.check_invariant(polynomial, max_states) and
     # misinterpret both arguments.
     from .reachability import Reachability
 
-    if not isinstance(target, Reachability):
-        raise TypeError(
-            f"{caller} expects an LTS or a Reachability backend, not "
-            f"{type(target).__name__} (for a PolynomialDynamicalSystem, call .explore() first)"
-        )
-    return target
+    if isinstance(target, Reachability):
+        return target
+    # A workbench Design resolves to whatever backend its registry's auto
+    # policy picks, so the legacy entry points ride the facade's memoised
+    # artifacts for free; the query's predicates are forwarded so value
+    # atoms route to a concrete backend exactly as in the batch API.  Late
+    # import: workbench sits above verification.
+    from ..workbench import Design
+
+    if isinstance(target, Design):
+        return target.backend(predicates=predicates, needs_synthesis=needs_synthesis)
+    raise TypeError(
+        f"{caller} expects an LTS, a Reachability backend or a workbench Design, not "
+        f"{type(target).__name__} (for a PolynomialDynamicalSystem, call .explore() first)"
+    )
 
 
 def invariant_holds(target: Any, predicate: LabelPredicate, name: str = "invariant") -> CheckResult:
@@ -118,14 +132,16 @@ def invariant_holds(target: Any, predicate: LabelPredicate, name: str = "invaria
     """
     if isinstance(target, LTS):
         return check_invariant_labels(target, predicate, name)
-    return _as_reachability(target, "invariant_holds").check_invariant(predicate, name)
+    backend = _as_reachability(target, "invariant_holds", predicates=(predicate,))
+    return backend.check_invariant(predicate, name)
 
 
 def reaction_reachable(target: Any, predicate: LabelPredicate, name: str = "reachability") -> CheckResult:
     """Engine-agnostic EF over reactions (see :func:`invariant_holds`)."""
     if isinstance(target, LTS):
         return check_reaction_reachable(target, predicate, name)
-    return _as_reachability(target, "reaction_reachable").check_reachable(predicate, name)
+    backend = _as_reachability(target, "reaction_reachable", predicates=(predicate,))
+    return backend.check_reachable(predicate, name)
 
 
 def states_satisfying_ef(lts: LTS, targets: set[int]) -> set[int]:

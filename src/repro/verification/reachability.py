@@ -66,6 +66,19 @@ class ReactionPredicate:
         return cls("true", name)
 
     @classmethod
+    def value(cls, name: str, test: Any) -> "ReactionPredicate":
+        """The signal is present and ``test(value)`` is truthy.
+
+        This is the escape hatch for properties over carried *data* (integer
+        comparisons, set membership, ...) that the ternary abstraction cannot
+        express.  Only backends that evaluate predicates on concrete reactions
+        (the explicit engines, ``capabilities().integer_data``) can check
+        it; the symbolic engine rejects it, and the workbench auto-selection
+        policy routes such properties to a concrete backend.
+        """
+        return cls("value", name, test)
+
+    @classmethod
     def false_of(cls, name: str) -> "ReactionPredicate":
         """The signal is present with value false."""
         return cls("false", name)
@@ -99,7 +112,7 @@ class ReactionPredicate:
 
     def signals(self) -> set[str]:
         """The signal names mentioned by the predicate."""
-        if self.kind in ("present", "true", "false"):
+        if self.kind in ("present", "true", "false", "value"):
             return {self.operands[0]}
         if self.kind == "const":
             return set()
@@ -107,6 +120,19 @@ class ReactionPredicate:
         for operand in self.operands:
             result |= operand.signals()
         return result
+
+    def has_value_atoms(self) -> bool:
+        """True when the predicate tests carried values (``value`` atoms).
+
+        Such predicates need a backend that evaluates concrete reactions; the
+        workbench auto-selection policy uses this to rule out the symbolic
+        engine.
+        """
+        if self.kind == "value":
+            return True
+        if self.kind in ("present", "true", "false", "const"):
+            return False
+        return any(operand.has_value_atoms() for operand in self.operands)
 
     def evaluate(self, reaction: Mapping[str, Any]) -> bool:
         """Interpret the predicate on a concrete reaction."""
@@ -123,6 +149,8 @@ class ReactionPredicate:
             return value is not ABSENT
         if value is ABSENT:
             return False
+        if self.kind == "value":
+            return bool(self.operands[1](value))
         # Value atoms are strictly boolean: a present signal carrying an
         # integer (even 0/1) is neither true nor false, mirroring the ternary
         # encoding where only boolean/event signals have truth values.
@@ -134,7 +162,7 @@ class ReactionPredicate:
         return self.evaluate(reaction)
 
     def __repr__(self) -> str:
-        if self.kind in ("present", "true", "false"):
+        if self.kind in ("present", "true", "false", "value"):
             return f"{self.kind}({self.operands[0]})"
         if self.kind == "const":
             return "⊤" if self.operands[0] else "⊥"
@@ -155,6 +183,41 @@ class BoundReached(RuntimeError):
     existential answers stay available through the legacy per-LTS checkers,
     which document their bounded semantics.
     """
+
+
+# --------------------------------------------------------------------------- capabilities
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static description of what a Reachability backend can do.
+
+    The workbench registry (:mod:`repro.workbench.registry`) matches these
+    against a query's needs when ``backend="auto"`` has to pick an engine.
+
+    Attributes:
+        integer_data: evaluates predicates on *concrete* reactions — required
+            for processes whose control skeleton carries integer data (the
+            Z/3Z encoding raises :class:`~repro.verification.encoding.EncodingError`
+            on those) and for :meth:`ReactionPredicate.value` atoms.
+        bounded: the analysis may truncate at a state/iteration bound, i.e.
+            is not exhaustive past it (truncation is always *reported*, never
+            silent — see the soundness rule in ROADMAP.md).
+        synthesis: implements :meth:`Reachability.synthesise`.
+    """
+
+    integer_data: bool = False
+    bounded: bool = True
+    synthesis: bool = False
+
+    def describe(self) -> str:
+        """Short human-readable capability summary (used in reports)."""
+        facets = [
+            "integer data" if self.integer_data else "boolean/event skeleton",
+            "bounded" if self.bounded else "exhaustive",
+        ]
+        if self.synthesis:
+            facets.append("synthesis")
+        return ", ".join(facets)
 
 
 # --------------------------------------------------------------------------- verdicts
@@ -196,6 +259,16 @@ class Reachability(ABC):
     differ between backends (frozen memory dicts vs. ternary valuations vs.
     BDD cubes) while the observable alphabet is shared.
     """
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """Declared capabilities of this backend class.
+
+        Cheap and static — no artifact is computed.  The conservative default
+        claims nothing beyond bounded boolean checking; concrete backends
+        override it.
+        """
+        return BackendCapabilities()
 
     @property
     @abstractmethod

@@ -52,7 +52,7 @@ from ..signal.ast import ProcessDefinition
 from ..simulation.compiler import CompiledProcess
 from .encoding import PolynomialDynamicalSystem, encode_process
 from .invariants import CheckResult
-from .reachability import ControlVerdict, Reachability, ReactionPredicate
+from .reachability import BackendCapabilities, ControlVerdict, Reachability, ReactionPredicate
 from .z3z import FIELD, Polynomial
 
 
@@ -243,6 +243,12 @@ class SymbolicEngine:
             return manager.conj_all(self.predicate_bdd(p) for p in predicate.operands)
         if kind == "or":
             return manager.disj_all(self.predicate_bdd(p) for p in predicate.operands)
+        if kind == "value":
+            raise SymbolicEncodingError(
+                f"{self.system.name}: value predicates (on signal "
+                f"{predicate.operands[0]!r}) test carried data, which the boolean "
+                "abstraction does not represent — use an explicit backend"
+            )
         name = predicate.operands[0]
         if name not in self.system.signal_variables:
             raise KeyError(f"{self.system.name}: predicate mentions unknown signal {name!r}")
@@ -316,6 +322,13 @@ class SymbolicReachability(Reachability):
     states: BDDNode
     iterations: int
     fixpoint: bool = True
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """The BDD fixpoint: boolean/event skeleton only, exhaustive (no
+        state bound — ``max_iterations`` is off by default), with symbolic
+        supervisory synthesis."""
+        return BackendCapabilities(integer_data=False, bounded=False, synthesis=True)
 
     @property
     def state_count(self) -> int:

@@ -176,7 +176,10 @@ def synthesise_with(
             details=result.details,
             backend=result,
         )
-    return _as_reachability(target, "synthesise_with").synthesise(safe, controllable, ensure_nonblocking)
+    backend = _as_reachability(
+        target, "synthesise_with", needs_synthesis=True, predicates=(safe,)
+    )
+    return backend.synthesise(safe, controllable, ensure_nonblocking)
 
 
 def controllable_by_signals(signals: Iterable[str]) -> Callable[[dict[str, Any]], bool]:

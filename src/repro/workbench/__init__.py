@@ -1,0 +1,45 @@
+"""repro.workbench — one facade over the whole polychronous tool-chain.
+
+:class:`Design` is the single entry point users are expected to touch:
+construct it from SIGNAL source, a process definition, a DSL builder or a
+SpecC behavior; read its memoised artifacts (compiled process, clock
+hierarchy, endochrony report, Z/3Z encoding, explicit / polynomial / symbolic
+reachable sets, simulator); and run batched verification queries through the
+:class:`BackendRegistry`, letting ``backend="auto"`` pick an engine from
+declared :class:`~repro.verification.reachability.BackendCapabilities`.
+
+    from repro.workbench import Design, Property
+    from repro.verification import ReactionPredicate as P
+
+    design = Design.from_process(boolean_shift_register_process(14))
+    report = design.check_all(invariants={
+        "output-needs-input": P.present("s13").implies(P.present("x")),
+        "no-spontaneous-tail": P.absent("x").implies(P.absent("s0")),
+    })
+    print(report.summary())   # backend: symbolic — one fixpoint, k queries
+
+The legacy module-level entry points (``explore``, ``invariant_holds``,
+``synthesise_with``, ...) remain available and now also accept a Design.
+"""
+
+from .design import Design
+from .registry import (
+    BackendFactory,
+    BackendRegistry,
+    RegisteredBackend,
+    default_registry,
+    register_backend,
+)
+from .report import Property, PropertyCheck, Report
+
+__all__ = [
+    "BackendFactory",
+    "BackendRegistry",
+    "Design",
+    "Property",
+    "PropertyCheck",
+    "RegisteredBackend",
+    "Report",
+    "default_registry",
+    "register_backend",
+]

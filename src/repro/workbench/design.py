@@ -1,0 +1,454 @@
+"""The Design facade: one object, the whole polychronous tool-chain.
+
+The paper's methodology is a single pipeline — write a polychronous SIGNAL
+design (or translate a SpecC behavior into one), compile it, analyse its
+clocks, simulate it, and verify or synthesise over its state space — and
+:class:`Design` is that pipeline as one object.  Construct it from whatever
+you have::
+
+    design = Design.from_source(\"\"\"process Filter = ... end;\"\"\")
+    design = Design.from_process(count_process())
+    design = Design.from_builder(builder)          # a signal.dsl.ProcessBuilder
+    design = Design.from_specc(ones_behavior())    # SpecC -> SIGNAL translation
+
+Every derived artifact — the compiled process, the clock hierarchy and
+endochrony report, the Z/3Z Sigali encoding, the explicit exploration, the
+polynomial enumeration, the symbolic BDD fixpoint, the simulator — is
+computed lazily and **memoised**, so repeated queries never recompute a
+fixpoint or re-encode; :attr:`artifact_counts` records how often each was
+actually built (the tests pin it to one).
+
+Verification queries go through the backend registry
+(:mod:`repro.workbench.registry`): name an engine (``backend="symbolic"``) or
+let ``backend="auto"`` pick one from declared capabilities — explicit for
+integer-data processes (where the encoding raises
+:class:`~repro.verification.encoding.EncodingError`) and for
+:meth:`~repro.verification.reachability.ReactionPredicate.value` properties,
+symbolic once the potential state space outgrows the explicit bound.  The
+batch API — :meth:`check` / :meth:`check_all` — evaluates many properties
+against one shared reachable set and returns a structured
+:class:`~repro.workbench.report.Report`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from ..clocks.endochrony import EndochronyReport, analyse_endochrony
+from ..clocks.hierarchy import ClockHierarchy, build_hierarchy
+from ..signal.ast import ProcessDefinition
+from ..signal.dsl import ProcessBuilder
+from ..signal.parser import parse_process
+from ..simulation.compiler import CompiledProcess
+from ..simulation.simulator import Simulator
+from ..simulation.traces import Trace
+from ..verification.encoding import (
+    EncodingError,
+    PolynomialDynamicalSystem,
+    PolynomialReachability,
+    encode_process,
+)
+from ..verification.explorer import ExplorationOptions, ExplorationResult, explore
+from ..verification.reachability import (
+    BoundReached,
+    ControlVerdict,
+    Reachability,
+    ReactionPredicate,
+)
+from ..verification.symbolic import SymbolicEngine, SymbolicOptions, SymbolicReachability
+from .registry import BackendRegistry, RegisteredBackend, default_registry
+from .report import Property, PropertyCheck, Report
+
+#: What ``check``/``check_all`` accept per property: a bare predicate
+#: (auto-named), a ``(name, predicate)`` pair, or a full Property.
+PropertyLike = Union[Property, ReactionPredicate, tuple[str, ReactionPredicate]]
+
+#: A collection of named properties: mapping name -> predicate, or a sequence
+#: of PropertyLike.
+PropertiesLike = Union[Mapping[str, ReactionPredicate], Sequence[PropertyLike]]
+
+
+class _FailedArtifact:
+    """Memoised failure: re-raise the original error on every later access."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+
+class Design:
+    """Facade over one polychronous design and its derived-artifact graph.
+
+    Attributes:
+        process: the underlying :class:`~repro.signal.ast.ProcessDefinition`.
+        translation: the SpecC :class:`~repro.specc.translate.TranslationResult`
+            when the design came through :meth:`from_specc`, else None.
+        artifact_counts: how many times each artifact was actually computed —
+            the memoisation counter the batch-API tests assert on.
+        registry: the :class:`~repro.workbench.registry.BackendRegistry`
+            answering backend lookups for this design.
+    """
+
+    def __init__(
+        self,
+        process: Union[ProcessDefinition, CompiledProcess],
+        *,
+        exploration_options: Optional[ExplorationOptions] = None,
+        symbolic_options: Optional[SymbolicOptions] = None,
+        polynomial_max_states: int = 5000,
+        symbolic_state_threshold: Optional[int] = None,
+        registry: Optional[BackendRegistry] = None,
+        source: Optional[str] = None,
+        translation: Optional[Any] = None,
+    ) -> None:
+        self._artifacts: dict[str, Any] = {}
+        self.artifact_counts: dict[str, int] = {}
+        self.artifact_seconds: dict[str, float] = {}
+        if isinstance(process, CompiledProcess):
+            self._artifacts["compiled"] = process
+            process = process.definition
+        self.process: ProcessDefinition = process
+        self.exploration_options = exploration_options or ExplorationOptions()
+        self.symbolic_options = symbolic_options or SymbolicOptions()
+        self.polynomial_max_states = polynomial_max_states
+        # Past this many *potential* ternary state valuations the explicit
+        # engines would truncate (or crawl), so auto prefers exhaustive ones.
+        self.symbolic_state_threshold = (
+            symbolic_state_threshold
+            if symbolic_state_threshold is not None
+            else self.exploration_options.max_states
+        )
+        self.registry = registry if registry is not None else default_registry()
+        self.source = source
+        self.translation = translation
+        self._backends: dict[str, Reachability] = {}
+
+    # -- constructors ------------------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, **options: Any) -> "Design":
+        """Parse SIGNAL concrete syntax (one process) into a Design."""
+        return cls(parse_process(source), source=source, **options)
+
+    @classmethod
+    def from_process(cls, process: Union[ProcessDefinition, CompiledProcess], **options: Any) -> "Design":
+        """Wrap an existing (possibly compiled) process definition."""
+        return cls(process, **options)
+
+    @classmethod
+    def from_builder(cls, builder: ProcessBuilder, **options: Any) -> "Design":
+        """Build the :class:`~repro.signal.dsl.ProcessBuilder` and wrap the result."""
+        return cls(builder.build(), **options)
+
+    @classmethod
+    def from_specc(
+        cls,
+        behavior: Any,
+        name: Optional[str] = None,
+        input_ports: Optional[Sequence[str]] = None,
+        output_ports: Optional[Sequence[str]] = None,
+        **options: Any,
+    ) -> "Design":
+        """Translate a SpecC behavior into SIGNAL and wrap the encoding.
+
+        The :class:`~repro.specc.translate.TranslationResult` (step table,
+        port lists) stays available as :attr:`translation`.
+        """
+        from ..specc.translate import translate_behavior
+
+        translation = translate_behavior(behavior, name, input_ports, output_ports)
+        return cls(translation.process, translation=translation, **options)
+
+    # -- memoisation core ----------------------------------------------------------------
+
+    def _artifact(self, name: str, build: Callable[[], Any]) -> Any:
+        """Compute-once accessor; failures are memoised and re-raised."""
+        if name not in self._artifacts:
+            started = perf_counter()
+            try:
+                value = build()
+            except Exception as error:
+                value = _FailedArtifact(error)
+            self.artifact_seconds[name] = perf_counter() - started
+            self.artifact_counts[name] = self.artifact_counts.get(name, 0) + 1
+            self._artifacts[name] = value
+        value = self._artifacts[name]
+        if isinstance(value, _FailedArtifact):
+            raise value.error
+        return value
+
+    #: Which artifacts are derived from which, so invalidation cascades —
+    #: recomputing a dropped artifact must never rebuild on a stale upstream.
+    _ARTIFACT_DEPENDENTS = {
+        "compiled": ("exploration", "simulator"),
+        "hierarchy": ("endochrony",),
+        "encoding": ("polynomial", "symbolic_engine"),
+        "symbolic_engine": ("symbolic",),
+    }
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop a memoised artifact (or all of them) so it is recomputed.
+
+        Dropping an artifact also drops everything derived from it (e.g.
+        ``encoding`` takes ``polynomial``, ``symbolic_engine`` and
+        ``symbolic`` with it), so changed options take effect through the
+        whole downstream chain.  The computation *counters* are deliberately
+        kept — they record work actually done over the design's lifetime.
+        """
+        if name is None:
+            self._artifacts.clear()
+            self._backends.clear()
+            return
+        frontier = [name]
+        while frontier:
+            artifact = frontier.pop()
+            self._artifacts.pop(artifact, None)
+            frontier.extend(self._ARTIFACT_DEPENDENTS.get(artifact, ()))
+        # Backend instances wrap artifacts; drop any that may hold stale ones.
+        self._backends.clear()
+
+    # -- the artifact graph ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying process."""
+        return self.process.name
+
+    @property
+    def compiled(self) -> CompiledProcess:
+        """The executable reaction machine (memoised)."""
+        return self._artifact("compiled", lambda: CompiledProcess(self.process))
+
+    @property
+    def clock_hierarchy(self) -> ClockHierarchy:
+        """The clock-class forest of the process (memoised)."""
+        return self._artifact("hierarchy", lambda: build_hierarchy(self.process))
+
+    @property
+    def endochrony(self) -> EndochronyReport:
+        """Static endochrony analysis, reusing the memoised hierarchy."""
+        return self._artifact("endochrony", lambda: analyse_endochrony(self.clock_hierarchy))
+
+    @property
+    def is_endochronous(self) -> bool:
+        """Shorthand for ``endochrony.is_endochronous``."""
+        return self.endochrony.is_endochronous
+
+    @property
+    def encoding(self) -> PolynomialDynamicalSystem:
+        """The Z/3Z Sigali encoding of the control skeleton (memoised).
+
+        Raises:
+            EncodingError: when the control skeleton carries integer data;
+                the failure is memoised, so probing repeatedly is free.
+        """
+        return self._artifact("encoding", lambda: encode_process(self.process))
+
+    @property
+    def encodable(self) -> bool:
+        """True when the Z/3Z encoding exists (no integer data in the skeleton)."""
+        try:
+            self.encoding
+        except EncodingError:
+            return False
+        return True
+
+    @property
+    def exploration(self) -> ExplorationResult:
+        """Explicit LTS exploration of the compiled process (memoised)."""
+        return self._artifact(
+            "exploration", lambda: explore(self.compiled, self.exploration_options)
+        )
+
+    @property
+    def polynomial(self) -> PolynomialReachability:
+        """Explicit enumeration over the shared Z/3Z encoding (memoised)."""
+        return self._artifact(
+            "polynomial",
+            lambda: PolynomialReachability(self.encoding, self.polynomial_max_states),
+        )
+
+    @property
+    def symbolic_engine(self) -> SymbolicEngine:
+        """The BDD transition-relation encoding, built on the shared Z/3Z system."""
+        return self._artifact(
+            "symbolic_engine", lambda: SymbolicEngine(self.encoding, self.symbolic_options)
+        )
+
+    @property
+    def symbolic(self) -> SymbolicReachability:
+        """The symbolic reachable set (BDD fixpoint, memoised)."""
+        return self._artifact("symbolic", lambda: self.symbolic_engine.reach())
+
+    @property
+    def simulator(self) -> Simulator:
+        """A reaction simulator over the compiled process (memoised, stateful)."""
+        return self._artifact("simulator", lambda: Simulator(self.compiled))
+
+    # -- simulation facade -----------------------------------------------------------------
+
+    def simulate(self, scenario: Sequence[Mapping[str, Any]], reset: bool = True) -> Trace:
+        """Drive the simulator through a scenario (see :meth:`Simulator.run`)."""
+        return self.simulator.run(scenario, reset=reset)
+
+    def simulate_columns(self, columns: Mapping[str, Sequence[Any]], reset: bool = True) -> Trace:
+        """Column-per-signal synchronous run (see :meth:`Simulator.run_synchronous`)."""
+        return self.simulator.run_synchronous(columns, reset=reset)
+
+    def run_flows(self, flows: Mapping[str, Sequence[Any]], **kwargs: Any) -> Trace:
+        """Asynchronous flow-driven run (see :meth:`Simulator.run_flows`)."""
+        return self.simulator.run_flows(flows, **kwargs)
+
+    # -- backend resolution --------------------------------------------------------------
+
+    @property
+    def potential_state_bound(self) -> Optional[int]:
+        """Coarse static bound on the state space: 3^(state variables).
+
+        None when the design has no Z/3Z encoding (integer data) — the
+        explicit engine is then the only option anyway.
+        """
+        try:
+            encoding = self.encoding
+        except EncodingError:
+            return None
+        return 3 ** len(encoding.state_variables)
+
+    def _query_needs(
+        self,
+        predicates: Iterable[ReactionPredicate] = (),
+        needs_synthesis: bool = False,
+    ) -> tuple[bool, bool, bool]:
+        needs_integer = not self.encodable or any(
+            isinstance(p, ReactionPredicate) and p.has_value_atoms() for p in predicates
+        )
+        bound = self.potential_state_bound
+        large = bound is not None and bound > self.symbolic_state_threshold
+        return needs_integer, needs_synthesis, large
+
+    def backend_info(
+        self,
+        backend: str = "auto",
+        *,
+        predicates: Iterable[ReactionPredicate] = (),
+        needs_synthesis: bool = False,
+    ) -> RegisteredBackend:
+        """Resolve a backend name (or ``"auto"``) to its registry entry.
+
+        Pure capability matching — no artifact is computed beyond the (cheap,
+        memoised) encoding probe the auto policy needs.
+        """
+        if backend != "auto":
+            return self.registry.entry(backend)
+        needs_integer, needs_synthesis, large = self._query_needs(predicates, needs_synthesis)
+        return self.registry.select(needs_integer, needs_synthesis, large)
+
+    def backend(
+        self,
+        backend: str = "auto",
+        *,
+        predicates: Iterable[ReactionPredicate] = (),
+        needs_synthesis: bool = False,
+    ) -> Reachability:
+        """The ready-to-query engine for ``backend`` (instances are memoised)."""
+        entry = self.backend_info(backend, predicates=predicates, needs_synthesis=needs_synthesis)
+        if entry.name not in self._backends:
+            self._backends[entry.name] = entry.factory(self)
+        return self._backends[entry.name]
+
+    # -- the batch verification API ---------------------------------------------------------
+
+    def check(self, *properties: PropertyLike, backend: str = "auto") -> Report:
+        """Check properties against one shared reachable set.
+
+        Each property is a :class:`~repro.workbench.report.Property`, a
+        ``(name, predicate)`` pair, or a bare predicate (an invariant, named
+        ``P1``, ``P2``, ... by position).
+        """
+        return self._run_checks(self._normalise(properties, "invariant"), backend)
+
+    def check_all(
+        self,
+        invariants: Optional[PropertiesLike] = None,
+        reachables: Optional[PropertiesLike] = None,
+        backend: str = "auto",
+    ) -> Report:
+        """Batch check: invariants (AG) and reachability (EF) properties together.
+
+        ``invariants`` and ``reachables`` are mappings ``name -> predicate``
+        or sequences of properties; everything is evaluated against the same
+        memoised reachable set, so k properties cost one exploration /
+        encoding / fixpoint plus k cheap queries.
+        """
+        specs = self._normalise(invariants, "invariant") + self._normalise(reachables, "reachable")
+        if not specs:
+            raise ValueError("check_all needs at least one invariant or reachable property")
+        return self._run_checks(specs, backend)
+
+    def synthesise(
+        self,
+        safe: ReactionPredicate,
+        controllable: Sequence[str],
+        ensure_nonblocking: bool = True,
+        backend: str = "auto",
+    ) -> ControlVerdict:
+        """Controller synthesis through a synthesis-capable backend."""
+        engine = self.backend(backend, predicates=(safe,), needs_synthesis=True)
+        return engine.synthesise(safe, controllable, ensure_nonblocking)
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def _normalise(self, properties: Optional[PropertiesLike], kind: str) -> list[Property]:
+        if properties is None:
+            return []
+        if isinstance(properties, Mapping):
+            return [Property(name, predicate, kind) for name, predicate in properties.items()]
+        specs: list[Property] = []
+        for index, item in enumerate(properties, start=1):
+            if isinstance(item, Property):
+                specs.append(item)
+            elif isinstance(item, ReactionPredicate):
+                specs.append(Property(f"P{index}", item, kind))
+            elif isinstance(item, tuple) and len(item) == 2:
+                specs.append(Property(item[0], item[1], kind))
+            else:
+                raise TypeError(
+                    f"property #{index} must be a Property, a ReactionPredicate or a "
+                    f"(name, predicate) pair, not {type(item).__name__}"
+                )
+        return specs
+
+    def _run_checks(self, specs: list[Property], backend: str) -> Report:
+        started = perf_counter()
+        predicates = [spec.predicate for spec in specs]
+        entry = self.backend_info(backend, predicates=predicates)
+        engine = self.backend(entry.name)
+        checks: list[PropertyCheck] = []
+        for spec in specs:
+            check_started = perf_counter()
+            try:
+                if spec.kind == "invariant":
+                    result = engine.check_invariant(spec.predicate, spec.name)
+                else:
+                    result = engine.check_reachable(spec.predicate, spec.name)
+                check = PropertyCheck(spec.name, spec.kind, result)
+            except BoundReached as refusal:
+                check = PropertyCheck(spec.name, spec.kind, None, error=str(refusal))
+            check.elapsed = perf_counter() - check_started
+            checks.append(check)
+        return Report(
+            design_name=self.name,
+            backend_name=entry.name,
+            capabilities=entry.capabilities,
+            state_count=engine.state_count,
+            complete=engine.complete,
+            checks=checks,
+            elapsed=perf_counter() - started,
+            artifact_seconds=dict(self.artifact_seconds),
+        )
+
+    def __repr__(self) -> str:
+        cached = sorted(self._artifacts)
+        return f"Design({self.name!r}, artifacts={cached})"

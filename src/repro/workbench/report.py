@@ -1,0 +1,152 @@
+"""Structured results of workbench batch verification queries.
+
+A :meth:`Design.check_all <repro.workbench.design.Design.check_all>` call
+evaluates many properties against one shared reachable set; the
+:class:`Report` it returns records, per property, the underlying
+:class:`~repro.verification.invariants.CheckResult` (or the refusal of a
+truncated backend), and globally the backend that was chosen, its declared
+capabilities, the state count, completeness, and wall-clock timings — both
+per property and for the artifacts the design had to compute to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..verification.invariants import CheckResult
+from ..verification.reachability import BackendCapabilities, ReactionPredicate
+
+
+@dataclass(frozen=True)
+class Property:
+    """A named verification property: an invariant (AG) or a reachability (EF).
+
+    ``predicate`` is a :class:`~repro.verification.reachability.ReactionPredicate`;
+    properties are what :meth:`Design.check` and :meth:`Design.check_all`
+    consume, and the factory classmethods are the idiomatic way to build them::
+
+        Property.invariant("exclusive", ~(present("a") & present("b")))
+        Property.reachable("can-fire", true_of("fire"))
+    """
+
+    name: str
+    predicate: ReactionPredicate
+    kind: str = "invariant"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("invariant", "reachable"):
+            raise ValueError(f"property kind must be 'invariant' or 'reachable', not {self.kind!r}")
+
+    @classmethod
+    def invariant(cls, name: str, predicate: ReactionPredicate) -> "Property":
+        """AG over reactions: every reachable reaction satisfies ``predicate``."""
+        return cls(name, predicate, "invariant")
+
+    @classmethod
+    def reachable(cls, name: str, predicate: ReactionPredicate) -> "Property":
+        """EF over reactions: some reachable reaction satisfies ``predicate``."""
+        return cls(name, predicate, "reachable")
+
+
+@dataclass
+class PropertyCheck:
+    """One property's outcome within a batch report.
+
+    ``result`` is None when the backend *refused* the verdict (a truncated
+    analysis asked to certify a universal answer raises
+    :class:`~repro.verification.reachability.BoundReached`); the refusal
+    message is then in ``error`` and :attr:`holds` is None — unknown, not
+    false.
+    """
+
+    name: str
+    kind: str
+    result: Optional[CheckResult] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def holds(self) -> Optional[bool]:
+        """True / False verdict, or None when the backend refused."""
+        return None if self.result is None else self.result.holds
+
+    def __bool__(self) -> bool:
+        return self.holds is True
+
+    def explain(self) -> str:
+        """One-line readable verdict."""
+        if self.result is None:
+            return f"{self.name} [{self.kind}]: REFUSED — {self.error}"
+        return f"{self.result.explain()} [{self.kind}]"
+
+
+@dataclass
+class Report:
+    """Outcome of a batch check: per-property verdicts plus shared context."""
+
+    design_name: str
+    backend_name: str
+    capabilities: BackendCapabilities
+    state_count: int
+    complete: bool
+    checks: list[PropertyCheck] = field(default_factory=list)
+    elapsed: float = 0.0
+    artifact_seconds: dict[str, float] = field(default_factory=dict)
+
+    # -- access --------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[PropertyCheck]:
+        return iter(self.checks)
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def __getitem__(self, name: Union[str, int]) -> PropertyCheck:
+        if isinstance(name, int):
+            return self.checks[name]
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(f"no property named {name!r} in this report")
+
+    def __contains__(self, name: str) -> bool:
+        return any(check.name == name for check in self.checks)
+
+    # -- aggregate verdicts ----------------------------------------------------------
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every property verdict is positive (no failure, no refusal)."""
+        return all(check.holds is True for check in self.checks)
+
+    def __bool__(self) -> bool:
+        return self.all_hold
+
+    @property
+    def passed(self) -> list[PropertyCheck]:
+        """The properties whose verdict is positive."""
+        return [check for check in self.checks if check.holds is True]
+
+    @property
+    def failed(self) -> list[PropertyCheck]:
+        """The properties whose verdict is negative (refusals excluded)."""
+        return [check for check in self.checks if check.holds is False]
+
+    @property
+    def refused(self) -> list[PropertyCheck]:
+        """The properties the backend could not soundly answer."""
+        return [check for check in self.checks if check.holds is None]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        status = "complete" if self.complete else "TRUNCATED"
+        lines = [
+            f"{self.design_name}: {len(self.passed)}/{len(self.checks)} properties hold "
+            f"({len(self.failed)} fail, {len(self.refused)} refused)",
+            f"  backend: {self.backend_name} ({self.capabilities.describe()}) — "
+            f"{self.state_count} states, {status}, {self.elapsed:.3f}s",
+        ]
+        for check in self.checks:
+            lines.append(f"  {check.explain()}")
+        return "\n".join(lines)

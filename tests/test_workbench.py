@@ -1,0 +1,441 @@
+"""Tests for the workbench layer: the Design facade, artifact memoisation,
+the backend registry with auto-selection, and the batch-checking API."""
+
+import pytest
+
+from repro.core.values import ABSENT, EVENT
+from repro.signal.dsl import ProcessBuilder, const
+from repro.signal.library import (
+    alternator_process,
+    boolean_shift_register_process,
+    count_process,
+)
+from repro.simulation import PRESENT
+from repro.verification import (
+    BackendCapabilities,
+    BoundReached,
+    EncodingError,
+    ExplorationOptions,
+    ReactionPredicate,
+    invariant_holds,
+    reaction_reachable,
+    synthesise_with,
+)
+from repro.workbench import BackendRegistry, Design, Property, Report, default_registry
+
+P = ReactionPredicate
+
+
+class TestConstruction:
+    def test_from_process(self):
+        design = Design.from_process(alternator_process())
+        assert design.name == "Alternator"
+        assert design.process.name == "Alternator"
+
+    def test_from_source(self):
+        design = Design.from_source(
+            """
+            process Filter = (? integer sample; boolean keep ! integer kept)
+              (| kept := sample when keep
+               | sample ^= keep
+              |) end;
+            """
+        )
+        assert design.name == "Filter"
+        assert design.source is not None
+        assert design.is_endochronous
+
+    def test_from_builder(self):
+        builder = ProcessBuilder("Latch")
+        x = builder.input("x", "boolean")
+        builder.define(builder.output("held", "boolean"), x.delayed(False))
+        design = Design.from_builder(builder)
+        assert design.name == "Latch"
+        assert design.encodable
+
+    def test_builder_design_shortcut(self):
+        builder = ProcessBuilder("Latch")
+        x = builder.input("x", "boolean")
+        builder.define(builder.output("held", "boolean"), x.delayed(False))
+        design = builder.design()
+        assert isinstance(design, Design)
+        assert design.name == "Latch"
+
+    def test_from_specc_keeps_translation(self):
+        from repro.epc import ones_behavior
+
+        design = Design.from_specc(ones_behavior())
+        assert design.translation is not None
+        assert design.translation.process is design.process
+        assert "tick" in design.process.input_names
+
+    def test_translation_design_shortcut(self):
+        from repro.epc import ones_behavior
+        from repro.specc import translate_behavior
+
+        translation = translate_behavior(ones_behavior())
+        design = translation.design()
+        assert design.translation is translation
+
+    def test_from_compiled_process_seeds_artifact(self):
+        from repro.simulation import CompiledProcess
+
+        compiled = CompiledProcess(alternator_process())
+        design = Design.from_process(compiled)
+        assert design.compiled is compiled
+        # Seeded, not computed: the counter records no compilation.
+        assert "compiled" not in design.artifact_counts
+
+
+class TestMemoisation:
+    def test_each_artifact_computed_exactly_once_across_batch(self):
+        """The acceptance criterion: k >= 4 properties, one artifact each."""
+        design = Design.from_process(boolean_shift_register_process(6))
+        invariants = {
+            f"stage-{i}": P.present(f"s{i}").implies(P.present("x")) for i in range(4)
+        }
+        report = design.check_all(
+            invariants=invariants, reachables={"tail": P.present("s5")}, backend="symbolic"
+        )
+        assert len(report) == 5
+        assert report.all_hold
+        assert design.artifact_counts["encoding"] == 1
+        assert design.artifact_counts["symbolic_engine"] == 1
+        assert design.artifact_counts["symbolic"] == 1
+        # A second batch reuses everything.
+        again = design.check_all(invariants=invariants, backend="symbolic")
+        assert again.all_hold
+        assert design.artifact_counts["symbolic"] == 1
+
+    def test_explicit_backend_explores_once(self):
+        design = Design.from_process(alternator_process())
+        properties = [P.present("flip").implies(P.present("tick")) for _ in range(4)]
+        report = design.check(*properties, backend="explicit")
+        assert report.all_hold
+        assert design.artifact_counts["exploration"] == 1
+        design.check(*properties, backend="explicit")
+        assert design.artifact_counts["exploration"] == 1
+
+    def test_polynomial_backend_enumerates_once(self):
+        design = Design.from_process(alternator_process())
+        for _ in range(3):
+            design.check(P.always(), backend="polynomial")
+        assert design.artifact_counts["encoding"] == 1
+        assert design.artifact_counts["polynomial"] == 1
+
+    def test_encoding_failure_is_memoised(self):
+        design = Design.from_process(count_process())
+        for _ in range(3):
+            with pytest.raises(EncodingError):
+                design.encoding
+        assert design.artifact_counts["encoding"] == 1
+        assert not design.encodable
+
+    def test_clock_artifacts_are_shared(self):
+        design = Design.from_process(alternator_process())
+        hierarchy = design.clock_hierarchy
+        report = design.endochrony
+        assert report.hierarchy is hierarchy
+        assert design.artifact_counts["hierarchy"] == 1
+
+    def test_invalidate_recomputes(self):
+        design = Design.from_process(alternator_process())
+        first = design.exploration
+        design.invalidate("exploration")
+        second = design.exploration
+        assert first is not second
+        assert design.artifact_counts["exploration"] == 2
+
+    def test_invalidate_cascades_to_dependents(self):
+        """Dropping an upstream artifact drops everything derived from it."""
+        from repro.verification import SymbolicOptions
+
+        design = Design.from_process(boolean_shift_register_process(5))
+        assert design.symbolic.complete
+        design.symbolic_options = SymbolicOptions(max_iterations=1)
+        design.invalidate("symbolic_engine")
+        # The fixpoint must rebuild on a fresh engine carrying the new options.
+        assert not design.symbolic.complete
+        design.invalidate("encoding")
+        for artifact in ("encoding", "polynomial", "symbolic_engine", "symbolic"):
+            assert artifact not in design._artifacts
+
+
+class TestAutoSelection:
+    def test_integer_data_process_picks_explicit(self):
+        """Count carries integer data: only the explicit engine can answer."""
+        design = Design.from_process(
+            count_process(),
+            exploration_options=ExplorationOptions(extra_driven=["val"], integer_domain=(0, 1, 2)),
+        )
+        report = design.check_all(
+            invariants={"val-with-reset-or-not": P.present("val") | P.absent("val")},
+            reachables={"reset-fires": P.present("reset")},
+        )
+        assert report.backend_name == "explicit"
+        assert report.all_hold
+        assert "symbolic" not in design.artifact_counts
+
+    def test_large_boolean_process_picks_symbolic(self):
+        """2^14+ potential states: auto goes symbolic, never explores explicitly."""
+        design = Design.from_process(boolean_shift_register_process(14))
+        report = design.check_all(
+            invariants={"tail-needs-head": P.present("s13").implies(P.present("x"))}
+        )
+        assert report.backend_name == "symbolic"
+        assert report.state_count == 2 ** 14
+        assert report.all_hold
+        assert "exploration" not in design.artifact_counts
+
+    def test_small_boolean_process_prefers_explicit_reference(self):
+        design = Design.from_process(alternator_process())
+        report = design.check(P.always())
+        assert report.backend_name == "explicit"
+
+    def test_value_predicates_force_concrete_backend(self):
+        """A value atom on a large boolean design still routes to explicit."""
+        design = Design.from_process(boolean_shift_register_process(14))
+        entry = design.backend_info(
+            "auto", predicates=(P.value("x", lambda v: v is True),)
+        )
+        assert entry.name == "explicit"
+
+    def test_synthesis_query_skips_backends_without_synthesis(self):
+        registry = BackendRegistry()
+        from repro.verification.encoding import PolynomialReachability
+        from repro.verification.symbolic import SymbolicReachability
+
+        registry.register_backend(
+            "polynomial", lambda d: d.polynomial, PolynomialReachability.capabilities()
+        )
+        registry.register_backend(
+            "symbolic", lambda d: d.symbolic, SymbolicReachability.capabilities()
+        )
+        design = Design.from_process(alternator_process(), registry=registry)
+        entry = design.backend_info("auto", needs_synthesis=True)
+        assert entry.name == "symbolic"
+
+    def test_auto_refuses_when_nothing_matches(self):
+        registry = BackendRegistry()
+        from repro.verification.symbolic import SymbolicReachability
+
+        registry.register_backend(
+            "symbolic", lambda d: d.symbolic, SymbolicReachability.capabilities()
+        )
+        design = Design.from_process(count_process(), registry=registry)
+        with pytest.raises(LookupError):
+            design.check(P.always())
+
+
+class TestRegistry:
+    def test_default_registry_names_and_capabilities(self):
+        registry = default_registry()
+        assert registry.names() == ["explicit", "polynomial", "symbolic"]
+        assert registry.capabilities("explicit").integer_data
+        assert registry.capabilities("explicit").synthesis
+        assert not registry.capabilities("polynomial").synthesis
+        assert not registry.capabilities("symbolic").bounded
+
+    def test_register_custom_backend(self):
+        registry = default_registry().copy()
+        built = []
+
+        def factory(design):
+            built.append(design.name)
+            return design.polynomial
+
+        registry.register_backend(
+            "custom", factory, BackendCapabilities(integer_data=False, bounded=True), priority=-1
+        )
+        design = Design.from_process(alternator_process(), registry=registry)
+        report = design.check(P.always())
+        assert report.backend_name == "custom"
+        # The instance is memoised: a second query does not rebuild it.
+        design.check(P.always())
+        assert built == ["Alternator"]
+
+    def test_duplicate_registration_needs_replace(self):
+        registry = default_registry().copy()
+        with pytest.raises(ValueError):
+            registry.register_backend(
+                "explicit", lambda d: d.exploration, BackendCapabilities()
+            )
+        registry.register_backend(
+            "explicit", lambda d: d.exploration, BackendCapabilities(), replace=True
+        )
+        assert registry.capabilities("explicit") == BackendCapabilities()
+
+    def test_auto_is_reserved(self):
+        registry = BackendRegistry()
+        with pytest.raises(ValueError):
+            registry.register_backend("auto", lambda d: d.exploration, BackendCapabilities())
+
+    def test_unknown_backend_lookup(self):
+        design = Design.from_process(alternator_process())
+        with pytest.raises(LookupError):
+            design.check(P.always(), backend="no-such-engine")
+
+
+class TestBatchAPI:
+    def test_report_structure(self):
+        design = Design.from_process(boolean_shift_register_process(4))
+        report = design.check_all(
+            invariants={"ok": P.present("s3").implies(P.present("x"))},
+            reachables={"tail": P.present("s3"), "never": P.present("s3") & P.absent("s3")},
+        )
+        assert isinstance(report, Report)
+        assert report["ok"].holds is True
+        assert report["tail"].kind == "reachable"
+        assert report["never"].holds is False
+        assert not report.all_hold
+        assert [c.name for c in report.failed] == ["never"]
+        assert "ok" in report and "missing" not in report
+        assert report[0].name == "ok"
+        with pytest.raises(KeyError):
+            report["missing"]
+        assert "properties hold" in report.summary()
+
+    def test_check_auto_names_and_pairs(self):
+        design = Design.from_process(alternator_process())
+        report = design.check(
+            P.always(),
+            ("named", P.present("flip").implies(P.present("tick"))),
+            Property.reachable("flips", P.present("flip")),
+        )
+        assert [c.name for c in report.checks] == ["P1", "named", "flips"]
+        assert report.all_hold
+
+    def test_check_all_requires_properties(self):
+        design = Design.from_process(alternator_process())
+        with pytest.raises(ValueError):
+            design.check_all()
+
+    def test_invalid_property_type(self):
+        design = Design.from_process(alternator_process())
+        with pytest.raises(TypeError):
+            design.check(42)
+
+    def test_truncated_backend_refusal_is_reported_not_raised(self):
+        design = Design.from_process(
+            boolean_shift_register_process(8),
+            exploration_options=ExplorationOptions(max_states=10),
+        )
+        report = design.check_all(
+            invariants={"holds-but-truncated": P.present("s7").implies(P.present("x"))},
+            reachables={"tail": P.present("s7")},
+            backend="explicit",
+        )
+        assert not report.complete
+        refused = report["holds-but-truncated"]
+        assert refused.holds is None
+        assert "truncated" in refused.error
+        assert not report.all_hold
+        assert "REFUSED" in report.summary()
+
+    def test_batch_and_single_checks_agree(self):
+        process = boolean_shift_register_process(5)
+        design = Design.from_process(process)
+        predicate = P.present("s4").implies(P.present("x"))
+        batch = design.check_all(invariants={"p": predicate}, backend="symbolic")
+        single = design.symbolic.check_invariant(predicate, "p")
+        assert batch["p"].holds == single.holds
+
+    def test_synthesise_through_facade_symbolic_and_explicit(self):
+        process = boolean_shift_register_process(10)
+        design = Design.from_process(process)
+        verdict = design.synthesise(P.absent("s9") | P.present("x"), ["x"])
+        assert design.backend_info("auto", needs_synthesis=True).name == "symbolic"
+        small = Design.from_process(boolean_shift_register_process(3))
+        explicit = small.synthesise(P.absent("s2") | P.present("x"), ["x"], backend="explicit")
+        assert verdict.success == explicit.success
+
+
+class TestLegacyWrappers:
+    def test_invariant_holds_accepts_design(self):
+        design = Design.from_process(boolean_shift_register_process(12))
+        verdict = invariant_holds(design, P.present("s11").implies(P.present("x")))
+        assert verdict.holds
+        # The wrapper rode the facade: symbolic artifacts, no explicit LTS.
+        assert "symbolic" in design.artifact_counts
+        assert "exploration" not in design.artifact_counts
+
+    def test_reaction_reachable_accepts_design(self):
+        design = Design.from_process(alternator_process())
+        assert reaction_reachable(design, P.present("flip")).holds
+
+    def test_wrapper_routes_value_atoms_to_concrete_backend(self):
+        """A value atom on a large boolean design must go explicit, as in check_all."""
+        design = Design.from_process(boolean_shift_register_process(10))
+        predicate = P.absent("x") | P.value("x", lambda v: isinstance(v, bool))
+        assert invariant_holds(design, predicate).holds
+        assert "exploration" in design.artifact_counts
+        assert "symbolic" not in design.artifact_counts
+
+    def test_synthesise_with_accepts_design(self):
+        design = Design.from_process(boolean_shift_register_process(3))
+        verdict = synthesise_with(design, P.always(), ["x"])
+        assert verdict.success
+
+    def test_non_backend_target_still_rejected(self):
+        with pytest.raises(TypeError):
+            invariant_holds(42, P.always())
+
+
+class TestSimulationFacade:
+    def test_simulate_scenario(self):
+        design = Design.from_process(count_process())
+        trace = design.simulate(
+            [
+                {"reset": EVENT, "val": PRESENT},
+                {"reset": ABSENT, "val": PRESENT},
+            ]
+        )
+        assert trace.values("val") == [0, 1]
+        assert design.artifact_counts["simulator"] == 1
+        assert design.artifact_counts["compiled"] == 1
+
+    def test_simulate_columns(self):
+        builder = ProcessBuilder("Double")
+        x = builder.input("x", "integer")
+        builder.define(builder.output("y", "integer"), x + x)
+        design = builder.design()
+        trace = design.simulate_columns({"x": [1, 2, 3]})
+        assert trace.values("y") == [2, 4, 6]
+
+    def test_simulator_shares_compiled_artifact(self):
+        design = Design.from_process(count_process())
+        assert design.simulator.compiled is design.compiled
+        assert design.artifact_counts["compiled"] == 1
+
+
+class TestValuePredicate:
+    def test_value_atom_on_concrete_reactions(self):
+        predicate = P.value("load", lambda v: v <= 2)
+        assert predicate.evaluate({"load": 1})
+        assert not predicate.evaluate({"load": 3})
+        assert not predicate.evaluate({})
+        assert predicate.signals() == {"load"}
+        assert predicate.has_value_atoms()
+        assert (~predicate).has_value_atoms()
+        assert not P.present("load").has_value_atoms()
+
+    def test_symbolic_engine_rejects_value_atoms(self):
+        from repro.verification import SymbolicEncodingError, symbolic_explore
+
+        result = symbolic_explore(boolean_shift_register_process(3))
+        with pytest.raises(SymbolicEncodingError):
+            result.check_invariant(P.value("x", bool))
+
+    def test_explicit_check_with_value_atom_through_facade(self):
+        builder = ProcessBuilder("Adder")
+        x = builder.input("x", "integer")
+        builder.define(builder.output("y", "integer"), x + const(1))
+        design = Design.from_builder(
+            builder,
+            exploration_options=ExplorationOptions(integer_domain=(0, 1, 2)),
+        )
+        report = design.check_all(
+            invariants={"y-bounded": P.absent("y") | P.value("y", lambda v: v <= 3)}
+        )
+        assert report.backend_name == "explicit"
+        assert report.all_hold
