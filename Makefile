@@ -2,17 +2,29 @@
 #
 #   make test        - the tier-1 suite (tests/, includes the differential
 #                      symbolic-vs-explicit suite and the benchmark smoke runs)
+#   make cov         - the tier-1 suite under coverage with the minimum gate
+#                      (CI runs this on the py3.12 leg only)
+#   make lint        - ruff (high-signal core rules) + byte-compilation check
 #   make bench-smoke - only the benchmark smoke runs (every benchmarks/bench_*.py
-#                      main path at its smallest size)
+#                      main path at its smallest size); writes BENCH_SMOKE.json,
+#                      the per-benchmark wall-clock artifact CI uploads
 #   make bench       - the full pytest-benchmark campaign over benchmarks/
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
+COV_MIN ?= 85
 
-.PHONY: test bench-smoke bench
+.PHONY: test cov lint bench-smoke bench
 
 test:
 	$(PYTEST) -x -q
+
+cov:
+	$(PYTEST) -q --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=$(COV_MIN)
+
+lint:
+	$(PYTHON) -m ruff check .
+	$(PYTHON) -m compileall -q src
 
 bench-smoke:
 	$(PYTEST) -q -m bench_smoke

@@ -1,0 +1,53 @@
+"""Repo-level pytest plumbing: the benchmark-smoke trajectory file.
+
+``make bench-smoke`` (``pytest -m bench_smoke``) smoke-runs every
+``benchmarks/bench_*.py`` main path at its smallest size.  This plugin
+records each smoke test's wall-clock and, when the run actually selected the
+``bench_smoke`` marker (or ``BENCH_SMOKE_JSON`` names an output path),
+writes them to ``BENCH_SMOKE.json`` — the artifact CI uploads on every
+build, seeding the benchmark trajectory without a full pytest-benchmark
+campaign.
+"""
+
+import json
+import os
+import platform
+import time
+
+_durations: dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed and "bench_smoke" in report.keywords:
+        _durations[report.nodeid] = report.duration
+
+
+def _output_path(config) -> str | None:
+    explicit = os.environ.get("BENCH_SMOKE_JSON")
+    if explicit:
+        return explicit
+    markexpr = getattr(config.option, "markexpr", "") or ""
+    if "bench_smoke" in markexpr:
+        return os.path.join(str(config.rootpath), "BENCH_SMOKE.json")
+    return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = _output_path(session.config)
+    if path is None or not _durations:
+        return
+    payload = {
+        "schema": "bench-smoke/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "total_seconds": round(sum(_durations.values()), 6),
+        "benchmarks": [
+            {"id": nodeid, "seconds": round(seconds, 6)}
+            for nodeid, seconds in sorted(_durations.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

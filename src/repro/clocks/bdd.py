@@ -16,7 +16,7 @@ computation from.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 
 class BDDNode:
@@ -292,6 +292,89 @@ class BDDManager:
                 result = self._node(variable, low, high)
         self._relprod_cache[key] = result
         return result
+
+    # -- bit-vector circuits ------------------------------------------------------------
+    #
+    # Unsigned bit-vectors are plain lists of BDD nodes, least significant bit
+    # first; a vector of width 0 denotes the constant 0.  The finite-integer
+    # symbolic engine (:mod:`repro.verification.symbolic_int`) compiles SIGNAL
+    # arithmetic onto these circuits: addition is a ripple-carry adder,
+    # comparisons are the classical LSB-to-MSB comparator chain, and selection
+    # is a bitwise multiplexer.  Widths are the caller's business — every
+    # operation below is exact over the width it is asked to produce.
+
+    def bv_const(self, value: int, width: int) -> list[BDDNode]:
+        """The constant vector of ``value`` over ``width`` bits (LSB first)."""
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"constant {value} is not representable over {width} unsigned bits")
+        return [self.true if (value >> index) & 1 else self.false for index in range(width)]
+
+    def bv_not(self, bits: Sequence[BDDNode]) -> list[BDDNode]:
+        """Bitwise complement (one's complement over the vector's own width)."""
+        return [self.neg(bit) for bit in bits]
+
+    def bv_extend(self, bits: Sequence[BDDNode], width: int) -> list[BDDNode]:
+        """Zero-extend a vector to ``width`` bits."""
+        if width < len(bits):
+            raise ValueError(f"cannot shrink a {len(bits)}-bit vector to {width} bits")
+        return list(bits) + [self.false] * (width - len(bits))
+
+    def bv_add(self, left: Sequence[BDDNode], right: Sequence[BDDNode], width: Optional[int] = None) -> list[BDDNode]:
+        """Ripple-carry addition, exact by default, truncated mod 2^width if narrower.
+
+        The default width ``max(len(left), len(right)) + 1`` always holds the
+        exact sum; passing a smaller width drops the high carries (the wrap
+        the modulo circuit exploits deliberately).
+        """
+        if width is None:
+            width = max(len(left), len(right), 1) + 1 if (left or right) else 0
+        a = self.bv_extend(left, max(width, len(left)))
+        b = self.bv_extend(right, max(width, len(right)))
+        result: list[BDDNode] = []
+        carry = self.false
+        for index in range(width):
+            x, y = a[index], b[index]
+            partial = self.xor(x, y)
+            result.append(self.xor(partial, carry))
+            # carry-out = majority(x, y, carry) = (x ∧ y) ∨ (carry ∧ (x ⊕ y))
+            carry = self.disj(self.conj(x, y), self.conj(carry, partial))
+        return result
+
+    def bv_eq(self, left: Sequence[BDDNode], right: Sequence[BDDNode]) -> BDDNode:
+        """Equality of two unsigned vectors (the shorter is zero-extended)."""
+        width = max(len(left), len(right))
+        a = self.bv_extend(left, width)
+        b = self.bv_extend(right, width)
+        return self.conj_all(self.neg(self.xor(x, y)) for x, y in zip(a, b))
+
+    def bv_lt(self, left: Sequence[BDDNode], right: Sequence[BDDNode]) -> BDDNode:
+        """Unsigned strict comparison ``left < right`` (comparator chain)."""
+        width = max(len(left), len(right))
+        a = self.bv_extend(left, width)
+        b = self.bv_extend(right, width)
+        less = self.false
+        for x, y in zip(a, b):  # LSB to MSB: the MSB verdict dominates
+            less = self.ite(self.xor(x, y), y, less)
+        return less
+
+    def bv_le(self, left: Sequence[BDDNode], right: Sequence[BDDNode]) -> BDDNode:
+        """Unsigned comparison ``left <= right``."""
+        return self.neg(self.bv_lt(right, left))
+
+    def bv_mux(self, condition: BDDNode, then: Sequence[BDDNode], otherwise: Sequence[BDDNode]) -> list[BDDNode]:
+        """Bitwise multiplexer: ``then`` when ``condition`` holds, else ``otherwise``."""
+        width = max(len(then), len(otherwise))
+        a = self.bv_extend(then, width)
+        b = self.bv_extend(otherwise, width)
+        return [self.ite(condition, x, y) for x, y in zip(a, b)]
+
+    def bv_value(self, bits: Sequence[BDDNode], assignment: Mapping[str, bool]) -> int:
+        """Evaluate a vector of (variable or constant) bits under an assignment."""
+        value = 0
+        for index, bit in enumerate(bits):
+            if self.evaluate(bit, dict(assignment)):
+                value |= 1 << index
+        return value
 
     # -- queries ----------------------------------------------------------------------------
 

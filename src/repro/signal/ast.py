@@ -30,26 +30,43 @@ SIGNAL_TYPES = (TYPE_EVENT, TYPE_BOOLEAN, TYPE_INTEGER)
 
 
 class SignalDeclaration:
-    """Declaration of a signal name with its type (``integer data``)."""
+    """Declaration of a signal name with its type (``integer data``).
 
-    __slots__ = ("name", "type")
+    Integer signals may additionally declare a finite range ``bounds=(lo, hi)``
+    (inclusive).  The operational semantics does not enforce the range — it is
+    a *capacity* declaration consumed by the finite-integer symbolic engine
+    (:mod:`repro.verification.symbolic_int`), which bit-blasts the signal into
+    ``ceil(log2(hi - lo + 1))`` BDD variables and reports (rather than hides)
+    any reachable overflow of the declared capacity.
+    """
 
-    def __init__(self, name: str, type: str = TYPE_INTEGER) -> None:
+    __slots__ = ("name", "type", "bounds")
+
+    def __init__(self, name: str, type: str = TYPE_INTEGER, bounds: Optional[tuple[int, int]] = None) -> None:
         if type not in SIGNAL_TYPES:
             raise ValueError(f"unknown signal type {type!r}; expected one of {SIGNAL_TYPES}")
+        if bounds is not None:
+            if type != TYPE_INTEGER:
+                raise ValueError(f"bounds only apply to integer signals, not {type} {name!r}")
+            lo, hi = bounds
+            if lo > hi:
+                raise ValueError(f"empty range [{lo}, {hi}] declared for signal {name!r}")
+            bounds = (int(lo), int(hi))
         self.name = name
         self.type = type
+        self.bounds = bounds
 
     def __repr__(self) -> str:
-        return f"SignalDeclaration({self.type} {self.name})"
+        suffix = f" in [{self.bounds[0]}, {self.bounds[1]}]" if self.bounds else ""
+        return f"SignalDeclaration({self.type} {self.name}{suffix})"
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SignalDeclaration):
             return NotImplemented
-        return self.name == other.name and self.type == other.type
+        return self.name == other.name and self.type == other.type and self.bounds == other.bounds
 
     def __hash__(self) -> int:
-        return hash((self.name, self.type))
+        return hash((self.name, self.type, self.bounds))
 
 
 # --------------------------------------------------------------------------- expressions
@@ -767,7 +784,7 @@ class ProcessDefinition:
     def renamed(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "ProcessDefinition":
         """Return a copy with signals renamed according to ``mapping``."""
         def rename_decl(decl: SignalDeclaration) -> SignalDeclaration:
-            return SignalDeclaration(mapping.get(decl.name, decl.name), decl.type)
+            return SignalDeclaration(mapping.get(decl.name, decl.name), decl.type, decl.bounds)
 
         return ProcessDefinition(
             name or self.name,
@@ -806,11 +823,11 @@ def expand(process: ProcessDefinition, prefix: Optional[str] = None) -> ProcessD
         # Bind the actual input expressions to the renamed formal inputs.
         for decl, expr in zip(renamed.inputs, statement.input_expressions):
             body.append(Definition(decl.name, expr))
-            extra_locals.append(SignalDeclaration(decl.name, decl.type))
+            extra_locals.append(SignalDeclaration(decl.name, decl.type, decl.bounds))
         # Bind the caller's output names to the renamed formal outputs.
         for decl, target in zip(renamed.outputs, statement.output_names):
             body.append(Definition(target, SignalRef(decl.name)))
-            extra_locals.append(SignalDeclaration(decl.name, decl.type))
+            extra_locals.append(SignalDeclaration(decl.name, decl.type, decl.bounds))
         # Inline the renamed body and keep its locals hidden.
         body.extend(renamed.body)
         extra_locals.extend(renamed.locals)

@@ -72,21 +72,21 @@ class ProcessBuilder:
 
     # -- declarations -------------------------------------------------------------
 
-    def input(self, name: str, type: str = "integer") -> BoundSignal:
+    def input(self, name: str, type: str = "integer", bounds: tuple[int, int] | None = None) -> BoundSignal:
         """Declare an input signal and return a reference to it."""
-        declaration = SignalDeclaration(name, type)
+        declaration = SignalDeclaration(name, type, bounds)
         self._inputs.append(declaration)
         return BoundSignal(name, declaration, self)
 
-    def output(self, name: str, type: str = "integer") -> BoundSignal:
+    def output(self, name: str, type: str = "integer", bounds: tuple[int, int] | None = None) -> BoundSignal:
         """Declare an output signal and return a reference to it."""
-        declaration = SignalDeclaration(name, type)
+        declaration = SignalDeclaration(name, type, bounds)
         self._outputs.append(declaration)
         return BoundSignal(name, declaration, self)
 
-    def local(self, name: str, type: str = "integer") -> BoundSignal:
+    def local(self, name: str, type: str = "integer", bounds: tuple[int, int] | None = None) -> BoundSignal:
         """Declare a local (hidden) signal and return a reference to it."""
-        declaration = SignalDeclaration(name, type)
+        declaration = SignalDeclaration(name, type, bounds)
         self._locals.append(declaration)
         return BoundSignal(name, declaration, self)
 

@@ -214,6 +214,55 @@ def accumulator_process(init: int = 0, name: str = "Accumulator") -> ProcessDefi
     return builder.build()
 
 
+def saturating_accumulator_process(cap: int, name: str = "SatAccumulator") -> ProcessDefinition:
+    """Running sum of ``x`` that saturates at ``cap`` (restarted by ``clear``).
+
+    Unlike :func:`accumulator_process`, the total is *bounded by construction*
+    — the sampling conditions ``sum >= cap`` / ``sum < cap`` clamp it — which
+    is exactly the idiom the finite-integer range inference recognises: no
+    ``bounds`` declaration is needed for the symbolic engine to bit-blast it.
+    """
+    if cap < 1:
+        raise ValueError("cap must be at least 1")
+    builder = ProcessBuilder(name)
+    x = builder.input("x", "integer")
+    clear = builder.input("clear", "event")
+    total = builder.output("total", "integer")
+    previous = builder.local("previous", "integer")
+    summed = builder.local("summed", "integer")
+    builder.define(previous, total.delayed(0))
+    builder.define(summed, previous + x)
+    clamped = const(cap).when(summed.ge(cap)).default(summed.when(summed.lt(cap)))
+    builder.define(total, const(0).when(clear).default(clamped))
+    builder.synchronize(total, x.clock_union(clear))
+    return builder.build()
+
+
+def bounded_channel_process(capacity: int, name: str = "BoundedChannel") -> ProcessDefinition:
+    """A producer/consumer fill level bounded to ``[0, capacity]``.
+
+    ``push`` raises the level, ``pop`` lowers it, both saturate at the
+    channel's ends, and a simultaneous push and pop holds the level.  The
+    level's clock is the union of both events, so the process is fully
+    driven by its inputs — the configuration the differential engines agree
+    on by construction.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    builder = ProcessBuilder(name)
+    push = builder.input("push", "event")
+    pop = builder.input("pop", "event")
+    level = builder.output("level", "integer")
+    previous = builder.local("previous", "integer")
+    builder.define(previous, level.delayed(0))
+    held = previous.when(push.clock().clock_product(pop.clock()))
+    raised = (previous + 1).when(previous.lt(capacity)).when(push.clock())
+    lowered = (previous - 1).when(previous.gt(0)).when(pop.clock())
+    builder.define(level, held.default(raised).default(lowered).default(previous))
+    builder.synchronize(level, push.clock_union(pop))
+    return builder.build()
+
+
 def watchdog_process(limit: int, name: str = "Watchdog") -> ProcessDefinition:
     """Raise ``alarm`` when ``limit`` ticks elapse without a ``kick``."""
     if limit < 1:

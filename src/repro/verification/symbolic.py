@@ -87,7 +87,60 @@ def _primed(bit: str) -> str:
     return f"{bit}'"
 
 
-class SymbolicEngine:
+class RelationalFixpointEngine:
+    """The image-fixpoint core shared by the symbolic engines.
+
+    Subclasses provide the relation itself — ``manager``, ``instantaneous``,
+    ``transition``, ``initial``, the ``signal_bits`` / ``state_bits`` /
+    ``_unprime_map`` layout and a ``decode_reaction`` — and inherit image
+    computation, the reachability fixpoint loop, state counting and reaction
+    enumeration.  Both the Z/3Z boolean engine and the finite-integer engine
+    (:mod:`repro.verification.symbolic_int`) run on this exact loop, so a
+    change to the fixpoint (e.g. keeping per-iteration frontiers for
+    counterexample paths) lands in both at once.
+    """
+
+    def image(self, states: BDDNode) -> BDDNode:
+        """Successors of ``states`` under the transition relation, unprimed."""
+        quantified = self.signal_bits + self.state_bits
+        successors = self.manager.and_exists(states, self.transition, quantified)
+        return self.manager.rename(successors, self._unprime_map)
+
+    def _reach_fixpoint(self, max_iterations: Optional[int]) -> tuple[BDDNode, int, bool]:
+        """Least fixpoint of image computation from the initial state.
+
+        Returns ``(reach, iterations, converged)`` — ``converged`` is False
+        when ``max_iterations`` stopped the loop before the frontier emptied.
+        """
+        manager = self.manager
+        reach = self.initial
+        frontier = self.initial
+        iterations = 0
+        while frontier is not manager.false:
+            if max_iterations is not None and iterations >= max_iterations:
+                return reach, iterations, False
+            successors = self.image(frontier)
+            frontier = manager.diff(successors, reach)
+            reach = manager.disj(reach, frontier)
+            iterations += 1
+        return reach, iterations, True
+
+    def count_states(self, states: BDDNode) -> int:
+        """Number of state valuations in a state set (model counting)."""
+        return self.manager.count_satisfying(states, self.state_bits)
+
+    def reactions_of(self, states: BDDNode) -> Iterator[dict[str, Any]]:
+        """Enumerate decoded admissible reactions of a symbolic state set.
+
+        The state bits are quantified out first, so enumeration yields exactly
+        one model per distinct reaction however many states admit it.
+        """
+        admissible = self.manager.and_exists(states, self.instantaneous, self.state_bits)
+        for model in self.manager.satisfying_assignments(admissible, self.signal_bits):
+            yield self.decode_reaction(model)
+
+
+class SymbolicEngine(RelationalFixpointEngine):
     """Boolean transition-relation encoding of a polynomial dynamical system."""
 
     def __init__(
@@ -105,6 +158,11 @@ class SymbolicEngine:
         self.manager = manager or BDDManager()
         self._declare_variables()
         self._build_relation()
+
+    @property
+    def name(self) -> str:
+        """Name of the encoded process (shared engine interface)."""
+        return self.system.name
 
     # -- variable layout ---------------------------------------------------------
 
@@ -266,32 +324,10 @@ class SymbolicEngine:
 
     # -- image computation -----------------------------------------------------------
 
-    def image(self, states: BDDNode) -> BDDNode:
-        """Successors of ``states`` under the transition relation, unprimed."""
-        quantified = self.signal_bits + self.state_bits
-        successors = self.manager.and_exists(states, self.transition, quantified)
-        return self.manager.rename(successors, self._unprime_map)
-
     def reach(self) -> "SymbolicReachability":
         """Least fixpoint of image computation from the initial state."""
-        manager = self.manager
-        reach = self.initial
-        frontier = self.initial
-        iterations = 0
-        complete = True
-        while frontier is not manager.false:
-            if self.options.max_iterations is not None and iterations >= self.options.max_iterations:
-                complete = False
-                break
-            successors = self.image(frontier)
-            frontier = manager.diff(successors, reach)
-            reach = manager.disj(reach, frontier)
-            iterations += 1
-        return SymbolicReachability(self, reach, iterations, complete)
-
-    def count_states(self, states: BDDNode) -> int:
-        """Number of ternary state valuations in a well-formed state set."""
-        return self.manager.count_satisfying(states, self.state_bits)
+        reach, iterations, converged = self._reach_fixpoint(self.options.max_iterations)
+        return SymbolicReachability(self, reach, iterations, converged)
 
     def decode_reaction(self, assignment: Mapping[str, bool]) -> dict[str, Any]:
         """Signal statuses of a bit-level satisfying assignment."""
@@ -302,16 +338,6 @@ class SymbolicEngine:
             else:
                 decoded[name] = bool(assignment.get(_value(name), False))
         return decoded
-
-    def reactions_of(self, states: BDDNode) -> Iterator[dict[str, Any]]:
-        """Enumerate decoded admissible reactions of a symbolic state set.
-
-        The state bits are quantified out first, so enumeration yields exactly
-        one model per distinct reaction however many states admit it.
-        """
-        admissible = self.manager.and_exists(states, self.instantaneous, self.state_bits)
-        for model in self.manager.satisfying_assignments(admissible, self.signal_bits):
-            yield self.decode_reaction(model)
 
 
 @dataclass
@@ -355,8 +381,8 @@ class SymbolicReachability(Reachability):
         return CheckResult(found_holds, name, details=f"witness reaction {reaction}")
 
     def _validate_predicate(self, predicate: ReactionPredicate) -> None:
-        system = self.engine.system
-        self._validate_signals(predicate.signals(), system.signal_variables, system.name, "predicate")
+        engine = self.engine
+        self._validate_signals(predicate.signals(), engine.signal_names, engine.name, "predicate")
 
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions: no reachable reaction violates ``predicate``."""
@@ -411,8 +437,8 @@ class SymbolicReachability(Reachability):
         self._validate_predicate(safe)
         self._validate_signals(
             controllable,
-            engine.system.signal_variables,
-            engine.system.name,
+            engine.signal_names,
+            engine.name,
             "controllable set",
             error=ValueError,
         )

@@ -1,0 +1,978 @@
+"""Finite-integer symbolic reachability: bit-blasted BDD model checking.
+
+The boolean symbolic engine (:mod:`repro.verification.symbolic`) covers the
+Z/3Z control skeleton only — a process whose equations carry integer data
+(the paper's ``Count``, accumulators, bounded channels) makes the Sigali
+encoding raise :class:`~repro.verification.encoding.EncodingError` and falls
+back to the bounded explicit explorer.  This module lifts that restriction
+for **finite** integer domains: every integer signal with a declared or
+inferred range ``[lo, hi]`` (see :mod:`repro.verification.ranges`) becomes
+``ceil(log2(hi - lo + 1))`` BDD variables holding ``value - lo`` in binary,
+next to the presence/value bits of the boolean and event signals.  SIGNAL
+arithmetic compiles onto the bit-vector circuits of
+:mod:`repro.clocks.bdd` — ripple-carry adders for ``+``/``-``, comparator
+chains for ``<``/``<=``/``=``, shift-and-add for ``*``, conditional
+subtraction for ``mod k`` — and the usual relational reading of the language
+turns every equation, clock constraint and stimulus domain into one BDD
+conjunct of the instantaneous relation.  Reachability, invariants and
+controller synthesis then reuse the exact image-fixpoint machinery of the
+boolean engine (this engine's result type *is* a
+:class:`~repro.verification.symbolic.SymbolicReachability`).
+
+Soundness of declared capacities.  The operational semantics never clips a
+value, so a range declared too small could make the symbolic engine quietly
+drop reactions the explicit explorer performs.  Instead of trusting the
+declaration, the engine records, for every equation and every memory slot,
+the *overflow condition* — "the defining expression is needed but its value
+falls outside the target's representable range" — and checks it against the
+reached states (with the offending equation relaxed, so exclusion by the
+equation itself cannot mask the divergence).  A reachable overflow flags the
+analysis ``complete = False``: found violations and witnesses are still
+reported, but universally-quantified verdicts refuse with
+:class:`~repro.verification.reachability.BoundReached`, exactly like a
+truncated explicit exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from ..clocks.bdd import BDDManager, BDDNode
+from ..core.values import ABSENT, EVENT
+from ..signal.ast import (
+    BinaryOp,
+    Cell,
+    ClockBinary,
+    ClockOf,
+    Constant,
+    Default,
+    Delay,
+    Expression,
+    ProcessDefinition,
+    SignalRef,
+    UnaryOp,
+    When,
+)
+from ..simulation.compiler import CompiledProcess
+from .encoding import EncodingError
+from .invariants import CheckResult
+from .reachability import BackendCapabilities, BoundReached, ReactionPredicate
+from .ranges import RangeReport, infer_ranges, state_interval
+from .symbolic import (
+    RelationalFixpointEngine,
+    SymbolicReachability,
+    _presence,
+    _primed,
+    _value,
+)
+
+#: Hard cap on the width of any one bit-blasted integer signal.
+MAX_SIGNAL_BITS = 24
+
+#: Cap on the number of concrete values a ``ReactionPredicate.value`` atom is
+#: evaluated on (the atom's Python callable is opaque, so the engine
+#: enumerates the signal's representable range).
+VALUE_ATOM_LIMIT = 1 << 16
+
+
+@dataclass
+class SymbolicIntOptions:
+    """Parameters of a finite-integer symbolic exploration.
+
+    Attributes:
+        max_iterations: bound on image-computation rounds (None = fixpoint).
+        integer_domain: stimulus values assumed for driven integer inputs —
+            keep equal to the explorer's ``ExplorationOptions.integer_domain``
+            when cross-checking engines.
+        ranges: per-signal ``(lo, hi)`` overrides, taking precedence over
+            declaration ``bounds`` and inference.
+        max_bits: per-signal bit-width cap (wider ranges refuse to encode).
+    """
+
+    max_iterations: Optional[int] = None
+    integer_domain: Sequence[int] = (0, 1)
+    ranges: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+    max_bits: int = MAX_SIGNAL_BITS
+
+
+# --------------------------------------------------------------------------- bit-vector values
+
+@dataclass(frozen=True)
+class _IntVec:
+    """An integer-valued circuit: ``value = offset + unsigned(bits)``."""
+
+    offset: int
+    bits: tuple[BDDNode, ...]
+
+    @property
+    def lo(self) -> int:
+        return self.offset
+
+    @property
+    def hi(self) -> int:
+        return self.offset + (1 << len(self.bits)) - 1
+
+
+def _width_for(count: int) -> int:
+    """Bits needed to represent ``count`` distinct values (0 for a single one)."""
+    return max(count - 1, 0).bit_length()
+
+
+class _Sym:
+    """Relational status of one sub-expression.
+
+    ``pres`` is the condition under which the expression carries an event;
+    ``value`` its payload then (a BDD for boolean/event values, an
+    :class:`_IntVec` for integers).  ``fallback`` reproduces the evaluator's
+    *constant* status: when not ``None`` and ``pres`` is false, the
+    expression behaves as a clock-adaptive constant of that Python value —
+    present wherever the context needs it, never forcing a clock.
+    """
+
+    __slots__ = ("kind", "pres", "value", "fallback")
+
+    def __init__(self, kind: str, pres: BDDNode, value: Any, fallback: Any = None) -> None:
+        self.kind = kind  # 'bool' (covers events) or 'int'
+        self.pres = pres
+        self.value = value
+        self.fallback = fallback
+
+
+# --------------------------------------------------------------------------- the engine
+
+class IntSymbolicEngine(RelationalFixpointEngine):
+    """BDD transition-relation encoding of a finite-integer SIGNAL process."""
+
+    def __init__(
+        self,
+        source: Union[ProcessDefinition, CompiledProcess],
+        options: Optional[SymbolicIntOptions] = None,
+        manager: Optional[BDDManager] = None,
+        ranges: Optional[RangeReport] = None,
+    ) -> None:
+        self.compiled = source if isinstance(source, CompiledProcess) else CompiledProcess(source)
+        self.options = options or SymbolicIntOptions()
+        self.manager = manager or BDDManager()
+        self.ranges: RangeReport = ranges if ranges is not None else infer_ranges(
+            self.compiled, self.options.integer_domain, self.options.ranges
+        )
+        self.signal_names: list[str] = list(self.compiled.signal_names)
+        self._check_widths()
+        self._slot_keys = {id(node): key for key, node in self.compiled.stateful_nodes()}
+        self._slots: dict[str, dict[str, Any]] = {}  # slot name -> layout record
+        self._memo: dict[int, _Sym] = {}
+        self._declare_variables()
+        self._build_relation()
+
+    @property
+    def name(self) -> str:
+        """Name of the encoded process (shared engine interface)."""
+        return self.compiled.name
+
+    # -- layout ------------------------------------------------------------------------
+
+    def _kind_of_signal(self, name: str) -> str:
+        return "int" if self.compiled.signal_types.get(name) == "integer" else "bool"
+
+    def _check_widths(self) -> None:
+        for name, (lo, hi) in self.ranges.signals.items():
+            if _width_for(hi - lo + 1) > self.options.max_bits:
+                raise EncodingError(
+                    f"{self.name}: signal {name!r} range [{lo}, {hi}] needs "
+                    f"{_width_for(hi - lo + 1)} bits, beyond max_bits={self.options.max_bits}"
+                )
+
+    def _signal_bit_names(self, name: str) -> list[str]:
+        bits = [_presence(name)]
+        kind = self._kind_of_signal(name)
+        if kind == "bool" and self.compiled.signal_types.get(name) != "event":
+            bits.append(_value(name))
+        elif kind == "int":
+            lo, hi = self.ranges.range_of(name)
+            bits.extend(f"{name}.v{index}" for index in range(_width_for(hi - lo + 1)))
+        return bits
+
+    def _expression_kind(self, expression: Expression) -> str:
+        if isinstance(expression, SignalRef):
+            return self._kind_of_signal(expression.name)
+        if isinstance(expression, Constant):
+            value = expression.value
+            if isinstance(value, bool) or value is EVENT:
+                return "bool"
+            if isinstance(value, int):
+                return "int"
+            raise EncodingError(f"{self.name}: cannot bit-blast constant {value!r}")
+        if isinstance(expression, (Delay, Cell, When)):
+            return self._expression_kind(expression.operand)
+        if isinstance(expression, Default):
+            left = self._expression_kind(expression.left)
+            right = self._expression_kind(expression.right)
+            if left != right:
+                raise EncodingError(f"{self.name}: merge of {left} and {right} values in {expression!r}")
+            return left
+        if isinstance(expression, (ClockOf, ClockBinary)):
+            return "bool"
+        if isinstance(expression, UnaryOp):
+            return "bool" if expression.op == "not" else "int"
+        if isinstance(expression, BinaryOp):
+            if expression.op in ("+", "-", "*", "mod"):
+                return "int"
+            if expression.op in ("and", "or", "xor", "=", "/=", "<", "<=", ">", ">="):
+                return "bool"
+        raise EncodingError(f"{self.name}: operator outside the finite-integer fragment: {expression!r}")
+
+    def _slot_layout(self, node: Union[Delay, Cell]) -> list[str]:
+        """Register (once) and return the slot names of a stateful operator."""
+        key = self._slot_keys.get(id(node))
+        if key is None:
+            raise EncodingError(
+                f"{self.name}: stateful operator outside an equation cannot be bit-blasted: {node!r}"
+            )
+        depth = node.depth if isinstance(node, Delay) else 1
+        names = [f"{key}#{index}" for index in range(depth)]
+        if names[0] in self._slots:
+            return names
+        kind = self._expression_kind(node.operand)
+        if kind == "int":
+            interval = state_interval(node, self.ranges.signals)
+            if interval is None:
+                raise EncodingError(
+                    f"{self.name}: no finite range for the memory of {key} ({node!r})"
+                )
+            lo, hi = interval
+            width = _width_for(hi - lo + 1)
+            if width > self.options.max_bits:
+                raise EncodingError(
+                    f"{self.name}: memory {key} range [{lo}, {hi}] is wider than max_bits"
+                )
+        else:
+            lo, width = 0, 1
+        for name in names:
+            self._slots[name] = {
+                "kind": kind,
+                "lo": lo,
+                "width": width,
+                "bits": [f"{name}.b{j}" for j in range(width)] if kind == "int" else [name + ".b0"],
+                "init": node.init,
+            }
+        return names
+
+    def _declare_variables(self) -> None:
+        """Declare BDD bits in constraint-locality order (see the boolean engine):
+        each equation's target, operands and memory slots sit next to each
+        other, and a slot's primed bit directly below its unprimed one."""
+        manager = self.manager
+        declared: set[str] = set()
+
+        def declare_signal(name: str) -> None:
+            if name in declared:
+                return
+            declared.add(name)
+            for bit in self._signal_bit_names(name):
+                manager.declare(bit)
+
+        def declare_slots(expression: Expression) -> None:
+            stack = [expression]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (Delay, Cell)) and id(node) in self._slot_keys:
+                    for slot in self._slot_layout(node):
+                        for bit in self._slots[slot]["bits"]:
+                            manager.declare(bit)
+                            manager.declare(_primed(bit))
+                stack.extend(node.children())
+
+        for definition in self.compiled.definitions:
+            declare_signal(definition.target)
+            for name in sorted(definition.expression.references()):
+                declare_signal(name)
+            declare_slots(definition.expression)
+        for name in self.signal_names:
+            declare_signal(name)
+
+        self.signal_bits = [bit for name in self.signal_names for bit in self._signal_bit_names(name)]
+        self.state_bits = [bit for slot in self._slots.values() for bit in slot["bits"]]
+        self.primed_bits = [_primed(bit) for bit in self.state_bits]
+        self._prime_map = {bit: _primed(bit) for bit in self.state_bits}
+        self._unprime_map = {primed: bit for bit, primed in self._prime_map.items()}
+
+    # -- bit-vector value algebra -----------------------------------------------------
+
+    def _iv_const(self, value: int) -> _IntVec:
+        return _IntVec(value, ())
+
+    def _materialise_const(self, kind: str, value: Any) -> Any:
+        if kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise EncodingError(f"{self.name}: integer context holds constant {value!r}")
+            return self._iv_const(value)
+        if value is EVENT:
+            return self.manager.true
+        if isinstance(value, bool):
+            return self.manager.true if value else self.manager.false
+        raise EncodingError(f"{self.name}: boolean context holds constant {value!r}")
+
+    def _iv_align(self, left: _IntVec, right: _IntVec) -> tuple[list[BDDNode], list[BDDNode]]:
+        """Shift both vectors onto the smaller offset so they compare unsigned."""
+        manager = self.manager
+        delta = left.offset - right.offset
+        a, b = list(left.bits), list(right.bits)
+        if delta > 0:
+            width = max(len(a), delta.bit_length()) + 1
+            a = manager.bv_add(a, manager.bv_const(delta, delta.bit_length()), width)
+        elif delta < 0:
+            width = max(len(b), (-delta).bit_length()) + 1
+            b = manager.bv_add(b, manager.bv_const(-delta, (-delta).bit_length()), width)
+        return a, b
+
+    def _iv_compare(self, op: str, left: _IntVec, right: _IntVec) -> BDDNode:
+        manager = self.manager
+        a, b = self._iv_align(left, right)
+        if op == "=":
+            return manager.bv_eq(a, b)
+        if op == "/=":
+            return manager.neg(manager.bv_eq(a, b))
+        if op == "<":
+            return manager.bv_lt(a, b)
+        if op == "<=":
+            return manager.bv_le(a, b)
+        if op == ">":
+            return manager.bv_lt(b, a)
+        return manager.bv_le(b, a)  # ">="
+
+    def _iv_add(self, left: _IntVec, right: _IntVec, negate_right: bool = False) -> _IntVec:
+        manager = self.manager
+        if negate_right:
+            right = _IntVec(-right.hi, tuple(manager.bv_not(right.bits)))
+        width = max(len(left.bits), len(right.bits)) + (1 if left.bits and right.bits else 0)
+        bits = manager.bv_add(left.bits, right.bits, max(width, len(left.bits), len(right.bits)))
+        return _IntVec(left.offset + right.offset, tuple(bits))
+
+    def _iv_negate(self, operand: _IntVec) -> _IntVec:
+        return _IntVec(-operand.hi, tuple(self.manager.bv_not(operand.bits)))
+
+    def _iv_multiply(self, left: _IntVec, right: _IntVec) -> _IntVec:
+        manager = self.manager
+        if left.offset < 0 or right.offset < 0:
+            raise EncodingError(
+                f"{self.name}: symbolic multiplication needs non-negative operand ranges"
+            )
+        # Rebase both onto offset 0, then classical shift-and-add.
+        a = _IntVec(0, tuple(manager.bv_add(left.bits, manager.bv_const(left.offset, left.offset.bit_length()),
+                                            _width_for(left.hi + 1)))) if left.offset else left
+        b = _IntVec(0, tuple(manager.bv_add(right.bits, manager.bv_const(right.offset, right.offset.bit_length()),
+                                            _width_for(right.hi + 1)))) if right.offset else right
+        width = len(a.bits) + len(b.bits)
+        accumulator = manager.bv_const(0, width)
+        for index, bit in enumerate(b.bits):
+            shifted = [manager.false] * index + list(a.bits)
+            addend = manager.bv_mux(bit, shifted, manager.bv_const(0, width))
+            accumulator = manager.bv_add(accumulator, addend, width)
+        return _IntVec(0, tuple(accumulator))
+
+    def _iv_mod(self, operand: _IntVec, modulus: int) -> _IntVec:
+        manager = self.manager
+        # (offset + u) mod m == ((offset mod m) + u) mod m for positive m.
+        base = operand.offset % modulus
+        width = max(((1 << len(operand.bits)) - 1 + base).bit_length(), modulus.bit_length(), 1)
+        remainder = manager.bv_add(operand.bits, manager.bv_const(base, base.bit_length()), width)
+        modulus_bits = manager.bv_const(modulus, width)
+        wrap = manager.bv_const((1 << width) - modulus, width)
+        steps = ((1 << len(operand.bits)) - 1 + base) // modulus
+        for _ in range(steps):
+            reduced = manager.bv_add(remainder, wrap, width)  # remainder - m, mod 2^width
+            remainder = manager.bv_mux(manager.bv_lt(remainder, modulus_bits), remainder, reduced)
+        return _IntVec(0, tuple(remainder))
+
+    def _iv_in_window(self, value: _IntVec, lo: int, width: int) -> BDDNode:
+        """Is the value inside the ``width``-bit window starting at ``lo``?"""
+        above = self._iv_compare("<=", self._iv_const(lo), value)
+        below = self._iv_compare("<=", value, self._iv_const(lo + (1 << width) - 1))
+        return self.manager.conj(above, below)
+
+    def _iv_rebase_bits(self, value: _IntVec, lo: int, width: int) -> list[BDDNode]:
+        """Bits of ``value - lo`` truncated mod 2^width (exact inside the window)."""
+        delta = (value.offset - lo) % (1 << width) if width else 0
+        if width == 0:
+            return []
+        return self.manager.bv_add(value.bits, self.manager.bv_const(delta, delta.bit_length()), width)
+
+    # -- expression compilation --------------------------------------------------------
+
+    def _truthy(self, sym: _Sym) -> BDDNode:
+        """Truth of a present payload, per the ``when`` sampling rule."""
+        manager = self.manager
+        if sym.kind == "bool":
+            payload = self._payload(sym)
+            return payload
+        value = self._payload(sym)
+        if value.lo <= 0 <= value.hi:
+            return manager.neg(self._iv_compare("=", value, self._iv_const(0)))
+        return manager.true
+
+    def _payload(self, sym: _Sym) -> Any:
+        """The expression's value wherever it provides one (present or constant)."""
+        if sym.value is None:
+            return self._materialise_const(sym.kind, sym.fallback)
+        if sym.fallback is None:
+            return sym.value
+        fallback = self._materialise_const(sym.kind, sym.fallback)
+        if sym.kind == "bool":
+            return self.manager.ite(sym.pres, sym.value, fallback)
+        return self._iv_mux(sym.pres, sym.value, fallback)
+
+    def _iv_mux(self, condition: BDDNode, then: _IntVec, otherwise: _IntVec) -> _IntVec:
+        manager = self.manager
+        lo = min(then.offset, otherwise.offset)
+        hi = max(then.hi, otherwise.hi)
+        width = _width_for(hi - lo + 1)
+        a = manager.bv_extend(self._iv_rebase_bits(then, lo, width), width)
+        b = manager.bv_extend(self._iv_rebase_bits(otherwise, lo, width), width)
+        return _IntVec(lo, tuple(manager.bv_mux(condition, a, b)))
+
+    def _provides(self, sym: _Sym) -> BDDNode:
+        """Condition under which the expression supplies a value at all."""
+        return self.manager.true if sym.fallback is not None else sym.pres
+
+    def _compile(self, expression: Expression) -> _Sym:
+        memo = self._memo.get(id(expression))
+        if memo is not None:
+            return memo
+        sym = self._compile_fresh(expression)
+        self._memo[id(expression)] = sym
+        return sym
+
+    def _compile_fresh(self, expression: Expression) -> _Sym:
+        manager = self.manager
+        if isinstance(expression, SignalRef):
+            name = expression.name
+            if name not in self.compiled.signal_types:
+                raise EncodingError(f"{self.name}: unknown signal {name!r}")
+            pres = manager.var(_presence(name))
+            if self._kind_of_signal(name) == "int":
+                lo, _hi = self.ranges.range_of(name)
+                bits = tuple(manager.var(bit) for bit in self._signal_bit_names(name)[1:])
+                return _Sym("int", pres, _IntVec(lo, bits))
+            if self.compiled.signal_types.get(name) == "event":
+                return _Sym("bool", pres, manager.true)
+            return _Sym("bool", pres, manager.var(_value(name)))
+        if isinstance(expression, Constant):
+            kind = self._expression_kind(expression)
+            return _Sym(kind, manager.false, None, fallback=expression.value)
+        if isinstance(expression, Delay):
+            return self._compile_delay(expression)
+        if isinstance(expression, Cell):
+            return self._compile_cell(expression)
+        if isinstance(expression, When):
+            return self._compile_when(expression)
+        if isinstance(expression, Default):
+            return self._compile_default(expression)
+        if isinstance(expression, ClockOf):
+            operand = self._compile(expression.operand)
+            fallback = EVENT if operand.fallback is not None else None
+            return _Sym("bool", operand.pres, manager.true, fallback=fallback)
+        if isinstance(expression, ClockBinary):
+            left = self._provides(self._compile(expression.left))
+            right = self._provides(self._compile(expression.right))
+            if expression.op == "^*":
+                pres = manager.conj(left, right)
+            elif expression.op == "^+":
+                pres = manager.disj(left, right)
+            else:  # "^-"
+                pres = manager.diff(left, right)
+            return _Sym("bool", pres, manager.true)
+        if isinstance(expression, UnaryOp):
+            return self._compile_pointwise(expression, [expression.operand])
+        if isinstance(expression, BinaryOp):
+            return self._compile_pointwise(expression, [expression.left, expression.right])
+        raise EncodingError(f"{self.name}: cannot bit-blast {expression!r}")
+
+    def _compile_delay(self, node: Delay) -> _Sym:
+        operand = self._compile(node.operand)
+        slots = self._slot_layout(node)
+        head = self._slots[slots[0]]
+        pres = self._provides(operand)
+        return _Sym(head["kind"], pres, self._slot_payload(head))
+
+    def _slot_payload(self, slot: Mapping[str, Any]) -> Any:
+        manager = self.manager
+        if slot["kind"] == "int":
+            return _IntVec(slot["lo"], tuple(manager.var(bit) for bit in slot["bits"]))
+        return manager.var(slot["bits"][0])
+
+    def _compile_cell(self, node: Cell) -> _Sym:
+        manager = self.manager
+        operand = self._compile(node.operand)
+        clock = self._compile(node.clock)
+        slots = self._slot_layout(node)
+        stored = self._slot_payload(self._slots[slots[0]])
+        provides = self._provides(operand)
+        ticking = manager.conj(self._provides(clock), self._truthy(clock))
+        pres = manager.disj(provides, ticking)
+        if operand.kind == "int":
+            value = self._iv_mux(provides, self._payload(operand), stored)
+        else:
+            value = manager.ite(provides, self._payload(operand), stored)
+        return _Sym(operand.kind, pres, value)
+
+    def _compile_when(self, node: When) -> _Sym:
+        manager = self.manager
+        operand = self._compile(node.operand)
+        condition = self._compile(node.condition)
+        if condition.value is None:  # pure constant condition: adapts, never constrains
+            if self._truthy_constant(condition.fallback):
+                return operand
+            return _Sym(operand.kind, manager.false, self._neutral(operand.kind))
+        sampling = manager.conj(condition.pres, self._truthy(condition))
+        if condition.fallback is not None and self._truthy_constant(condition.fallback):
+            sampling = manager.disj(sampling, manager.neg(condition.pres))
+        pres = manager.conj(sampling, self._provides(operand))
+        return _Sym(operand.kind, pres, self._payload(operand))
+
+    def _truthy_constant(self, value: Any) -> bool:
+        if value is EVENT:
+            return True
+        if isinstance(value, (bool, int)):
+            return bool(value)
+        raise EncodingError(f"{self.name}: cannot sample on constant {value!r}")
+
+    def _neutral(self, kind: str) -> Any:
+        return self._iv_const(0) if kind == "int" else self.manager.false
+
+    def _compile_default(self, node: Default) -> _Sym:
+        manager = self.manager
+        left = self._compile(node.left)
+        right = self._compile(node.right)
+        if left.kind != right.kind:
+            raise EncodingError(f"{self.name}: merge of {left.kind} and {right.kind} in {node!r}")
+        if left.fallback is not None:
+            # A constant-mode left wins outright (the evaluator returns it
+            # before even looking at the right branch).
+            return left
+        pres = manager.disj(left.pres, right.pres)
+        if left.kind == "int":
+            value = self._iv_mux(left.pres, left.value, self._payload(right))
+        else:
+            value = manager.ite(left.pres, left.value, self._payload(right))
+        return _Sym(left.kind, pres, value, fallback=right.fallback)
+
+    def _compile_pointwise(self, node: Union[UnaryOp, BinaryOp], operands: list[Expression]) -> _Sym:
+        from ..signal.operators import EvaluationError, apply_binary, apply_unary
+
+        manager = self.manager
+        kind = self._expression_kind(node)
+        syms = [self._compile(operand) for operand in operands]
+        strict = [sym.pres for sym in syms if sym.fallback is None]
+        pres = manager.conj(
+            manager.conj_all(strict),
+            manager.disj_all(sym.pres for sym in syms),
+        )
+        fallback = None
+        if all(sym.fallback is not None for sym in syms):
+            # Every operand still has a value when absent (constant mode), so
+            # the result keeps a constant mode too: in the all-absent scenario
+            # each operand contributes its fallback, and the fold below is
+            # what the evaluator's Status.constant path computes.
+            try:
+                values = [sym.fallback for sym in syms]
+                fallback = (
+                    apply_unary(node.op, values[0])
+                    if isinstance(node, UnaryOp)
+                    else apply_binary(node.op, values[0], values[1])
+                )
+            except EvaluationError as error:
+                raise EncodingError(f"{self.name}: {error} in {node!r}") from None
+        payloads = [self._payload(sym) for sym in syms]
+        value = self._pointwise_value(node, syms, payloads, kind)
+        return _Sym(kind, pres, value, fallback=fallback)
+
+    def _pointwise_value(self, node, syms: list[_Sym], payloads: list[Any], kind: str) -> Any:
+        manager = self.manager
+        op = node.op
+        if isinstance(node, UnaryOp):
+            if op == "not":
+                self._expect_kinds(node, syms, "bool")
+                return manager.neg(payloads[0])
+            if op == "-":
+                self._expect_kinds(node, syms, "int")
+                return self._iv_negate(payloads[0])
+            if op == "+":
+                self._expect_kinds(node, syms, "int")
+                return payloads[0]
+            raise EncodingError(f"{self.name}: unary operator {op!r} is outside the fragment")
+        if op in ("and", "or", "xor"):
+            self._expect_kinds(node, syms, "bool")
+            left, right = payloads
+            if op == "and":
+                return manager.conj(left, right)
+            if op == "or":
+                return manager.disj(left, right)
+            return manager.xor(left, right)
+        if op in ("=", "/="):
+            if syms[0].kind != syms[1].kind:
+                raise EncodingError(f"{self.name}: comparison across {syms[0].kind}/{syms[1].kind}")
+            if syms[0].kind == "bool":
+                equal = manager.neg(manager.xor(payloads[0], payloads[1]))
+                return equal if op == "=" else manager.neg(equal)
+            return self._iv_compare(op, payloads[0], payloads[1])
+        if op in ("<", "<=", ">", ">="):
+            self._expect_kinds(node, syms, "int")
+            return self._iv_compare(op, payloads[0], payloads[1])
+        if op in ("+", "-"):
+            self._expect_kinds(node, syms, "int")
+            return self._iv_add(payloads[0], payloads[1], negate_right=(op == "-"))
+        if op == "*":
+            self._expect_kinds(node, syms, "int")
+            return self._iv_multiply(payloads[0], payloads[1])
+        if op == "mod":
+            self._expect_kinds(node, syms, "int")
+            modulus = syms[1]
+            if modulus.value is not None or not isinstance(modulus.fallback, int) \
+                    or isinstance(modulus.fallback, bool) or modulus.fallback <= 0:
+                raise EncodingError(
+                    f"{self.name}: symbolic mod needs a positive constant modulus in {node!r}"
+                )
+            return self._iv_mod(payloads[0], modulus.fallback)
+        raise EncodingError(f"{self.name}: operator {op!r} is outside the finite-integer fragment")
+
+    def _expect_kinds(self, node, syms: list[_Sym], kind: str) -> None:
+        if any(sym.kind != kind for sym in syms):
+            kinds = [sym.kind for sym in syms]
+            raise EncodingError(f"{self.name}: {node.op!r} expects {kind} operands, got {kinds}")
+
+    # -- the instantaneous and transition relations ------------------------------------
+
+    def _build_relation(self) -> None:
+        manager = self.manager
+        compiled = self.compiled
+
+        well_formed = manager.true
+        for name in self.signal_names:
+            presence = manager.var(_presence(name))
+            for bit in self._signal_bit_names(name)[1:]:
+                well_formed = manager.conj(well_formed, manager.implies(manager.var(bit), presence))
+
+        domain = manager.true
+        values = sorted(set(self.ranges.integer_domain))
+        for name in compiled.input_names:
+            if self._kind_of_signal(name) != "int":
+                continue
+            signal = self._compile(SignalRef(name))
+            member = manager.disj_all(
+                self._iv_compare("=", signal.value, self._iv_const(v)) for v in values
+            )
+            domain = manager.conj(domain, manager.implies(signal.pres, member))
+
+        clocks = manager.true
+        for constraint in compiled.constraints:
+            clocks = manager.conj(clocks, self._clock_constraint(constraint))
+
+        self._equation_constraints: list[BDDNode] = []
+        self._relaxed_constraints: list[BDDNode] = []
+        self._equation_clips: list[tuple[str, BDDNode]] = []
+        for definition in compiled.definitions:
+            constraint, relaxed, clip = self._equation(definition)
+            self._equation_constraints.append(constraint)
+            self._relaxed_constraints.append(relaxed)
+            if clip is not manager.false:
+                self._equation_clips.append((definition.target, clip))
+
+        self._base_relation = manager.conj_all([well_formed, domain, clocks])
+        self.instantaneous = manager.conj(
+            self._base_relation, manager.conj_all(self._equation_constraints)
+        )
+        # The audit relation: every equation keeps its presence linking and its
+        # in-window value equality, but *admits* the reactions whose value
+        # falls outside the window (target bits unconstrained there).  This is
+        # the projection of the explicit relation onto the representable
+        # space, so clips are audited against it — a strict window of one
+        # equation can never mask a simultaneous clip of another.
+        self._relaxed_relation = manager.conj(
+            self._base_relation, manager.conj_all(self._relaxed_constraints)
+        )
+
+        transition = self.instantaneous
+        self._slot_clips: list[tuple[str, BDDNode]] = []
+        for key, node in compiled.stateful_nodes():
+            step, clip = self._slot_transition(node)
+            transition = manager.conj(transition, step)
+            if clip is not manager.false:
+                self._slot_clips.append((key, clip))
+        self.transition = transition
+
+        initial: dict[str, bool] = {}
+        for name, slot in self._slots.items():
+            initial.update(self._slot_cube(slot, slot["init"]))
+        self.initial = manager.cube(initial)
+
+    def _clock_constraint(self, constraint) -> BDDNode:
+        manager = self.manager
+        clocks = [self._provides_or_pres(operand) for operand in constraint.operands]
+        if constraint.kind == "=":
+            return manager.conj_all(
+                manager.neg(manager.xor(clocks[0], other)) for other in clocks[1:]
+            )
+        if constraint.kind == "<":
+            return manager.conj_all(manager.implies(clocks[0], other) for other in clocks[1:])
+        return manager.conj_all(manager.implies(other, clocks[0]) for other in clocks[1:])
+
+    def _provides_or_pres(self, expression: Expression) -> BDDNode:
+        sym = self._compile(expression)
+        return self._provides(sym) if sym.fallback is not None else sym.pres
+
+    def _equation(self, definition) -> tuple[BDDNode, BDDNode, BDDNode]:
+        """Compile one equation into (strict, relaxed, clip).
+
+        ``strict`` is the conjunct of the instantaneous relation (a present
+        target must carry an in-window value equal to the expression's);
+        ``relaxed`` replaces "in-window AND equal" by "in-window IMPLIES
+        equal", admitting the out-of-window reactions the explicit semantics
+        performs; ``clip`` is the condition under which the two differ — the
+        expression's value is needed but not representable.
+        """
+        manager = self.manager
+        target = definition.target
+        sym = self._compile(definition.expression)
+        target_type = self.compiled.signal_types.get(target)
+        target_kind = self._kind_of_signal(target)
+        if sym.kind != target_kind:
+            raise EncodingError(
+                f"{self.name}: equation for {target!r} yields {sym.kind}, signal is {target_kind}"
+            )
+        presence = manager.var(_presence(target))
+        linking = manager.implies(sym.pres, presence)
+        if sym.fallback is None:
+            linking = manager.conj(linking, manager.implies(presence, sym.pres))
+        clip = manager.false
+        value_needed = manager.disj(sym.pres, presence if sym.fallback is not None else manager.false)
+        payload = self._payload(sym)
+        if target_kind == "int":
+            lo, hi = self.ranges.range_of(target)
+            width = _width_for(hi - lo + 1)
+            in_window = self._iv_in_window(payload, lo, width)
+            target_vec = _IntVec(lo, tuple(manager.var(bit) for bit in self._signal_bit_names(target)[1:]))
+            equal = self._iv_compare("=", payload, target_vec)
+            strict = manager.conj(
+                linking, manager.implies(presence, manager.conj(in_window, equal))
+            )
+            relaxed = manager.conj(
+                linking, manager.implies(presence, manager.implies(in_window, equal))
+            )
+            clip = manager.conj(value_needed, manager.neg(in_window))
+            return strict, relaxed, clip
+        if target_type == "event":
+            # Events carry no value bit but must be driven by a *true* payload
+            # (mirrors the Z/3Z rule pinning event codes to {0, 1}).
+            strict = manager.conj(linking, manager.implies(presence, payload))
+        else:
+            value_bit = manager.var(_value(target))
+            equal = manager.neg(manager.xor(value_bit, payload))
+            strict = manager.conj(linking, manager.implies(presence, equal))
+        return strict, strict, clip
+
+    def _slot_cube(self, slot: Mapping[str, Any], value: Any) -> dict[str, bool]:
+        if slot["kind"] == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise EncodingError(f"{self.name}: integer memory initialised with {value!r}")
+            encoded = value - slot["lo"]
+            if encoded < 0 or encoded >= (1 << slot["width"]):
+                raise EncodingError(f"{self.name}: initial value {value} outside memory range")
+            return {bit: bool((encoded >> j) & 1) for j, bit in enumerate(slot["bits"])}
+        truth = value is EVENT or bool(value)
+        return {slot["bits"][0]: truth}
+
+    def _slot_transition(self, node: Union[Delay, Cell]) -> tuple[BDDNode, BDDNode]:
+        manager = self.manager
+        slots = [self._slots[name] for name in self._slot_layout(node)]
+        operand = self._compile(node.operand)
+        update = self._provides(operand)
+        incoming = self._payload(operand)
+        clip = manager.false
+        head = slots[0]
+        if head["kind"] == "int":
+            in_window = self._iv_in_window(incoming, head["lo"], head["width"])
+            clip = manager.conj(update, manager.neg(in_window))
+            guard = manager.implies(update, in_window)
+            incoming_bits = self._iv_rebase_bits(incoming, head["lo"], head["width"])
+        else:
+            guard = manager.true
+            incoming_bits = [incoming]
+        constraint = guard
+        for index, slot in enumerate(slots):
+            if index + 1 < len(slots):
+                next_bits = [manager.var(bit) for bit in slots[index + 1]["bits"]]
+            else:
+                next_bits = list(incoming_bits)
+            current_bits = [manager.var(bit) for bit in slot["bits"]]
+            updated = manager.bv_mux(update, manager.bv_extend(next_bits, len(current_bits)), current_bits)
+            for bit_name, bit_value in zip(slot["bits"], updated):
+                primed = manager.var(_primed(bit_name))
+                constraint = manager.conj(constraint, manager.neg(manager.xor(primed, bit_value)))
+        return constraint, clip
+
+    # -- predicates --------------------------------------------------------------------
+
+    def predicate_bdd(self, predicate: ReactionPredicate) -> BDDNode:
+        """Compile a reaction predicate onto the signal bits.
+
+        ``value`` atoms are evaluated by enumerating the signal's (finite)
+        representable domain and constraining the bit-vector to the values the
+        atom's Python callable accepts — the capability the boolean engine
+        lacks.
+        """
+        manager = self.manager
+        kind = predicate.kind
+        if kind == "const":
+            return manager.true if predicate.operands[0] else manager.false
+        if kind == "not":
+            return manager.neg(self.predicate_bdd(predicate.operands[0]))
+        if kind == "and":
+            return manager.conj_all(self.predicate_bdd(p) for p in predicate.operands)
+        if kind == "or":
+            return manager.disj_all(self.predicate_bdd(p) for p in predicate.operands)
+        name = predicate.operands[0]
+        if name not in self.compiled.signal_types:
+            raise KeyError(f"{self.name}: predicate mentions unknown signal {name!r}")
+        presence = manager.var(_presence(name))
+        if kind == "present":
+            return presence
+        signal_type = self.compiled.signal_types[name]
+        if kind == "value":
+            return self._value_atom_bdd(name, predicate.operands[1], presence, signal_type)
+        if signal_type == "event":
+            return presence if kind == "true" else manager.false
+        if signal_type == "integer":
+            # Strictly-boolean semantics: a present integer is neither true
+            # nor false, mirroring ReactionPredicate.evaluate on reactions.
+            return manager.false
+        value = manager.var(_value(name))
+        if kind == "true":
+            return manager.conj(presence, value)
+        return manager.conj(presence, manager.neg(value))
+
+    def _value_atom_bdd(self, name: str, test: Any, presence: BDDNode, signal_type: str) -> BDDNode:
+        manager = self.manager
+        if signal_type == "event":
+            return presence if test(EVENT) else manager.false
+        if signal_type == "boolean":
+            value = manager.var(_value(name))
+            accepted = manager.false
+            if test(True):
+                accepted = manager.disj(accepted, value)
+            if test(False):
+                accepted = manager.disj(accepted, manager.neg(value))
+            return manager.conj(presence, accepted)
+        lo, hi = self.ranges.range_of(name)
+        width = _width_for(hi - lo + 1)
+        window = 1 << width
+        if window > VALUE_ATOM_LIMIT:
+            raise EncodingError(
+                f"{self.name}: value atom on {name!r} would enumerate {window} values; "
+                "use the explicit engine for domains this wide"
+            )
+        vector = _IntVec(lo, tuple(manager.var(bit) for bit in self._signal_bit_names(name)[1:]))
+        accepted = manager.disj_all(
+            self._iv_compare("=", vector, self._iv_const(lo + offset))
+            for offset in range(window)
+            if test(lo + offset)
+        )
+        return manager.conj(presence, accepted)
+
+    # -- image computation --------------------------------------------------------------
+
+    def reach(self) -> "IntSymbolicReachability":
+        """Least fixpoint of image computation, plus the overflow audit."""
+        reach, iterations, converged = self._reach_fixpoint(self.options.max_iterations)
+        overflowed = sorted(self._audit_overflow(reach)) if converged else []
+        return IntSymbolicReachability(
+            self, reach, iterations, fixpoint=converged, overflowed=tuple(overflowed)
+        )
+
+    def _audit_overflow(self, reach: BDDNode) -> set[str]:
+        """Names whose declared capacity some reachable reaction exceeds.
+
+        Clips are checked against the *relaxed* relation, in which every
+        equation admits its out-of-window reactions — so simultaneous clips
+        of several equations (or of an equation and a memory slot) cannot
+        mask each other through their strict windows.
+        """
+        manager = self.manager
+        overflowed: set[str] = set()
+        for name, clip in self._equation_clips:
+            if manager.conj_all([reach, self._relaxed_relation, clip]) is not manager.false:
+                overflowed.add(name)
+        for key, clip in self._slot_clips:
+            if manager.conj_all([reach, self._relaxed_relation, clip]) is not manager.false:
+                overflowed.add(key)
+        return overflowed
+
+    # -- decoding ----------------------------------------------------------------------
+
+    def decode_reaction(self, assignment: Mapping[str, bool]) -> dict[str, Any]:
+        """Signal statuses of a bit-level satisfying assignment."""
+        decoded: dict[str, Any] = {}
+        for name in self.signal_names:
+            if not assignment.get(_presence(name), False):
+                decoded[name] = ABSENT
+                continue
+            signal_type = self.compiled.signal_types.get(name)
+            if signal_type == "event":
+                decoded[name] = EVENT
+            elif signal_type == "integer":
+                lo, _hi = self.ranges.range_of(name)
+                bits = self._signal_bit_names(name)[1:]
+                decoded[name] = lo + sum(
+                    (1 << j) for j, bit in enumerate(bits) if assignment.get(bit, False)
+                )
+            else:
+                decoded[name] = bool(assignment.get(_value(name), False))
+        return decoded
+
+
+# --------------------------------------------------------------------------- the result
+
+@dataclass
+class IntSymbolicReachability(SymbolicReachability):
+    """A finite-integer symbolic reachable set, behind the shared interface.
+
+    Inherits the witness extraction, predicate checking and symbolic
+    controller synthesis of the boolean engine's result — only the
+    capability declaration and the completeness accounting differ.
+    """
+
+    overflowed: tuple[str, ...] = ()
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """Bit-blasted finite-integer fixpoint: concrete integer reactions,
+        exhaustive over the declared/inferred ranges, with synthesis."""
+        return BackendCapabilities(integer_data=True, bounded=False, synthesis=True)
+
+    @property
+    def complete(self) -> bool:
+        """False when the fixpoint was truncated *or* a declared range
+        demonstrably clipped a reachable reaction."""
+        return self.fixpoint and not self.overflowed
+
+    def _require_complete(self, name: str) -> None:
+        if self.overflowed:
+            raise BoundReached(
+                f"{name}: reachable reactions overflow the declared range of "
+                f"{list(self.overflowed)}; widen the bounds for a sound verdict"
+            )
+        super()._require_complete(name)
+
+    def check_polynomial_invariant(self, invariant, name: str = "invariant") -> CheckResult:
+        raise TypeError(
+            "polynomial invariants are Z/3Z objects; the finite-integer engine "
+            "checks ReactionPredicate properties (including value atoms)"
+        )
+
+
+def symbolic_int_explore(
+    source: Union[ProcessDefinition, CompiledProcess],
+    options: Optional[SymbolicIntOptions] = None,
+) -> IntSymbolicReachability:
+    """Bit-blast ``source`` and compute its reachable state space symbolically."""
+    return IntSymbolicEngine(source, options).reach()

@@ -12,22 +12,25 @@ you have::
     design = Design.from_specc(ones_behavior())    # SpecC -> SIGNAL translation
 
 Every derived artifact — the compiled process, the clock hierarchy and
-endochrony report, the Z/3Z Sigali encoding, the explicit exploration, the
-polynomial enumeration, the symbolic BDD fixpoint, the simulator — is
-computed lazily and **memoised**, so repeated queries never recompute a
-fixpoint or re-encode; :attr:`artifact_counts` records how often each was
-actually built (the tests pin it to one).
+endochrony report, the Z/3Z Sigali encoding, the integer range inference,
+the explicit exploration, the polynomial enumeration, the symbolic BDD
+fixpoints (boolean and finite-integer), the simulator — is computed lazily
+and **memoised**, so repeated queries never recompute a fixpoint or
+re-encode; :attr:`artifact_counts` records how often each was actually built
+(the tests pin it to one).
 
 Verification queries go through the backend registry
 (:mod:`repro.workbench.registry`): name an engine (``backend="symbolic"``) or
-let ``backend="auto"`` pick one from declared capabilities — explicit for
-integer-data processes (where the encoding raises
-:class:`~repro.verification.encoding.EncodingError`) and for
-:meth:`~repro.verification.reachability.ReactionPredicate.value` properties,
-symbolic once the potential state space outgrows the explicit bound.  The
-batch API — :meth:`check` / :meth:`check_all` — evaluates many properties
-against one shared reachable set and returns a structured
-:class:`~repro.workbench.report.Report`.
+let ``backend="auto"`` pick one from declared capabilities.  Queries needing
+concrete data — integer-data processes (where the Z/3Z encoding raises
+:class:`~repro.verification.encoding.EncodingError`) and
+:meth:`~repro.verification.reachability.ReactionPredicate.value` properties —
+go explicit while the potential state space fits the explicit bound, and to
+the bit-blasted finite-integer engine (``symbolic-int``) once it outgrows it
+and the integer ranges are finite; pure boolean/event skeletons promote to
+the Z/3Z symbolic engine the same way.  The batch API — :meth:`check` /
+:meth:`check_all` — evaluates many properties against one shared reachable
+set and returns a structured :class:`~repro.workbench.report.Report`.
 """
 
 from __future__ import annotations
@@ -56,7 +59,13 @@ from ..verification.reachability import (
     Reachability,
     ReactionPredicate,
 )
+from ..verification.ranges import RangeReport, infer_ranges
 from ..verification.symbolic import SymbolicEngine, SymbolicOptions, SymbolicReachability
+from ..verification.symbolic_int import (
+    IntSymbolicEngine,
+    IntSymbolicReachability,
+    SymbolicIntOptions,
+)
 from .registry import BackendRegistry, RegisteredBackend, default_registry
 from .report import Property, PropertyCheck, Report
 
@@ -97,6 +106,7 @@ class Design:
         *,
         exploration_options: Optional[ExplorationOptions] = None,
         symbolic_options: Optional[SymbolicOptions] = None,
+        symbolic_int_options: Optional[SymbolicIntOptions] = None,
         polynomial_max_states: int = 5000,
         symbolic_state_threshold: Optional[int] = None,
         registry: Optional[BackendRegistry] = None,
@@ -112,6 +122,12 @@ class Design:
         self.process: ProcessDefinition = process
         self.exploration_options = exploration_options or ExplorationOptions()
         self.symbolic_options = symbolic_options or SymbolicOptions()
+        # The integer engine describes the same stimulus alphabet as the
+        # explorer unless explicitly overridden — the property the
+        # differential suite relies on.
+        self.symbolic_int_options = symbolic_int_options or SymbolicIntOptions(
+            integer_domain=self.exploration_options.integer_domain
+        )
         self.polynomial_max_states = polynomial_max_states
         # Past this many *potential* ternary state valuations the explicit
         # engines would truncate (or crawl), so auto prefers exhaustive ones.
@@ -181,10 +197,16 @@ class Design:
 
     #: Which artifacts are derived from which, so invalidation cascades —
     #: recomputing a dropped artifact must never rebuild on a stale upstream.
+    #: The finite-integer engine is built from the compiled process *and*
+    #: consults the (memoised) encodability probe during auto-routing, so a
+    #: refreshed ``encoding`` drops it too — routing and engine must never
+    #: disagree about whether the design has a boolean skeleton.
     _ARTIFACT_DEPENDENTS = {
-        "compiled": ("exploration", "simulator"),
+        "compiled": ("exploration", "simulator", "ranges"),
         "hierarchy": ("endochrony",),
-        "encoding": ("polynomial", "symbolic_engine"),
+        "encoding": ("polynomial", "symbolic_engine", "symbolic_int_engine"),
+        "ranges": ("symbolic_int_engine",),
+        "symbolic_int_engine": ("symbolic_int",),
         "symbolic_engine": ("symbolic",),
     }
 
@@ -283,6 +305,40 @@ class Design:
         return self._artifact("symbolic", lambda: self.symbolic_engine.reach())
 
     @property
+    def ranges(self) -> RangeReport:
+        """Finite ranges of the integer signals (declared or inferred, memoised).
+
+        Raises:
+            EncodingError: when some integer signal has no finite range; the
+                failure is memoised, so the auto policy can probe repeatedly
+                for free.
+        """
+        return self._artifact(
+            "ranges",
+            lambda: infer_ranges(
+                self.compiled,
+                self.symbolic_int_options.integer_domain,
+                self.symbolic_int_options.ranges,
+            ),
+        )
+
+    @property
+    def symbolic_int_engine(self) -> IntSymbolicEngine:
+        """The bit-blasted finite-integer transition relation (memoised),
+        built over the shared compiled process and memoised range report."""
+        return self._artifact(
+            "symbolic_int_engine",
+            lambda: IntSymbolicEngine(
+                self.compiled, self.symbolic_int_options, ranges=self.ranges
+            ),
+        )
+
+    @property
+    def symbolic_int(self) -> IntSymbolicReachability:
+        """The finite-integer symbolic reachable set (BDD fixpoint, memoised)."""
+        return self._artifact("symbolic_int", lambda: self.symbolic_int_engine.reach())
+
+    @property
     def simulator(self) -> Simulator:
         """A reaction simulator over the compiled process (memoised, stateful)."""
         return self._artifact("simulator", lambda: Simulator(self.compiled))
@@ -305,15 +361,21 @@ class Design:
 
     @property
     def potential_state_bound(self) -> Optional[int]:
-        """Coarse static bound on the state space: 3^(state variables).
+        """Coarse static bound on the state space.
 
-        None when the design has no Z/3Z encoding (integer data) — the
-        explicit engine is then the only option anyway.
+        3^(state variables) for boolean/event skeletons (the Z/3Z encoding);
+        for integer designs, the product of the memory-slot domain sizes the
+        range inference established.  None when neither analysis applies —
+        an *unbounded* integer design, for which the bounded explicit engine
+        is the only option anyway.
         """
         try:
             encoding = self.encoding
         except EncodingError:
-            return None
+            try:
+                return self.ranges.potential_states(self.compiled)
+            except EncodingError:
+                return None
         return 3 ** len(encoding.state_variables)
 
     def _query_needs(
@@ -353,10 +415,42 @@ class Design:
         needs_synthesis: bool = False,
     ) -> Reachability:
         """The ready-to-query engine for ``backend`` (instances are memoised)."""
+        _entry, engine = self._resolve_backend(
+            backend, predicates=predicates, needs_synthesis=needs_synthesis
+        )
+        return engine
+
+    def _resolve_backend(
+        self,
+        backend: str,
+        predicates: Iterable[ReactionPredicate] = (),
+        needs_synthesis: bool = False,
+    ) -> tuple[RegisteredBackend, Reachability]:
+        """Resolve and *build* the backend, with the auto fallback.
+
+        The auto policy selects on cheap static facts (encodability probe,
+        potential state bound); an engine may still refuse at construction —
+        e.g. the finite-integer engine on a range wider than ``max_bits`` or
+        on an arithmetic fragment it cannot bit-blast.  Auto then falls back
+        to the explicit reference engine instead of leaking the
+        ``EncodingError`` out of a batch check; a backend named explicitly
+        still raises.
+        """
         entry = self.backend_info(backend, predicates=predicates, needs_synthesis=needs_synthesis)
-        if entry.name not in self._backends:
-            self._backends[entry.name] = entry.factory(self)
-        return self._backends[entry.name]
+        if entry.name in self._backends:
+            return entry, self._backends[entry.name]
+        try:
+            engine = entry.factory(self)
+        except EncodingError:
+            fallback = self.registry.entry("explicit", default=None) if backend == "auto" else None
+            if fallback is None or fallback.name == entry.name:
+                raise
+            entry = fallback
+            if entry.name not in self._backends:
+                self._backends[entry.name] = entry.factory(self)
+            return entry, self._backends[entry.name]
+        self._backends[entry.name] = engine
+        return entry, engine
 
     # -- the batch verification API ---------------------------------------------------------
 
@@ -423,8 +517,7 @@ class Design:
     def _run_checks(self, specs: list[Property], backend: str) -> Report:
         started = perf_counter()
         predicates = [spec.predicate for spec in specs]
-        entry = self.backend_info(backend, predicates=predicates)
-        engine = self.backend(entry.name)
+        entry, engine = self._resolve_backend(backend, predicates=predicates)
         checks: list[PropertyCheck] = []
         for spec in specs:
             check_started = perf_counter()

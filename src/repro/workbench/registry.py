@@ -9,19 +9,22 @@ registry filters the entries that can answer the query (integer data needed?
 synthesis needed?) and prefers an exhaustive engine when the design's
 potential state space outgrows the explicit bound.
 
-The default registry carries the paper tool-chain's three engines:
+The default registry carries the paper tool-chain's four engines:
 
-======== ============================================== =========================
-name      engine                                         capabilities
-======== ============================================== =========================
-explicit  :func:`repro.verification.explorer.explore`    integer data, bounded,
-          on the compiled process                        synthesis
-polynomial :class:`~repro.verification.encoding.PolynomialReachability`
-          over the shared Z/3Z encoding                  boolean skeleton, bounded
-symbolic  :func:`repro.verification.symbolic.symbolic_explore`
-          BDD fixpoint over the same encoding            boolean skeleton,
-                                                         exhaustive, synthesis
-======== ============================================== =========================
+============ ============================================== =========================
+name          engine                                         capabilities
+============ ============================================== =========================
+explicit      :func:`repro.verification.explorer.explore`    integer data, bounded,
+              on the compiled process                        synthesis
+polynomial    :class:`~repro.verification.encoding.PolynomialReachability`
+              over the shared Z/3Z encoding                  boolean skeleton, bounded
+symbolic      :func:`repro.verification.symbolic.symbolic_explore`
+              BDD fixpoint over the same encoding            boolean skeleton,
+                                                             exhaustive, synthesis
+symbolic-int  :func:`repro.verification.symbolic_int.symbolic_int_explore`
+              bit-blasted finite-integer BDD fixpoint        integer data,
+                                                             exhaustive, synthesis
+============ ============================================== =========================
 
 Use :func:`register_backend` to add an engine globally, or
 ``Design(..., registry=...)`` / :meth:`BackendRegistry.copy` for a private
@@ -181,15 +184,21 @@ def _symbolic_factory(design: "Design") -> Reachability:
     return design.symbolic
 
 
+def _symbolic_int_factory(design: "Design") -> Reachability:
+    return design.symbolic_int
+
+
 def _default_entries() -> list[RegisteredBackend]:
     from ..verification.encoding import PolynomialReachability
     from ..verification.explorer import ExplorationResult
     from ..verification.symbolic import SymbolicReachability
+    from ..verification.symbolic_int import IntSymbolicReachability
 
     return [
         RegisteredBackend("explicit", _explicit_factory, ExplorationResult.capabilities(), 0),
         RegisteredBackend("polynomial", _polynomial_factory, PolynomialReachability.capabilities(), 1),
         RegisteredBackend("symbolic", _symbolic_factory, SymbolicReachability.capabilities(), 2),
+        RegisteredBackend("symbolic-int", _symbolic_int_factory, IntSymbolicReachability.capabilities(), 3),
     ]
 
 

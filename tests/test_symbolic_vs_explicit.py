@@ -1,6 +1,6 @@
 """Differential tests: symbolic BDD reachability vs. the explicit engines.
 
-Every process of the corpus is pushed through three independent
+Every process of the boolean corpus is pushed through four independent
 implementations of the same state-space construction:
 
 * the explicit explorer (``repro.verification.explorer``), which enumerates
@@ -9,23 +9,34 @@ implementations of the same state-space construction:
   (``repro.verification.encoding.PolynomialReachability``), which enumerates
   ternary valuations of the Sigali encoding;
 * the symbolic BDD engine (``repro.verification.symbolic``), which computes
-  the same set as a fixpoint of relational images.
+  the same set as a fixpoint of relational images over the Z/3Z bit-blast;
+* the finite-integer symbolic engine (``repro.verification.symbolic_int``),
+  which bit-blasts concrete value domains instead of the ternary abstraction.
 
-The three must agree exactly on reachable-state counts, on invariant
+The four must agree exactly on reachable-state counts, on invariant
 verdicts, on reaction reachability, and on controller-synthesis outcomes.
-Any divergence is a bug in (at least) one engine — this suite is the oracle
-that lets the symbolic engine replace the explicit one on large designs.
+An *integer* corpus (modulo counter, saturating accumulator, bounded
+producer/consumer channel) additionally cross-checks the finite-integer
+engine against the explicit explorer — the only other engine that sees
+concrete integer reactions — including the full projected reaction
+alphabets and ``ReactionPredicate.value`` verdicts.  Any divergence is a bug
+in (at least) one engine — this suite is the oracle that lets the symbolic
+engines replace the explicit one on large designs.
 """
 
 import random
 
 import pytest
 
+from repro.core.values import ABSENT
 from repro.signal.dsl import ProcessBuilder, const
 from repro.signal.library import (
     alternator_process,
     boolean_shift_register_process,
+    bounded_channel_process,
     edge_detector_process,
+    modulo_counter_process,
+    saturating_accumulator_process,
 )
 from repro.signal.ast import compose
 from repro.verification import (
@@ -36,6 +47,7 @@ from repro.verification import (
     invariant_holds,
     reaction_reachable,
     symbolic_explore,
+    symbolic_int_explore,
     synthesise_with,
 )
 
@@ -152,11 +164,12 @@ CORPUS = [
 
 
 def engines_for(process):
-    """The three backends under differential test."""
+    """The four backends under differential test."""
     return (
         explore(process),
         encode_process(process).explore(),
         symbolic_explore(process),
+        symbolic_int_explore(process),
     )
 
 
@@ -186,29 +199,27 @@ def predicates_for(process):
 class TestDifferential:
     def test_reachable_state_counts_agree(self, label, factory):
         process = factory()
-        explicit, polynomial, symbolic = engines_for(process)
-        assert explicit.complete and polynomial.complete and symbolic.complete
+        explicit, polynomial, symbolic, symbolic_int = engines_for(process)
+        assert explicit.complete and polynomial.complete
+        assert symbolic.complete and symbolic_int.complete
         assert symbolic.state_count == explicit.state_count == polynomial.state_count
+        assert symbolic_int.state_count == explicit.state_count
 
     def test_invariant_verdicts_agree(self, label, factory):
         process = factory()
-        explicit, polynomial, symbolic = engines_for(process)
+        engines = dict(zip(("explicit", "polynomial", "symbolic", "symbolic-int"), engines_for(process)))
         for predicate in predicates_for(process):
             verdicts = {
-                "explicit": invariant_holds(explicit, predicate).holds,
-                "polynomial": invariant_holds(polynomial, predicate).holds,
-                "symbolic": invariant_holds(symbolic, predicate).holds,
+                name: invariant_holds(engine, predicate).holds for name, engine in engines.items()
             }
             assert len(set(verdicts.values())) == 1, f"{predicate!r}: {verdicts}"
 
     def test_reachability_verdicts_agree(self, label, factory):
         process = factory()
-        explicit, polynomial, symbolic = engines_for(process)
+        engines = dict(zip(("explicit", "polynomial", "symbolic", "symbolic-int"), engines_for(process)))
         for predicate in predicates_for(process):
             verdicts = {
-                "explicit": reaction_reachable(explicit, predicate).holds,
-                "polynomial": reaction_reachable(polynomial, predicate).holds,
-                "symbolic": reaction_reachable(symbolic, predicate).holds,
+                name: reaction_reachable(engine, predicate).holds for name, engine in engines.items()
             }
             assert len(set(verdicts.values())) == 1, f"{predicate!r}: {verdicts}"
 
@@ -225,28 +236,36 @@ class TestDifferential:
             for reaction in encode_process(process).explore().reactions()
         }
         assert symbolic_alphabet == polynomial_alphabet
+        symbolic_int = symbolic_int_explore(process)
+        int_alphabet = {
+            frozenset(reaction.items())
+            for reaction in symbolic_int.engine.reactions_of(symbolic_int.states)
+        }
+        assert int_alphabet == polynomial_alphabet
 
 
 class TestDifferentialSynthesis:
     @pytest.mark.parametrize("controllable", [["tick"], []], ids=["controllable-tick", "uncontrollable"])
     def test_synthesis_verdicts_agree_on_alternator(self, controllable):
         process = alternator_process()
-        explicit, _, symbolic = engines_for(process)
+        explicit, _, symbolic, symbolic_int = engines_for(process)
         safe = ~P.false_of("flip")
         explicit_verdict = synthesise_with(explicit, safe, controllable)
-        symbolic_verdict = synthesise_with(symbolic, safe, controllable)
-        assert explicit_verdict.success == symbolic_verdict.success
-        assert explicit_verdict.kept_states == symbolic_verdict.kept_states
+        for engine in (symbolic, symbolic_int):
+            verdict = synthesise_with(engine, safe, controllable)
+            assert explicit_verdict.success == verdict.success
+            assert explicit_verdict.kept_states == verdict.kept_states
 
     def test_synthesis_verdicts_agree_on_skewed_observer(self):
         process = desynchronised_observer_composition()
-        explicit, _, symbolic = engines_for(process)
+        explicit, _, symbolic, symbolic_int = engines_for(process)
         safe = ~P.false_of("ok")
         for controllable in (["tick"], []):
             explicit_verdict = synthesise_with(explicit, safe, controllable)
-            symbolic_verdict = synthesise_with(symbolic, safe, controllable)
-            assert explicit_verdict.success == symbolic_verdict.success, controllable
-            assert explicit_verdict.kept_states == symbolic_verdict.kept_states, controllable
+            for engine in (symbolic, symbolic_int):
+                verdict = synthesise_with(engine, safe, controllable)
+                assert explicit_verdict.success == verdict.success, controllable
+                assert explicit_verdict.kept_states == verdict.kept_states, controllable
 
     def test_observer_invariant_ag_ok(self):
         """The paper's check: AG ok on the lock-step design, refuted on the skewed one."""
@@ -256,4 +275,81 @@ class TestDifferentialSynthesis:
             invariant_holds(engine, P.present("ok").implies(P.true_of("ok"))).holds
             for engine in engines_for(desynchronised_observer_composition())
         ]
-        assert verdicts == [False, False, False]
+        assert verdicts == [False, False, False, False]
+
+
+# --------------------------------------------------------------------------- integer corpus
+
+INTEGER_CORPUS = [
+    ("modulo-counter-5", lambda: modulo_counter_process(5), "n", range(-1, 7)),
+    ("saturating-accumulator-6", lambda: saturating_accumulator_process(6), "total", range(-1, 9)),
+    ("bounded-channel-4", lambda: bounded_channel_process(4), "level", range(-2, 7)),
+]
+
+
+def integer_engines_for(process):
+    """Explicit explorer vs the finite-integer engine — the two backends that
+    see concrete integer reactions."""
+    return explore(process), symbolic_int_explore(process)
+
+
+def integer_predicates_for(process, payload, values):
+    """Presence battery plus value atoms over the integer payload signal."""
+    predicates = predicates_for(process)
+    for k in values:
+        predicates.append(P.value(payload, lambda v, k=k: v == k))
+        predicates.append(P.absent(payload) | P.value(payload, lambda v, k=k: v <= k))
+    return predicates
+
+
+@pytest.mark.parametrize(
+    "label,factory,payload,values", INTEGER_CORPUS, ids=[c[0] for c in INTEGER_CORPUS]
+)
+class TestIntegerDifferential:
+    def test_state_counts_agree(self, label, factory, payload, values):
+        explicit, symbolic_int = integer_engines_for(factory())
+        assert explicit.complete and symbolic_int.complete
+        assert explicit.state_count == symbolic_int.state_count
+
+    def test_invariant_verdicts_agree(self, label, factory, payload, values):
+        process = factory()
+        explicit, symbolic_int = integer_engines_for(process)
+        for predicate in integer_predicates_for(process, payload, values):
+            expected = invariant_holds(explicit, predicate).holds
+            assert invariant_holds(symbolic_int, predicate).holds == expected, repr(predicate)
+
+    def test_reachability_verdicts_and_witnesses_agree(self, label, factory, payload, values):
+        process = factory()
+        explicit, symbolic_int = integer_engines_for(process)
+        for predicate in integer_predicates_for(process, payload, values):
+            expected = reaction_reachable(explicit, predicate)
+            verdict = reaction_reachable(symbolic_int, predicate)
+            assert verdict.holds == expected.holds, repr(predicate)
+            if verdict.holds:
+                # The engine's witness must be a genuinely admissible reaction
+                # satisfying the predicate, not just a "yes".
+                witness = next(
+                    reaction
+                    for reaction in symbolic_int.engine.reactions_of(
+                        symbolic_int.engine.manager.conj(
+                            symbolic_int.states,
+                            symbolic_int.engine.predicate_bdd(predicate),
+                        )
+                    )
+                )
+                assert predicate.evaluate(witness), (repr(predicate), witness)
+
+    def test_projected_reaction_alphabets_agree(self, label, factory, payload, values):
+        """Every reachable reaction, projected on the interface, coincides."""
+        process = factory()
+        explicit, symbolic_int = integer_engines_for(process)
+        interface = set(process.input_names) | set(process.output_names)
+        symbolic_alphabet = {
+            frozenset(
+                (name, value)
+                for name, value in reaction.items()
+                if name in interface and value is not ABSENT
+            )
+            for reaction in symbolic_int.engine.reactions_of(symbolic_int.states)
+        }
+        assert symbolic_alphabet == explicit.lts.alphabet()

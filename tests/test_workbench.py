@@ -9,6 +9,7 @@ from repro.signal.library import (
     alternator_process,
     boolean_shift_register_process,
     count_process,
+    modulo_counter_process,
 )
 from repro.simulation import PRESENT
 from repro.verification import (
@@ -156,9 +157,42 @@ class TestMemoisation:
         design.invalidate("symbolic_engine")
         # The fixpoint must rebuild on a fresh engine carrying the new options.
         assert not design.symbolic.complete
+
+    def test_invalidate_cascade(self):
+        """invalidate("encoding") must drop every verification artifact built
+        over it — including the finite-integer engine and fixpoint, which the
+        auto policy routes through the same encodability probe."""
+        design = Design.from_process(boolean_shift_register_process(5))
+        design.encoding
+        design.polynomial
+        design.symbolic
+        design.symbolic_int
         design.invalidate("encoding")
-        for artifact in ("encoding", "polynomial", "symbolic_engine", "symbolic"):
+        for artifact in (
+            "encoding",
+            "polynomial",
+            "symbolic_engine",
+            "symbolic",
+            "symbolic_int_engine",
+            "symbolic_int",
+        ):
             assert artifact not in design._artifacts
+        # The compiled process and range report were not downstream of the
+        # encoding; they survive.
+        assert "compiled" in design._artifacts
+        assert "ranges" in design._artifacts
+
+    def test_invalidate_compiled_cascades_to_integer_engine(self):
+        from repro.verification import SymbolicIntOptions
+
+        design = Design.from_process(modulo_counter_process(4))
+        assert design.symbolic_int.complete
+        design.symbolic_int_options = SymbolicIntOptions(max_iterations=1)
+        design.invalidate("compiled")
+        for artifact in ("ranges", "symbolic_int_engine", "symbolic_int"):
+            assert artifact not in design._artifacts
+        # The rebuilt fixpoint runs on a fresh engine carrying the new options.
+        assert not design.symbolic_int.complete
 
 
 class TestAutoSelection:
@@ -193,12 +227,17 @@ class TestAutoSelection:
         assert report.backend_name == "explicit"
 
     def test_value_predicates_force_concrete_backend(self):
-        """A value atom on a large boolean design still routes to explicit."""
-        design = Design.from_process(boolean_shift_register_process(14))
-        entry = design.backend_info(
+        """A value atom needs a concrete backend: explicit while the design is
+        small, the exhaustive finite-integer engine once it outgrows the
+        explicit bound (the Z/3Z symbolic engine can never answer it)."""
+        small = Design.from_process(boolean_shift_register_process(4))
+        assert small.backend_info(
             "auto", predicates=(P.value("x", lambda v: v is True),)
-        )
-        assert entry.name == "explicit"
+        ).name == "explicit"
+        large = Design.from_process(boolean_shift_register_process(14))
+        assert large.backend_info(
+            "auto", predicates=(P.value("x", lambda v: v is True),)
+        ).name == "symbolic-int"
 
     def test_synthesis_query_skips_backends_without_synthesis(self):
         registry = BackendRegistry()
@@ -230,11 +269,14 @@ class TestAutoSelection:
 class TestRegistry:
     def test_default_registry_names_and_capabilities(self):
         registry = default_registry()
-        assert registry.names() == ["explicit", "polynomial", "symbolic"]
+        assert registry.names() == ["explicit", "polynomial", "symbolic", "symbolic-int"]
         assert registry.capabilities("explicit").integer_data
         assert registry.capabilities("explicit").synthesis
         assert not registry.capabilities("polynomial").synthesis
         assert not registry.capabilities("symbolic").bounded
+        assert registry.capabilities("symbolic-int").integer_data
+        assert not registry.capabilities("symbolic-int").bounded
+        assert registry.capabilities("symbolic-int").synthesis
 
     def test_register_custom_backend(self):
         registry = default_registry().copy()
@@ -364,12 +406,15 @@ class TestLegacyWrappers:
         assert reaction_reachable(design, P.present("flip")).holds
 
     def test_wrapper_routes_value_atoms_to_concrete_backend(self):
-        """A value atom on a large boolean design must go explicit, as in check_all."""
+        """A value atom on a large boolean design must skip the Z/3Z symbolic
+        engine (which rejects it) for a concrete one — now the exhaustive
+        finite-integer engine rather than a truncating explicit exploration."""
         design = Design.from_process(boolean_shift_register_process(10))
         predicate = P.absent("x") | P.value("x", lambda v: isinstance(v, bool))
         assert invariant_holds(design, predicate).holds
-        assert "exploration" in design.artifact_counts
+        assert "symbolic_int" in design.artifact_counts
         assert "symbolic" not in design.artifact_counts
+        assert "exploration" not in design.artifact_counts
 
     def test_synthesise_with_accepts_design(self):
         design = Design.from_process(boolean_shift_register_process(3))
