@@ -90,6 +90,33 @@ def test_batch_beats_naive_loop():
     )
 
 
+def test_traces_off_by_default_keeps_batch_checking_lean():
+    """Counterexample traces are opt-in: the default batch path never extracts.
+
+    The trace machinery stores the fixpoint's frontier rings (references the
+    loop computed anyway) but extraction is lazy and per-property: a default
+    ``check_all`` attaches no trace to any result — failing properties
+    included — and pays for exactly one fixpoint; turning ``traces=True`` on
+    afterwards attaches traces to the failures *without recomputing the
+    reachable set*, so default batch throughput is unchanged by this feature.
+    """
+    depth, k = 10, 8
+    process = boolean_shift_register_process(depth)
+    properties = _invariants(depth, k)
+    properties["fails"] = ReactionPredicate.absent(f"s{depth - 1}")
+
+    design = Design.from_process(process)
+    report = design.check_all(invariants=properties, backend="symbolic")
+    assert report["fails"].holds is False
+    assert all(check.trace is None for check in report)
+    assert design.artifact_counts["symbolic"] == 1
+
+    traced = design.check_all(invariants=properties, backend="symbolic", traces=True)
+    assert traced["fails"].trace is not None
+    assert all(check.trace is None for check in traced if check.holds is True)
+    assert design.artifact_counts["symbolic"] == 1
+
+
 def test_auto_backend_serves_both_workload_shapes():
     """Auto-selection under batch load: integer data explicit, huge boolean symbolic."""
     from repro.signal.library import count_process

@@ -54,11 +54,20 @@ def main() -> None:
         "load", lambda value: value <= capacity
     )
 
-    report = design.check_all(invariants={f"load <= {capacity}": within_capacity})
+    report = design.check_all(
+        invariants={f"load <= {capacity}": within_capacity}, traces=True
+    )
     lts = design.exploration.lts
     print(f"explored plant: {lts.state_count()} states, {lts.transition_count()} transitions")
     print(f"model checking the free system ({report.backend_name} backend):")
     print(report.summary())
+    print()
+
+    # The verdict is actionable because it comes with a counterexample trace:
+    # the exact request sequence that drives the load past the capacity.
+    trace = report[f"load <= {capacity}"].trace
+    print(f"counterexample trace ({len(trace)} reactions to the violation):")
+    print(trace.render())
     print()
 
     verdict = design.synthesise(within_capacity, controllable=["enter"])

@@ -82,6 +82,22 @@ def count_example() -> None:
     print(report.summary())
     print()
 
+    # Drive val too, and ask for a property that fails — with traces=True the
+    # verdict comes with the exact reaction sequence that violates it.
+    from repro.verification import ExplorationOptions
+
+    driven = Design.from_process(
+        count_process(),
+        exploration_options=ExplorationOptions(extra_driven=["val"], integer_domain=(0, 1, 2)),
+    )
+    low = ReactionPredicate.absent("val") | ReactionPredicate.value("val", lambda v: v < 2)
+    failing = driven.check_all(invariants={"val-stays-below-2": low}, traces=True)
+    check = failing["val-stays-below-2"]
+    print(f"{check.explain()}")
+    print("counterexample trace (replayable through the simulator):")
+    print(check.trace.render())
+    print()
+
 
 def parse_and_analyse() -> None:
     """Parse a process written in the paper's concrete syntax and analyse it."""

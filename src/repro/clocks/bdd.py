@@ -293,6 +293,25 @@ class BDDManager:
         self._relprod_cache[key] = result
         return result
 
+    def preimage(
+        self,
+        relation: BDDNode,
+        states: BDDNode,
+        prime_map: Mapping[str, str],
+        quantified: Iterable[str],
+    ) -> BDDNode:
+        """Predecessors of ``states`` under ``relation`` (backward image).
+
+        The backward counterpart of the image relational product: ``states``
+        (over unprimed state variables) is renamed onto the primed variables
+        via ``prime_map``, conjoined with the transition relation, and the
+        ``quantified`` variables (signal and primed state bits) are
+        existentially eliminated in the same pass.  This is the primitive the
+        counterexample-trace extraction of the symbolic engines walks the
+        per-iteration frontier rings back through.
+        """
+        return self.and_exists(relation, self.rename(states, prime_map), quantified)
+
     # -- bit-vector circuits ------------------------------------------------------------
     #
     # Unsigned bit-vectors are plain lists of BDD nodes, least significant bit

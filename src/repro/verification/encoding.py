@@ -12,6 +12,7 @@ enumeration, adequate for the control parts of the paper's case study.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional
 
@@ -33,7 +34,14 @@ from ..signal.ast import (
 )
 from ..core.values import EVENT
 from .invariants import CheckResult
-from .reachability import BackendCapabilities, BoundReached, Reachability, ReactionPredicate
+from .reachability import (
+    BackendCapabilities,
+    BoundReached,
+    Reachability,
+    ReactionPredicate,
+    Trace,
+    TraceStep,
+)
 from .z3z import (
     FIELD,
     Polynomial,
@@ -119,19 +127,24 @@ class PolynomialDynamicalSystem:
         self,
         max_states: int,
         visit: Optional[Any] = None,
+        parents: Optional[dict] = None,
     ) -> tuple[set[tuple[tuple[str, int], ...]], bool]:
-        """Shared depth-first search core: reachable frozen states, plus a completeness flag.
+        """Shared breadth-first search core: reachable frozen states, plus a completeness flag.
 
         ``visit(state, reaction)`` is called on every reachable (state,
         reaction) pair; returning a non-``None`` value aborts the search (used
-        by invariant checking to stop at the first violation).
+        by invariant checking to stop at the first violation).  When
+        ``parents`` is given it is filled with discovery parent pointers —
+        ``parents[successor] = (state, reaction)``, all frozen — which, with
+        the breadth-first order, makes the recorded path to every state a
+        shortest one: the skeleton of counterexample-trace extraction.
         """
         initial = tuple(sorted(self.initial_state().items()))
         seen = {initial}
-        frontier = [initial]
+        frontier = deque([initial])
         complete = True
         while frontier:
-            current = frontier.pop()
+            current = frontier.popleft()
             state = dict(current)
             for reaction in self.admissible_reactions(state):
                 if visit is not None and visit(state, reaction) is not None:
@@ -142,6 +155,8 @@ class PolynomialDynamicalSystem:
                         complete = False
                         continue
                     seen.add(successor)
+                    if parents is not None:
+                        parents[successor] = (current, tuple(sorted(reaction.items())))
                     frontier.append(successor)
         return seen, complete
 
@@ -202,20 +217,31 @@ class PolynomialReachability(Reachability):
     def __init__(self, system: PolynomialDynamicalSystem, max_states: int = 5000) -> None:
         self.system = system
         self.max_states = max_states
-        reactions: set[tuple[tuple[str, int], ...]] = set()
+        # Parent pointers of the construction BFS plus the first state each
+        # distinct reaction was seen admissible in: together they turn any
+        # cached reaction into a concrete initial-state-to-reaction trace
+        # without re-exploring.
+        self._parents: dict[tuple, tuple] = {}
+        sites: dict[tuple, tuple] = {}
 
-        def record(_state: Mapping[str, int], reaction: Mapping[str, int]) -> None:
-            reactions.add(tuple(sorted(reaction.items())))
+        def record(state: Mapping[str, int], reaction: Mapping[str, int]) -> None:
+            frozen = tuple(sorted(reaction.items()))
+            if frozen not in sites:
+                sites[frozen] = tuple(sorted(state.items()))
             return None
 
-        self._states, self._complete = system._explore(max_states, record)
-        self._reactions = [system.decode_reaction(dict(frozen)) for frozen in sorted(reactions)]
+        self._states, self._complete = system._explore(max_states, record, self._parents)
+        self._reaction_sites = sites
+        self._reactions = [
+            (frozen, system.decode_reaction(dict(frozen))) for frozen in sorted(sites)
+        ]
 
     @classmethod
     def capabilities(cls) -> BackendCapabilities:
         """Explicit enumeration of the ternary abstraction: boolean/event
-        skeleton only, bounded by ``max_states``, no synthesis."""
-        return BackendCapabilities(integer_data=False, bounded=True, synthesis=False)
+        skeleton only, bounded by ``max_states``, no synthesis, with traces
+        from the construction BFS's parent pointers."""
+        return BackendCapabilities(integer_data=False, bounded=True, synthesis=False, traces=True)
 
     @property
     def state_count(self) -> int:
@@ -229,33 +255,63 @@ class PolynomialReachability(Reachability):
 
     def reactions(self) -> list[dict[str, Any]]:
         """The distinct decoded reactions reachable states admit (copies)."""
-        return [dict(decoded) for decoded in self._reactions]
+        return [dict(decoded) for _frozen, decoded in self._reactions]
 
-    def _scan(self, predicate: ReactionPredicate) -> Optional[dict[str, Any]]:
-        """First reachable decoded reaction satisfying ``predicate``, if any."""
+    def _scan(self, predicate: ReactionPredicate) -> Optional[tuple[tuple, dict[str, Any]]]:
+        """First reachable (frozen, decoded) reaction satisfying ``predicate``, if any."""
         self._validate_signals(
             predicate.signals(), self.system.signal_variables, self.system.name, "predicate"
         )
-        for decoded in self._reactions:
+        for frozen, decoded in self._reactions:
             if predicate.evaluate(decoded):
-                return dict(decoded)
+                return frozen, dict(decoded)
         return None
+
+    def trace_to(self, predicate: ReactionPredicate, name: str = "trace") -> Optional[Trace]:
+        """A trace to a reaction satisfying ``predicate``, from the cached BFS.
+
+        The construction search recorded, for every state, the (parent,
+        reaction) pair that discovered it and, for every distinct reaction,
+        the first state admitting it; the trace is the parent chain to that
+        state followed by the satisfying reaction itself.  States are ternary
+        valuations of the encoding's state variables.
+        """
+        found = self._scan(predicate)
+        if found is None:
+            self._require_complete(name)
+            return None
+        frozen, decoded = found
+        system = self.system
+        site = self._reaction_sites[frozen]
+        spine: list[tuple[tuple, tuple]] = []  # (frozen reaction, frozen successor)
+        cursor = site
+        while cursor in self._parents:
+            parent, reaction = self._parents[cursor]
+            spine.append((reaction, cursor))
+            cursor = parent
+        spine.reverse()
+        steps = [
+            TraceStep(system.decode_reaction(dict(reaction)), dict(successor))
+            for reaction, successor in spine
+        ]
+        steps.append(TraceStep(decoded, system.next_state(dict(site), dict(frozen))))
+        return Trace(tuple(steps), name)
 
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions, against the cached reachable reaction alphabet."""
-        witness = self._scan(~predicate)
-        if witness is None:
+        found = self._scan(~predicate)
+        if found is None:
             self._require_complete(name)
             return CheckResult(True, name, details=f"{self.state_count} reachable states")
-        return CheckResult(False, name, details=f"violating reaction {witness}")
+        return CheckResult(False, name, details=f"violating reaction {found[1]}")
 
     def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
         """EF over reactions."""
-        witness = self._scan(predicate)
-        if witness is None:
+        found = self._scan(predicate)
+        if found is None:
             self._require_complete(name)
             return CheckResult(False, name, details="no reachable reaction satisfies the predicate")
-        return CheckResult(True, name, details=f"witness reaction {witness}")
+        return CheckResult(True, name, details=f"witness reaction {found[1]}")
 
 
 class SigaliEncoder:

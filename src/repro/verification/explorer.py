@@ -33,13 +33,15 @@ from ..signal.ast import ProcessDefinition
 from ..simulation.compiler import CompiledProcess, SimulationError
 from ..simulation.status import PRESENT
 from .invariants import CheckResult, check_invariant_labels, check_reaction_reachable
-from .lts import LTS, make_label
+from .lts import LTS, label_to_dict, make_label
 from .reachability import (
     BackendCapabilities,
     BoundReached,
     ControlVerdict,
     Reachability,
     ReactionPredicate,
+    Trace,
+    TraceStep,
 )
 
 
@@ -105,8 +107,9 @@ class ExplorationResult(Reachability):
     @classmethod
     def capabilities(cls) -> BackendCapabilities:
         """The reference semantics: concrete reactions (integer data included),
-        bounded by ``max_states``, with explicit supervisory synthesis."""
-        return BackendCapabilities(integer_data=True, bounded=True, synthesis=True)
+        bounded by ``max_states``, with explicit supervisory synthesis and
+        shortest counterexample traces (BFS parent pointers)."""
+        return BackendCapabilities(integer_data=True, bounded=True, synthesis=True, traces=True)
 
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions, on the explored LTS."""
@@ -123,6 +126,26 @@ class ExplorationResult(Reachability):
         if not result.holds:
             self._require_complete(name)
         return result
+
+    def trace_to(self, predicate: ReactionPredicate, name: str = "trace") -> Optional[Trace]:
+        """A shortest explicit trace to a reaction satisfying ``predicate``.
+
+        BFS over the explored LTS (:meth:`~repro.verification.lts.LTS.path_to_reaction`),
+        so the returned path has minimal length; each step carries the
+        successor state's concrete memory.  A truncated exploration refuses
+        the "no trace exists" answer with :class:`BoundReached`.
+        """
+        self._validate_signals(predicate.signals(), self.observed, self.lts.name, "predicate")
+        path = self.lts.path_to_reaction(predicate.evaluate)
+        if path is None:
+            self._require_complete(name)
+            return None
+        steps = []
+        for transition in path:
+            memory = self.memories.get(transition.target)
+            state = dict(memory) if memory is not None else self.lts.payload(transition.target)
+            steps.append(TraceStep(label_to_dict(transition.label), state))
+        return Trace(tuple(steps), name)
 
     def synthesise(
         self,

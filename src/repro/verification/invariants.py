@@ -20,9 +20,12 @@ exactly what the differential test suite does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .lts import LTS, Label, Transition, label_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .reachability import Trace
 
 #: Predicate over a transition label (a reaction).
 LabelPredicate = Callable[[dict[str, Any]], bool]
@@ -32,13 +35,20 @@ StatePredicate = Callable[[int], bool]
 
 @dataclass
 class CheckResult:
-    """Outcome of an invariant / reachability check."""
+    """Outcome of an invariant / reachability check.
+
+    ``trace`` is the engine-independent counterexample/witness path
+    (:class:`~repro.verification.reachability.Trace`) when the caller asked
+    for one — the workbench attaches it on ``design.check(..., traces=True)``;
+    it stays ``None`` by default so batch checking never pays for extraction.
+    """
 
     holds: bool
     property_name: str
     counterexample: Optional[list[Transition]] = None
     witness_state: Optional[int] = None
     details: str = ""
+    trace: Optional["Trace"] = None
 
     def __bool__(self) -> bool:
         return self.holds
@@ -47,7 +57,9 @@ class CheckResult:
         """Readable verdict, including the length of a counterexample if any."""
         verdict = "holds" if self.holds else "FAILS"
         text = f"{self.property_name}: {verdict}"
-        if self.counterexample is not None:
+        if self.trace is not None:
+            text += f" (trace of {len(self.trace)} steps)"
+        elif self.counterexample is not None:
             text += f" (counterexample of length {len(self.counterexample)})"
         if self.details:
             text += f" — {self.details}"

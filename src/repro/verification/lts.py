@@ -170,6 +170,37 @@ class LTS:
             frontier = next_frontier
         return None
 
+    def path_to_reaction(self, predicate: Callable[[dict[str, Any]], bool]) -> Optional[list[Transition]]:
+        """A shortest transition path ending with a reaction satisfying ``predicate``.
+
+        BFS with parent pointers from the initial state: source states are
+        examined layer by layer, so the first satisfying transition found has
+        a minimal-depth source and the returned path (prefix to the source
+        plus the satisfying transition itself) has minimal length.  This is
+        the explicit engine's counterexample-trace skeleton — ``path_to``
+        targets *states*, this targets *labels*.
+        """
+        if self.initial is None:
+            return None
+        parents: dict[int, Transition] = {}
+        frontier = [self.initial]
+        seen = {self.initial}
+        while frontier:
+            next_frontier: list[int] = []
+            for state in frontier:
+                for transition in self._transitions.get(state, []):
+                    if predicate(label_to_dict(transition.label)):
+                        path = [transition]
+                        while path[0].source != self.initial:
+                            path.insert(0, parents[path[0].source])
+                        return path
+                    if transition.target not in seen:
+                        seen.add(transition.target)
+                        parents[transition.target] = transition
+                        next_frontier.append(transition.target)
+            frontier = next_frontier
+        return None
+
     # -- transformations ------------------------------------------------------------------
 
     def relabel(self, transform: Callable[[Label], Label]) -> "LTS":

@@ -178,11 +178,82 @@ class BoundReached(RuntimeError):
     Raised by the explicit explorer when ``max_states`` is hit with
     ``on_bound="raise"``, and by every Reachability backend when a truncated
     (``complete = False``) analysis is asked to certify a universally
-    quantified answer — "the invariant holds" or "nothing satisfies the
-    predicate" — that only a complete exploration can support.  Negative
-    existential answers stay available through the legacy per-LTS checkers,
-    which document their bounded semantics.
+    quantified answer — "the invariant holds", "nothing satisfies the
+    predicate", or "no trace leads to the predicate" — that only a complete
+    exploration can support.  Negative existential answers stay available
+    through the legacy per-LTS checkers, which document their bounded
+    semantics.
     """
+
+
+# --------------------------------------------------------------------------- traces
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a counterexample/witness trace.
+
+    ``reaction`` is the decoded reaction fired at this step (a mapping from
+    signal names to values; absent signals are either omitted or mapped to
+    ``ABSENT``, depending on the backend's decoding).  ``state`` is the
+    *successor* state the reaction leads to, in the backend's own
+    representation: a concrete memory dict for the explicit explorer, a
+    ternary valuation for the Z/3Z engines, a memory-slot valuation for the
+    finite-integer engine — state identities differ between backends, but
+    the reaction sequence is the shared currency the replay suite validates.
+    ``None`` marks a successor the backend could not reconstruct (e.g. a
+    violating reaction that overflows a declared integer range).
+    """
+
+    reaction: Mapping[str, Any]
+    state: Any = None
+
+    def present_signals(self) -> dict[str, Any]:
+        """The reaction restricted to its present signals."""
+        return {name: value for name, value in self.reaction.items() if value is not ABSENT}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An initial-state-to-violation execution path, engine-independently.
+
+    ``steps[0].reaction`` fires from the backend's initial state; every later
+    step fires from the previous step's successor state; the *last* step's
+    reaction is the violating (for a failed invariant) or witnessing (for a
+    satisfied reachability property) reaction itself.  Produced by
+    :meth:`Reachability.trace_to` and attached to
+    :class:`~repro.verification.invariants.CheckResult.trace` when the
+    workbench is asked for traces (``design.check(..., traces=True)``).
+    """
+
+    steps: tuple[TraceStep, ...]
+    property_name: str = "trace"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> TraceStep:
+        return self.steps[index]
+
+    @property
+    def violation(self) -> Mapping[str, Any]:
+        """The final (violating/witnessing) reaction."""
+        return self.steps[-1].reaction
+
+    def reactions(self) -> list[dict[str, Any]]:
+        """The reaction sequence (copies), ready to replay through a simulator."""
+        return [dict(step.reaction) for step in self.steps]
+
+    def render(self) -> str:
+        """Readable one-line-per-step rendering (absent signals omitted)."""
+        lines = []
+        for index, step in enumerate(self.steps, start=1):
+            present = step.present_signals()
+            shown = ",".join(f"{name}={value}" for name, value in sorted(present.items())) or "τ"
+            lines.append(f"step {index}: {shown}")
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- capabilities
@@ -203,11 +274,14 @@ class BackendCapabilities:
             is not exhaustive past it (truncation is always *reported*, never
             silent — see the soundness rule in ROADMAP.md).
         synthesis: implements :meth:`Reachability.synthesise`.
+        traces: implements :meth:`Reachability.trace_to` — counterexample /
+            witness *paths*, not just single violating reactions.
     """
 
     integer_data: bool = False
     bounded: bool = True
     synthesis: bool = False
+    traces: bool = False
 
     def describe(self) -> str:
         """Short human-readable capability summary (used in reports)."""
@@ -217,6 +291,8 @@ class BackendCapabilities:
         ]
         if self.synthesis:
             facets.append("synthesis")
+        if self.traces:
+            facets.append("traces")
         return ", ".join(facets)
 
 
@@ -326,6 +402,25 @@ class Reachability(ABC):
         unknown = [name for name in names if name not in alphabet]
         if unknown:
             raise error(f"{context}: {what} mentions unknown or unobserved signals {unknown}")
+
+    def trace_to(self, predicate: ReactionPredicate, name: str = "trace") -> Optional[Trace]:
+        """A :class:`Trace` from the initial state to a reaction satisfying ``predicate``.
+
+        The shared primitive behind counterexample extraction: a failed
+        invariant traces to ``~invariant`` (the violating reaction), a
+        satisfied reachability property traces to the predicate itself (the
+        witness reaction).  Returns ``None`` when no reachable reaction
+        satisfies the predicate — a *universally* quantified answer, so a
+        truncated analysis refuses it exactly as it refuses "holds" /
+        "unreachable" verdicts.  Backends that do not support trace
+        extraction (``capabilities().traces`` is False) keep this default,
+        which refuses.
+
+        Raises:
+            BoundReached: when the analysis is incomplete and no satisfying
+                reaction was found — "no trace exists" would be unsound.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not extract counterexample traces")
 
     def synthesise(
         self,

@@ -52,7 +52,14 @@ from ..signal.ast import ProcessDefinition
 from ..simulation.compiler import CompiledProcess
 from .encoding import PolynomialDynamicalSystem, encode_process
 from .invariants import CheckResult
-from .reachability import BackendCapabilities, ControlVerdict, Reachability, ReactionPredicate
+from .reachability import (
+    BackendCapabilities,
+    ControlVerdict,
+    Reachability,
+    ReactionPredicate,
+    Trace,
+    TraceStep,
+)
 from .z3z import FIELD, Polynomial
 
 
@@ -106,24 +113,47 @@ class RelationalFixpointEngine:
         successors = self.manager.and_exists(states, self.transition, quantified)
         return self.manager.rename(successors, self._unprime_map)
 
-    def _reach_fixpoint(self, max_iterations: Optional[int]) -> tuple[BDDNode, int, bool]:
+    def preimage(self, states: BDDNode) -> BDDNode:
+        """Predecessors of ``states`` under the transition relation.
+
+        The backward counterpart of :meth:`image` — one
+        :meth:`~repro.clocks.bdd.BDDManager.preimage` relational product that
+        renames the target set onto the primed variables and quantifies the
+        signal and primed state bits away.  Trace extraction walks the stored
+        frontier rings back through it.
+        """
+        return self.manager.preimage(
+            self.transition, states, self._prime_map, self.signal_bits + self.primed_bits
+        )
+
+    def _reach_fixpoint(
+        self, max_iterations: Optional[int]
+    ) -> tuple[BDDNode, int, bool, list[BDDNode]]:
         """Least fixpoint of image computation from the initial state.
 
-        Returns ``(reach, iterations, converged)`` — ``converged`` is False
-        when ``max_iterations`` stopped the loop before the frontier emptied.
+        Returns ``(reach, iterations, converged, rings)`` — ``converged`` is
+        False when ``max_iterations`` stopped the loop before the frontier
+        emptied, and ``rings`` are the per-iteration discovery frontiers
+        (``rings[0]`` is the initial state set, ``rings[k]`` the states first
+        reached after exactly k images): the onion rings counterexample
+        extraction walks backward through.  Keeping them is free — they are
+        exactly the frontier BDDs the loop already computes.
         """
         manager = self.manager
         reach = self.initial
         frontier = self.initial
+        rings = [self.initial]
         iterations = 0
         while frontier is not manager.false:
             if max_iterations is not None and iterations >= max_iterations:
-                return reach, iterations, False
+                return reach, iterations, False, rings
             successors = self.image(frontier)
             frontier = manager.diff(successors, reach)
             reach = manager.disj(reach, frontier)
+            if frontier is not manager.false:
+                rings.append(frontier)
             iterations += 1
-        return reach, iterations, True
+        return reach, iterations, True, rings
 
     def count_states(self, states: BDDNode) -> int:
         """Number of state valuations in a state set (model counting)."""
@@ -326,8 +356,8 @@ class SymbolicEngine(RelationalFixpointEngine):
 
     def reach(self) -> "SymbolicReachability":
         """Least fixpoint of image computation from the initial state."""
-        reach, iterations, converged = self._reach_fixpoint(self.options.max_iterations)
-        return SymbolicReachability(self, reach, iterations, converged)
+        reach, iterations, converged, rings = self._reach_fixpoint(self.options.max_iterations)
+        return SymbolicReachability(self, reach, iterations, converged, tuple(rings))
 
     def decode_reaction(self, assignment: Mapping[str, bool]) -> dict[str, Any]:
         """Signal statuses of a bit-level satisfying assignment."""
@@ -339,22 +369,40 @@ class SymbolicEngine(RelationalFixpointEngine):
                 decoded[name] = bool(assignment.get(_value(name), False))
         return decoded
 
+    def decode_state(self, assignment: Mapping[str, bool]) -> dict[str, int]:
+        """Ternary codes of the state variables in a bit-level assignment."""
+        state: dict[str, int] = {}
+        for name in self.state_names:
+            if not assignment.get(_presence(name), False):
+                state[name] = 0
+            else:
+                state[name] = 1 if assignment.get(_value(name), False) else 2
+        return state
+
 
 @dataclass
 class SymbolicReachability(Reachability):
-    """A symbolically computed reachable state set, behind the shared interface."""
+    """A symbolically computed reachable state set, behind the shared interface.
+
+    ``frontiers`` keeps the per-iteration discovery rings of the fixpoint
+    (``frontiers[0]`` = initial states): they cost nothing beyond a tuple of
+    references the loop computed anyway, and they are what lets
+    :meth:`trace_to` extract a concrete counterexample *path* by walking
+    backward ring by ring instead of re-running the forward search.
+    """
 
     engine: SymbolicEngine
     states: BDDNode
     iterations: int
     fixpoint: bool = True
+    frontiers: tuple[BDDNode, ...] = ()
 
     @classmethod
     def capabilities(cls) -> BackendCapabilities:
         """The BDD fixpoint: boolean/event skeleton only, exhaustive (no
         state bound — ``max_iterations`` is off by default), with symbolic
-        supervisory synthesis."""
-        return BackendCapabilities(integer_data=False, bounded=False, synthesis=True)
+        supervisory synthesis and ring-walk counterexample traces."""
+        return BackendCapabilities(integer_data=False, bounded=False, synthesis=True, traces=True)
 
     @property
     def state_count(self) -> int:
@@ -401,6 +449,90 @@ class SymbolicReachability(Reachability):
             found_holds=True,
             missing=lambda: "no reachable reaction satisfies the predicate",
         )
+
+    def trace_to(self, predicate: ReactionPredicate, name: str = "trace") -> Optional[Trace]:
+        """A trace to a reaction satisfying ``predicate``, by backward ring walk.
+
+        Forward information is already there: the fixpoint stored one frontier
+        BDD per iteration (:attr:`frontiers`).  Extraction finds the earliest
+        ring admitting a satisfying reaction, picks one concrete (state,
+        reaction) model there with the witness-synthesis machinery, then walks
+        back ring by ring — each step one :meth:`~.SymbolicEngine.preimage`
+        ``and_exists`` product intersected with the previous ring, from which
+        one concrete predecessor state and one connecting reaction are
+        extracted.  The trace length equals the ring index plus one, so no
+        state is ever enumerated outside the path itself.
+        """
+        self._validate_predicate(predicate)
+        return self._extract_trace(self.engine.predicate_bdd(predicate), name)
+
+    def _extract_trace(self, condition: BDDNode, name: str) -> Optional[Trace]:
+        engine = self.engine
+        manager = engine.manager
+        hit = manager.conj_all([self.states, engine.instantaneous, condition])
+        if manager.is_false(hit):
+            self._require_complete(name)
+            return None
+        if not self.frontiers:
+            raise NotImplementedError(
+                f"{name}: this result carries no frontier rings (hand-built?); "
+                "recompute it via the engine's reach() to enable trace extraction"
+            )
+        ring_index = 0
+        ring_hit = manager.false
+        for index, ring in enumerate(self.frontiers):
+            ring_hit = manager.conj(ring, hit)
+            if not manager.is_false(ring_hit):
+                ring_index = index
+                break
+        bits = engine.signal_bits + engine.state_bits
+        model = next(manager.satisfying_assignments(ring_hit, bits))
+
+        # Walk the rings backward from the state the satisfying reaction fires
+        # in, extracting one concrete predecessor and connecting reaction per
+        # ring.  The steps come out in reverse order.
+        steps: list[TraceStep] = []
+        cursor = {bit: model[bit] for bit in engine.state_bits}
+        for index in range(ring_index, 0, -1):
+            cursor_cube = manager.cube(cursor)
+            predecessors = manager.conj(engine.preimage(cursor_cube), self.frontiers[index - 1])
+            previous = next(manager.satisfying_assignments(predecessors, engine.state_bits))
+            step_relation = manager.exists(
+                manager.conj_all(
+                    [
+                        engine.transition,
+                        manager.cube(previous),
+                        manager.rename(cursor_cube, engine._prime_map),
+                    ]
+                ),
+                engine.primed_bits,
+            )
+            reaction_model = next(manager.satisfying_assignments(step_relation, bits))
+            steps.append(
+                TraceStep(engine.decode_reaction(reaction_model), engine.decode_state(cursor))
+            )
+            cursor = previous
+        steps.reverse()
+        steps.append(TraceStep(engine.decode_reaction(model), self._successor_of(model)))
+        return Trace(tuple(steps), name)
+
+    def _successor_of(self, model: Mapping[str, bool]) -> Optional[dict[str, Any]]:
+        """The decoded successor state of one concrete (state, reaction) model.
+
+        ``None`` when the transition relation admits no successor for the
+        model — possible only for engines whose relation guards memory
+        updates (a finite-integer reaction clipping a declared range).
+        """
+        engine = self.engine
+        manager = engine.manager
+        primed = manager.and_exists(
+            manager.cube(model), engine.transition, engine.signal_bits + engine.state_bits
+        )
+        if manager.is_false(primed):
+            return None
+        successor = manager.rename(primed, engine._unprime_map)
+        assignment = next(manager.satisfying_assignments(successor, engine.state_bits))
+        return engine.decode_state(assignment)
 
     def check_polynomial_invariant(self, invariant: Polynomial, name: str = "invariant") -> CheckResult:
         """Sigali-style objective: ``invariant = 0`` on every reachable reaction."""

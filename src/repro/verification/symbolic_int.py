@@ -655,9 +655,16 @@ class IntSymbolicEngine(RelationalFixpointEngine):
 
         domain = manager.true
         values = sorted(set(self.ranges.integer_domain))
-        for name in compiled.input_names:
-            if self._kind_of_signal(name) != "int":
+        defined = {definition.target for definition in compiled.definitions}
+        for name in self.signal_names:
+            if self._kind_of_signal(name) != "int" or name in defined:
                 continue
+            # Every integer signal without a defining equation is driven by
+            # the environment — the declared inputs, but also free outputs the
+            # explicit explorer drives via ``extra_driven``.  All of them
+            # carry the stimulus alphabet, never the whole declared window:
+            # leaving a non-input free over its bounds would make reactions
+            # reachable that the reference explorer can never perform.
             signal = self._compile(SignalRef(name))
             member = manager.disj_all(
                 self._iv_compare("=", signal.value, self._iv_const(v)) for v in values
@@ -883,10 +890,15 @@ class IntSymbolicEngine(RelationalFixpointEngine):
 
     def reach(self) -> "IntSymbolicReachability":
         """Least fixpoint of image computation, plus the overflow audit."""
-        reach, iterations, converged = self._reach_fixpoint(self.options.max_iterations)
+        reach, iterations, converged, rings = self._reach_fixpoint(self.options.max_iterations)
         overflowed = sorted(self._audit_overflow(reach)) if converged else []
         return IntSymbolicReachability(
-            self, reach, iterations, fixpoint=converged, overflowed=tuple(overflowed)
+            self,
+            reach,
+            iterations,
+            fixpoint=converged,
+            frontiers=tuple(rings),
+            overflowed=tuple(overflowed),
         )
 
     def _audit_overflow(self, reach: BDDNode) -> set[str]:
@@ -929,6 +941,18 @@ class IntSymbolicEngine(RelationalFixpointEngine):
                 decoded[name] = bool(assignment.get(_value(name), False))
         return decoded
 
+    def decode_state(self, assignment: Mapping[str, bool]) -> dict[str, Any]:
+        """Memory-slot values of a bit-level assignment (trace successor states)."""
+        state: dict[str, Any] = {}
+        for name, slot in self._slots.items():
+            if slot["kind"] == "int":
+                state[name] = slot["lo"] + sum(
+                    (1 << j) for j, bit in enumerate(slot["bits"]) if assignment.get(bit, False)
+                )
+            else:
+                state[name] = bool(assignment.get(slot["bits"][0], False))
+        return state
+
 
 # --------------------------------------------------------------------------- the result
 
@@ -936,9 +960,10 @@ class IntSymbolicEngine(RelationalFixpointEngine):
 class IntSymbolicReachability(SymbolicReachability):
     """A finite-integer symbolic reachable set, behind the shared interface.
 
-    Inherits the witness extraction, predicate checking and symbolic
-    controller synthesis of the boolean engine's result — only the
-    capability declaration and the completeness accounting differ.
+    Inherits the witness extraction, predicate checking, ring-walk trace
+    extraction and symbolic controller synthesis of the boolean engine's
+    result — only the capability declaration and the completeness accounting
+    differ.
     """
 
     overflowed: tuple[str, ...] = ()
@@ -946,8 +971,9 @@ class IntSymbolicReachability(SymbolicReachability):
     @classmethod
     def capabilities(cls) -> BackendCapabilities:
         """Bit-blasted finite-integer fixpoint: concrete integer reactions,
-        exhaustive over the declared/inferred ranges, with synthesis."""
-        return BackendCapabilities(integer_data=True, bounded=False, synthesis=True)
+        exhaustive over the declared/inferred ranges, with synthesis and
+        ring-walk counterexample traces."""
+        return BackendCapabilities(integer_data=True, bounded=False, synthesis=True, traces=True)
 
     @property
     def complete(self) -> bool:

@@ -30,7 +30,11 @@ the bit-blasted finite-integer engine (``symbolic-int``) once it outgrows it
 and the integer ranges are finite; pure boolean/event skeletons promote to
 the Z/3Z symbolic engine the same way.  The batch API — :meth:`check` /
 :meth:`check_all` — evaluates many properties against one shared reachable
-set and returns a structured :class:`~repro.workbench.report.Report`.
+set and returns a structured :class:`~repro.workbench.report.Report`; with
+``traces=True`` every failed invariant / satisfied reachability property
+additionally carries a replay-valid counterexample/witness
+:class:`~repro.verification.reachability.Trace` (extraction is lazy, so the
+default keeps batch throughput unchanged).
 """
 
 from __future__ import annotations
@@ -454,32 +458,38 @@ class Design:
 
     # -- the batch verification API ---------------------------------------------------------
 
-    def check(self, *properties: PropertyLike, backend: str = "auto") -> Report:
+    def check(self, *properties: PropertyLike, backend: str = "auto", traces: bool = False) -> Report:
         """Check properties against one shared reachable set.
 
         Each property is a :class:`~repro.workbench.report.Property`, a
         ``(name, predicate)`` pair, or a bare predicate (an invariant, named
-        ``P1``, ``P2``, ... by position).
+        ``P1``, ``P2``, ... by position).  With ``traces=True`` every failed
+        invariant / satisfied reachability property additionally gets a
+        counterexample/witness :class:`~repro.verification.reachability.Trace`
+        attached to its result — extraction is lazy and per-property, so the
+        default (off) keeps batch throughput untouched.
         """
-        return self._run_checks(self._normalise(properties, "invariant"), backend)
+        return self._run_checks(self._normalise(properties, "invariant"), backend, traces)
 
     def check_all(
         self,
         invariants: Optional[PropertiesLike] = None,
         reachables: Optional[PropertiesLike] = None,
         backend: str = "auto",
+        traces: bool = False,
     ) -> Report:
         """Batch check: invariants (AG) and reachability (EF) properties together.
 
         ``invariants`` and ``reachables`` are mappings ``name -> predicate``
         or sequences of properties; everything is evaluated against the same
         memoised reachable set, so k properties cost one exploration /
-        encoding / fixpoint plus k cheap queries.
+        encoding / fixpoint plus k cheap queries.  ``traces=True`` attaches
+        counterexample/witness traces (see :meth:`check`).
         """
         specs = self._normalise(invariants, "invariant") + self._normalise(reachables, "reachable")
         if not specs:
             raise ValueError("check_all needs at least one invariant or reachable property")
-        return self._run_checks(specs, backend)
+        return self._run_checks(specs, backend, traces)
 
     def synthesise(
         self,
@@ -514,7 +524,7 @@ class Design:
                 )
         return specs
 
-    def _run_checks(self, specs: list[Property], backend: str) -> Report:
+    def _run_checks(self, specs: list[Property], backend: str, traces: bool = False) -> Report:
         started = perf_counter()
         predicates = [spec.predicate for spec in specs]
         entry, engine = self._resolve_backend(backend, predicates=predicates)
@@ -526,6 +536,8 @@ class Design:
                     result = engine.check_invariant(spec.predicate, spec.name)
                 else:
                     result = engine.check_reachable(spec.predicate, spec.name)
+                if traces and entry.capabilities.traces:
+                    result.trace = self._extract_trace(engine, spec, result)
                 check = PropertyCheck(spec.name, spec.kind, result)
             except BoundReached as refusal:
                 check = PropertyCheck(spec.name, spec.kind, None, error=str(refusal))
@@ -541,6 +553,23 @@ class Design:
             elapsed=perf_counter() - started,
             artifact_seconds=dict(self.artifact_seconds),
         )
+
+    @staticmethod
+    def _extract_trace(engine: Reachability, spec: Property, result: Any) -> Optional[Any]:
+        """The trace a finished check deserves, or None.
+
+        A *failed* invariant traces to its violating reaction (``~predicate``);
+        a *satisfied* reachability property traces to its witness.  A holding
+        invariant (or an unreachable predicate) gets no trace — returning a
+        vacuous one would dress a positive verdict up as a counterexample.
+        Extraction cannot refuse here: a violation/witness is already in hand,
+        so the trace exists even under a truncated analysis.
+        """
+        if spec.kind == "invariant" and not result.holds:
+            return engine.trace_to(~spec.predicate, spec.name)
+        if spec.kind == "reachable" and result.holds:
+            return engine.trace_to(spec.predicate, spec.name)
+        return None
 
     def __repr__(self) -> str:
         cached = sorted(self._artifacts)

@@ -9,21 +9,25 @@ registry filters the entries that can answer the query (integer data needed?
 synthesis needed?) and prefers an exhaustive engine when the design's
 potential state space outgrows the explicit bound.
 
-The default registry carries the paper tool-chain's four engines:
+The default registry carries the paper tool-chain's four engines (every one
+of which also extracts counterexample traces, ``traces=True``):
 
 ============ ============================================== =========================
 name          engine                                         capabilities
 ============ ============================================== =========================
 explicit      :func:`repro.verification.explorer.explore`    integer data, bounded,
-              on the compiled process                        synthesis
+              on the compiled process                        synthesis, traces
 polynomial    :class:`~repro.verification.encoding.PolynomialReachability`
-              over the shared Z/3Z encoding                  boolean skeleton, bounded
+              over the shared Z/3Z encoding                  boolean skeleton,
+                                                             bounded, traces
 symbolic      :func:`repro.verification.symbolic.symbolic_explore`
               BDD fixpoint over the same encoding            boolean skeleton,
-                                                             exhaustive, synthesis
+                                                             exhaustive, synthesis,
+                                                             traces
 symbolic-int  :func:`repro.verification.symbolic_int.symbolic_int_explore`
               bit-blasted finite-integer BDD fixpoint        integer data,
-                                                             exhaustive, synthesis
+                                                             exhaustive, synthesis,
+                                                             traces
 ============ ============================================== =========================
 
 Use :func:`register_backend` to add an engine globally, or

@@ -71,6 +71,16 @@ class PropertyCheck:
         """True / False verdict, or None when the backend refused."""
         return None if self.result is None else self.result.holds
 
+    @property
+    def trace(self):
+        """The counterexample/witness trace, when one was requested and exists.
+
+        Populated by ``design.check(..., traces=True)`` on a failed invariant
+        (the violation path) or a satisfied reachability property (the
+        witness path); ``None`` otherwise.
+        """
+        return None if self.result is None else self.result.trace
+
     def __bool__(self) -> bool:
         return self.holds is True
 
@@ -149,4 +159,7 @@ class Report:
         ]
         for check in self.checks:
             lines.append(f"  {check.explain()}")
+            if check.trace is not None:
+                for trace_line in check.trace.render().splitlines():
+                    lines.append(f"    {trace_line}")
         return "\n".join(lines)

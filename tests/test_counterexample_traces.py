@@ -1,0 +1,317 @@
+"""Differential trace tests: every engine's counterexamples replay in the simulator.
+
+Every Reachability backend now extracts *traces* — initial-state-to-violation
+sequences of (reaction, successor-state) steps
+(:class:`repro.verification.reachability.Trace`) — instead of just a single
+violating reaction.  A trace is only worth anything if it is executable, so
+this suite replays every trace any engine returns, step by step, through the
+reaction simulator (the operational semantics is the oracle): each recorded
+reaction must be exactly what the compiled process performs under the
+recorded input stimuli, and the final reaction — performed from the state the
+trace leads to, i.e. a state whose reaction alphabet contains it — must
+satisfy the traced predicate.  The corpora are the boolean + integer corpora
+of ``tests/test_symbolic_vs_explicit.py`` (library processes, observer
+compositions, fixed-seed random processes), so the four engines are
+cross-checked on the same designs whose verdicts they already agree on.
+
+The soundness contract is tested alongside: a truncated (``complete ==
+False``) analysis refuses the "no trace exists" answer with ``BoundReached``
+exactly as it refuses "holds"/"unreachable" verdicts, while a trace to a
+violation already in hand still extracts under truncation.
+"""
+
+import pytest
+
+from test_symbolic_vs_explicit import (
+    CORPUS,
+    INTEGER_CORPUS,
+    engines_for,
+    integer_engines_for,
+    integer_predicates_for,
+    predicates_for,
+)
+
+from repro.core.values import ABSENT, EVENT
+from repro.signal.library import (
+    alternator_process,
+    boolean_shift_register_process,
+    modulo_counter_process,
+)
+from repro.simulation.compiler import CompiledProcess
+from repro.verification import (
+    BoundReached,
+    ExplorationOptions,
+    ReactionPredicate as P,
+    SymbolicEngine,
+    SymbolicIntOptions,
+    SymbolicOptions,
+    Trace,
+    encode_process,
+    explore,
+    reaction_reachable,
+    symbolic_int_explore,
+)
+from repro.verification.symbolic_int import IntSymbolicEngine
+
+ENGINE_NAMES = ("explicit", "polynomial", "symbolic", "symbolic-int")
+
+#: Engines that decode reactions through the Z/3Z ternary abstraction, where
+#: an event carries the truth value True rather than the EVENT marker.
+ABSTRACT_ENGINES = {"polynomial", "symbolic"}
+
+
+def _normalise(value, abstract: bool):
+    if abstract and value is EVENT:
+        return True
+    return value
+
+
+def replay_trace(process, trace: Trace, predicate, abstract: bool) -> None:
+    """Drive the simulator along the trace's reactions and cross-check each step.
+
+    The stimulus of each step is the trace reaction projected on the process
+    inputs (the same universe the explicit explorer drives); the resulting
+    instant must agree with the recorded reaction on every signal the trace
+    mentions, and the final instant must satisfy the traced predicate — the
+    trace genuinely ends in a state whose reaction alphabet contains the
+    violating/witnessing reaction.
+    """
+    compiled = CompiledProcess(process)
+    memory = compiled.initial_state()
+    instant = None
+    for step in trace:
+        stimulus = {}
+        for name in compiled.input_names:
+            value = step.reaction.get(name, ABSENT)
+            if value is not ABSENT and compiled.signal_types.get(name) == "event":
+                value = EVENT
+            stimulus[name] = value
+        memory, instant = compiled.step(memory, stimulus)
+        for name, expected in step.reaction.items():
+            actual = instant.get(name, ABSENT)
+            assert _normalise(actual, abstract) == _normalise(expected, abstract), (
+                f"trace step diverges from the simulator on {name!r}: "
+                f"replayed {actual!r}, trace recorded {expected!r}"
+            )
+    assert instant is not None
+    assert predicate.evaluate(instant), (
+        f"the trace's final reaction {instant!r} does not satisfy the traced predicate"
+    )
+
+
+# --------------------------------------------------------------------------- boolean corpus
+
+@pytest.mark.parametrize("label,factory", CORPUS, ids=[label for label, _ in CORPUS])
+def test_boolean_corpus_traces_replay(label, factory):
+    """All four engines: every extracted trace replays; unreachable → no trace."""
+    process = factory()
+    engines = dict(zip(ENGINE_NAMES, engines_for(process)))
+    predicates = predicates_for(process)
+    expected = [reaction_reachable(engines["explicit"], p).holds for p in predicates]
+    for name, engine in engines.items():
+        abstract = name in ABSTRACT_ENGINES
+        for predicate, reachable in zip(predicates, expected):
+            trace = engine.trace_to(predicate)
+            if reachable:
+                assert trace is not None and len(trace) >= 1, (name, repr(predicate))
+                replay_trace(process, trace, predicate, abstract)
+            else:
+                assert trace is None, (name, repr(predicate))
+
+
+def test_explicit_traces_are_shortest():
+    """BFS parent pointers: the deep-stage trace has exactly depth+1 steps."""
+    depth = 5
+    process = boolean_shift_register_process(depth)
+    predicate = P.true_of(f"s{depth - 1}")
+    assert len(explore(process).trace_to(predicate)) == depth + 1
+    # The symbolic ring walk starts from the earliest ring admitting the
+    # reaction, so it happens to match here too (pinning it contractually is
+    # the ROADMAP's trace-minimisation follow-on).
+    assert len(SymbolicEngine(process).reach().trace_to(predicate)) == depth + 1
+
+
+def test_trace_steps_carry_successor_states():
+    """Explicit steps carry concrete memories; symbolic steps decoded valuations."""
+    process = boolean_shift_register_process(3)
+    explicit_trace = explore(process).trace_to(P.true_of("s2"))
+    for step in explicit_trace:
+        assert isinstance(step.state, dict) and step.state
+    symbolic_trace = SymbolicEngine(process).reach().trace_to(P.true_of("s2"))
+    for step in symbolic_trace:
+        assert isinstance(step.state, dict) and step.state
+        assert all(code in (0, 1, 2) for code in step.state.values())
+    polynomial_trace = encode_process(process).explore().trace_to(P.true_of("s2"))
+    for step in polynomial_trace:
+        assert isinstance(step.state, dict) and step.state
+
+
+# --------------------------------------------------------------------------- integer corpus
+
+@pytest.mark.parametrize(
+    "label,factory,payload,values", INTEGER_CORPUS, ids=[c[0] for c in INTEGER_CORPUS]
+)
+def test_integer_corpus_traces_replay(label, factory, payload, values):
+    """Explicit and finite-integer engines replay on concrete integer data."""
+    process = factory()
+    explicit, symbolic_int = integer_engines_for(process)
+    predicates = integer_predicates_for(process, payload, values)
+    expected = [reaction_reachable(explicit, p).holds for p in predicates]
+    for name, engine in (("explicit", explicit), ("symbolic-int", symbolic_int)):
+        for predicate, reachable in zip(predicates, expected):
+            trace = engine.trace_to(predicate)
+            if reachable:
+                assert trace is not None and len(trace) >= 1, (name, repr(predicate))
+                replay_trace(process, trace, predicate, abstract=False)
+            else:
+                assert trace is None, (name, repr(predicate))
+
+
+def test_integer_trace_reaches_deep_counter_value():
+    """A value atom needing several ticks produces a multi-step replayable trace."""
+    process = modulo_counter_process(5)
+    deep = P.value("n", lambda v: v == 3)
+    for engine in integer_engines_for(process):
+        trace = engine.trace_to(deep)
+        assert trace is not None and len(trace) >= 4
+        replay_trace(process, trace, deep, abstract=False)
+
+
+# --------------------------------------------------------------------------- soundness
+
+class TestTraceSoundness:
+    def test_no_trace_on_complete_analysis_is_a_definite_answer(self):
+        """Complete engines answer "no trace" with None, for all four engines."""
+        for engine in engines_for(alternator_process()):
+            assert engine.complete
+            assert engine.trace_to(P.never()) is None
+
+    def test_truncated_explicit_refuses_no_trace(self):
+        truncated = explore(
+            boolean_shift_register_process(8), ExplorationOptions(max_states=10)
+        )
+        assert not truncated.complete
+        with pytest.raises(BoundReached):
+            truncated.trace_to(P.never())
+        # The same refusal for a predicate merely unreached below the bound.
+        with pytest.raises(BoundReached):
+            truncated.trace_to(P.true_of("s7"))
+
+    def test_truncated_explicit_still_traces_found_violations(self):
+        """A violation below the bound keeps its trace even under truncation."""
+        truncated = explore(
+            boolean_shift_register_process(8), ExplorationOptions(max_states=10)
+        )
+        trace = truncated.trace_to(P.present("x"))
+        assert trace is not None
+        assert trace.violation.get("x") is not ABSENT
+
+    def test_truncated_polynomial_refuses_no_trace(self):
+        truncated = encode_process(boolean_shift_register_process(8)).explore(max_states=10)
+        assert not truncated.complete
+        with pytest.raises(BoundReached):
+            truncated.trace_to(P.never())
+
+    def test_truncated_symbolic_refuses_no_trace(self):
+        process = boolean_shift_register_process(8)
+        truncated = SymbolicEngine(process, SymbolicOptions(max_iterations=1)).reach()
+        assert not truncated.complete
+        with pytest.raises(BoundReached):
+            truncated.trace_to(P.true_of("s7"))
+
+    def test_truncated_symbolic_int_refuses_no_trace(self):
+        process = modulo_counter_process(6)
+        truncated = IntSymbolicEngine(
+            process, SymbolicIntOptions(max_iterations=1)
+        ).reach()
+        assert not truncated.complete
+        with pytest.raises(BoundReached):
+            truncated.trace_to(P.value("n", lambda v: v == 5))
+
+    def test_overflowed_ranges_refuse_no_trace(self):
+        """A demonstrably clipped range is truncation: refusals name the signal."""
+        from repro.signal.library import count_process
+
+        result = symbolic_int_explore(
+            count_process(), SymbolicIntOptions(ranges={"val": (0, 3)})
+        )
+        assert result.overflowed == ("val",)
+        with pytest.raises(BoundReached, match="val"):
+            result.trace_to(P.value("val", lambda v: v == 13))
+
+    def test_hand_built_symbolic_result_refuses_traces(self):
+        """A result without frontier rings cannot walk backward — explicit error."""
+        from repro.verification import SymbolicReachability
+
+        engine = SymbolicEngine(alternator_process())
+        computed = engine.reach()
+        stripped = SymbolicReachability(
+            engine, computed.states, computed.iterations, computed.fixpoint
+        )
+        with pytest.raises(NotImplementedError):
+            stripped.trace_to(P.present("flip"))
+
+
+# --------------------------------------------------------------------------- workbench surface
+
+class TestWorkbenchTraces:
+    def test_satisfied_invariant_gets_no_trace(self):
+        """A holding invariant must not dress up as a counterexample."""
+        from repro.workbench import Design
+
+        design = Design.from_process(boolean_shift_register_process(4))
+        report = design.check_all(
+            invariants={"ok": P.present("s3").implies(P.present("x"))},
+            reachables={"tail": P.present("s3")},
+            traces=True,
+        )
+        assert report["ok"].holds is True
+        assert report["ok"].trace is None
+        assert report["tail"].holds is True
+        assert report["tail"].trace is not None
+
+    def test_failed_invariant_trace_replays_through_design_simulator(self):
+        from repro.workbench import Design
+
+        process = boolean_shift_register_process(5)
+        design = Design.from_process(process)
+        bad = P.absent("s4") | P.false_of("s4")
+        report = design.check_all(invariants={"never-true": bad}, traces=True, backend="symbolic")
+        check = report["never-true"]
+        assert check.holds is False
+        assert check.trace is not None
+        replay_trace(process, check.trace, ~bad, abstract=True)
+        summary = report.summary()
+        for line in check.trace.render().splitlines():
+            assert line in summary
+
+    def test_refused_check_has_no_trace(self):
+        from repro.verification import ExplorationOptions
+        from repro.workbench import Design
+
+        design = Design.from_process(
+            boolean_shift_register_process(8),
+            exploration_options=ExplorationOptions(max_states=10),
+        )
+        report = design.check_all(
+            invariants={"truncated": P.present("s7").implies(P.present("x"))},
+            backend="explicit",
+            traces=True,
+        )
+        assert report["truncated"].holds is None
+        assert report["truncated"].trace is None
+
+    def test_traces_across_all_four_registered_backends(self):
+        """design.check(..., traces=True) works whatever engine is named."""
+        from repro.workbench import Design
+
+        process = boolean_shift_register_process(4)
+        bad = P.absent("s3") | P.false_of("s3")
+        for backend in ("explicit", "polynomial", "symbolic", "symbolic-int"):
+            design = Design.from_process(process)
+            report = design.check(("never-true", bad), backend=backend, traces=True)
+            check = report["never-true"]
+            assert check.holds is False, backend
+            assert check.trace is not None, backend
+            abstract = backend in ("polynomial", "symbolic")
+            replay_trace(process, check.trace, ~bad, abstract=abstract)

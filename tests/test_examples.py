@@ -40,6 +40,16 @@ def test_example_main(path, capsys, monkeypatch):
     assert out.strip(), f"{path.stem}.main() printed nothing"
 
 
+@pytest.mark.parametrize("stem", ["controller_synthesis", "quickstart"])
+def test_failing_checks_print_their_counterexample_trace(stem, capsys, monkeypatch):
+    """Examples with a failing check surface the trace, not just the verdict."""
+    monkeypatch.setattr(sys, "argv", [f"{stem}.py"])
+    _load(EXAMPLES_DIR / f"{stem}.py").main()
+    out = capsys.readouterr().out
+    assert "counterexample trace" in out
+    assert "step 1:" in out and "step 2:" in out
+
+
 def test_quickstart_reports_version(capsys, monkeypatch):
     """The quickstart announces the package version (package-hygiene check)."""
     import repro

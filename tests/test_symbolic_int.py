@@ -251,6 +251,36 @@ class TestSoundnessRegressions:
     """Divergences found by review: each case previously certified a verdict
     the explicit reference explorer refutes, with ``complete=True``."""
 
+    def test_undefined_integer_signals_carry_the_stimulus_alphabet(self):
+        """An integer signal with no defining equation is environment-driven:
+        it must range over the stimulus alphabet like every driven input, not
+        freely over its declared window.  Previously only declared *inputs*
+        got the domain constraint, so a free output with ``bounds=(0, 10)``
+        made ``val == 8`` reachable — a reaction the reference explorer
+        (driving ``val`` via ``extra_driven``) can never perform."""
+        from repro.verification import ExplorationOptions
+
+        builder = ProcessBuilder("FreeOut")
+        t = builder.input("t", "event")
+        val = builder.output("val", "integer", bounds=(0, 10))
+        builder.synchronize(val, t)
+        process = builder.build()
+
+        explicit = explore(
+            process, ExplorationOptions(extra_driven=["val"], integer_domain=(0, 1))
+        )
+        result = symbolic_int_explore(process, SymbolicIntOptions(integer_domain=(0, 1)))
+        assert explicit.complete and result.complete
+        for predicate in (
+            P.value("val", lambda v: v == 8),
+            P.present("val") & P.value("val", lambda v: v >= 2),
+        ):
+            assert not explicit.check_reachable(predicate).holds
+            assert not result.check_reachable(predicate).holds
+        low = P.absent("val") | P.value("val", lambda v: v < 2)
+        assert explicit.check_invariant(low).holds
+        assert result.check_invariant(low).holds
+
     def test_constant_fallback_through_pointwise_operators(self):
         """``(x default 1) + (y default 2)``: with x and y absent the constant
         status adapts and the sum is present (value 3) wherever sampled."""

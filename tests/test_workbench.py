@@ -108,6 +108,21 @@ class TestMemoisation:
         assert again.all_hold
         assert design.artifact_counts["symbolic"] == 1
 
+    def test_trace_extraction_reuses_the_memoised_fixpoint(self):
+        """Storing frontiers is free: a traces=True batch (and a repeat of it)
+        computes the reachable set exactly once — ring storage and backward
+        walking never re-run the forward fixpoint."""
+        design = Design.from_process(boolean_shift_register_process(5))
+        properties = {"tail-fires": P.present("s4")}
+        report = design.check_all(reachables=properties, backend="symbolic", traces=True)
+        assert report["tail-fires"].trace is not None
+        assert design.artifact_counts["symbolic"] == 1
+        assert design.artifact_counts["symbolic_engine"] == 1
+        again = design.check_all(reachables=properties, backend="symbolic", traces=True)
+        assert again["tail-fires"].trace is not None
+        assert design.artifact_counts["symbolic"] == 1
+        assert design.artifact_counts["encoding"] == 1
+
     def test_explicit_backend_explores_once(self):
         design = Design.from_process(alternator_process())
         properties = [P.present("flip").implies(P.present("tick")) for _ in range(4)]
@@ -161,12 +176,15 @@ class TestMemoisation:
     def test_invalidate_cascade(self):
         """invalidate("encoding") must drop every verification artifact built
         over it — including the finite-integer engine and fixpoint, which the
-        auto policy routes through the same encodability probe."""
+        auto policy routes through the same encodability probe, and the
+        frontier rings the fixpoints store for trace extraction (they live on
+        the symbolic artifacts, so they go with them)."""
         design = Design.from_process(boolean_shift_register_process(5))
         design.encoding
         design.polynomial
-        design.symbolic
-        design.symbolic_int
+        rings = design.symbolic.frontiers
+        int_rings = design.symbolic_int.frontiers
+        assert rings and int_rings
         design.invalidate("encoding")
         for artifact in (
             "encoding",
@@ -181,6 +199,20 @@ class TestMemoisation:
         # encoding; they survive.
         assert "compiled" in design._artifacts
         assert "ranges" in design._artifacts
+        # A recomputed fixpoint carries fresh rings (the old ones were dropped
+        # with their artifact), and the same number of onion layers.
+        assert design.symbolic.frontiers is not rings
+        assert len(design.symbolic.frontiers) == len(rings)
+
+    def test_invalidate_compiled_drops_trace_frontiers(self):
+        """invalidate("compiled") takes the integer fixpoint — and with it the
+        frontier rings trace extraction walks — along the cascade."""
+        design = Design.from_process(modulo_counter_process(4))
+        rings = design.symbolic_int.frontiers
+        assert rings
+        design.invalidate("compiled")
+        assert "symbolic_int" not in design._artifacts
+        assert design.symbolic_int.frontiers is not rings
 
     def test_invalidate_compiled_cascades_to_integer_engine(self):
         from repro.verification import SymbolicIntOptions
