@@ -7,14 +7,19 @@
 #   make lint        - ruff (high-signal core rules) + byte-compilation check
 #   make bench-smoke - only the benchmark smoke runs (every benchmarks/bench_*.py
 #                      main path at its smallest size); writes BENCH_SMOKE.json,
-#                      the per-benchmark wall-clock artifact CI uploads
+#                      the per-benchmark wall-clock + peak-BDD-node artifact CI
+#                      uploads
+#   make bench-check - gate: fail if any smoke benchmark regressed >3x against
+#                      the committed benchmarks/BENCH_BASELINE.json (seconds or
+#                      peak BDD nodes)
 #   make bench       - the full pytest-benchmark campaign over benchmarks/
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 COV_MIN ?= 85
+BENCH_FACTOR ?= 3.0
 
-.PHONY: test cov lint bench-smoke bench
+.PHONY: test cov lint bench-smoke bench-check bench
 
 test:
 	$(PYTEST) -x -q
@@ -28,6 +33,9 @@ lint:
 
 bench-smoke:
 	$(PYTEST) -q -m bench_smoke
+
+bench-check:
+	$(PYTHON) tools/check_bench_regression.py BENCH_SMOKE.json benchmarks/BENCH_BASELINE.json --factor $(BENCH_FACTOR)
 
 bench:
 	$(PYTEST) -q -o python_files='bench_*.py' benchmarks

@@ -2,11 +2,15 @@
 
 ``make bench-smoke`` (``pytest -m bench_smoke``) smoke-runs every
 ``benchmarks/bench_*.py`` main path at its smallest size.  This plugin
-records each smoke test's wall-clock and, when the run actually selected the
-``bench_smoke`` marker (or ``BENCH_SMOKE_JSON`` names an output path),
+records each smoke test's wall-clock plus the process-wide BDD counters the
+run accumulated (peak unique-table nodes and dynamic-reorder count, reset
+per test — see :mod:`repro.clocks.bdd`) and, when the run actually selected
+the ``bench_smoke`` marker (or ``BENCH_SMOKE_JSON`` names an output path),
 writes them to ``BENCH_SMOKE.json`` — the artifact CI uploads on every
 build, seeding the benchmark trajectory without a full pytest-benchmark
-campaign.
+campaign.  ``tools/check_bench_regression.py`` compares that file against
+the committed ``benchmarks/BENCH_BASELINE.json`` and fails CI on a >3x
+regression of any benchmark's wall-clock or peak-node count.
 """
 
 import json
@@ -15,11 +19,34 @@ import platform
 import time
 
 _durations: dict[str, float] = {}
+_bdd_stats: dict[str, dict] = {}
+
+
+def _bdd_module():
+    try:
+        from repro.clocks import bdd
+    except ImportError:  # pragma: no cover - repro not importable (bad env)
+        return None
+    return bdd
+
+
+def pytest_runtest_setup(item):
+    if "bench_smoke" in item.keywords:
+        bdd = _bdd_module()
+        if bdd is not None:
+            bdd.reset_global_stats()
 
 
 def pytest_runtest_logreport(report):
     if report.when == "call" and report.passed and "bench_smoke" in report.keywords:
         _durations[report.nodeid] = report.duration
+        bdd = _bdd_module()
+        if bdd is not None:
+            stats = bdd.global_stats()
+            _bdd_stats[report.nodeid] = {
+                "peak_nodes": stats["peak_nodes"],
+                "reorders": stats["reorders"],
+            }
 
 
 def _output_path(config) -> str | None:
@@ -37,14 +64,18 @@ def pytest_sessionfinish(session, exitstatus):
     if path is None or not _durations:
         return
     payload = {
-        "schema": "bench-smoke/1",
+        "schema": "bench-smoke/2",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "exit_status": int(exitstatus),
         "total_seconds": round(sum(_durations.values()), 6),
         "benchmarks": [
-            {"id": nodeid, "seconds": round(seconds, 6)}
+            {
+                "id": nodeid,
+                "seconds": round(seconds, 6),
+                **_bdd_stats.get(nodeid, {}),
+            }
             for nodeid, seconds in sorted(_durations.items())
         ],
     }

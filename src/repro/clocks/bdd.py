@@ -12,6 +12,17 @@ predicates symbolically: quantification, variable renaming and the combined
 relational product (``and_exists``) are the primitives the symbolic
 reachability engine of :mod:`repro.verification.symbolic` builds its image
 computation from.
+
+Variable ordering is dynamic: beyond the static first-use order the callers
+establish with :meth:`BDDManager.declare`, the manager implements the
+classical in-place adjacent *level exchange* and group-aware Rudell
+*sifting* (:meth:`BDDManager.reorder`), auto-triggered on unique-table
+growth when ``auto_reorder`` is on.  Every exchange rewrites the affected
+nodes in place — same object, same identifier, same boolean function — so
+node references held by callers, the operation caches (which map functions
+to functions) and name-based renaming maps all stay valid across reorders.
+:meth:`BDDManager.group_variables` pins variable tuples (the symbolic
+engines' prime/unprime pairs) adjacent through every reorder.
 """
 
 from __future__ import annotations
@@ -19,16 +30,50 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 
-class BDDNode:
-    """A hash-consed BDD node (internal: use :class:`BDDManager`)."""
+class NodeBudgetExceeded(RuntimeError):
+    """The unique table outgrew the manager's declared ``node_budget``.
 
-    __slots__ = ("variable", "low", "high", "identifier")
+    Raised *before* the node that would overflow is created, so the diagram
+    is left consistent; benchmarking uses this to demonstrate orderings a
+    static encoding cannot survive.  The budget is not enforced *during* a
+    reorder (an exception mid-exchange would corrupt the diagram) — growth
+    there is bounded instead by the sifting ``max_growth`` abort factor,
+    and auto-reorder checkpoints arm early (at half the budget) so sifting
+    gets a chance to shrink the table before the budget can fire.
+    """
+
+
+#: Process-wide accumulators over every manager, so test harnesses can record
+#: peak BDD pressure per benchmark without threading managers around.
+GLOBAL_STATS = {"managers": 0, "peak_nodes": 0, "reorders": 0}
+
+
+def reset_global_stats() -> None:
+    """Zero the process-wide BDD counters (per-benchmark bookkeeping)."""
+    GLOBAL_STATS.update(managers=0, peak_nodes=0, reorders=0)
+
+
+def global_stats() -> dict:
+    """A snapshot of the process-wide BDD counters."""
+    return dict(GLOBAL_STATS)
+
+
+class BDDNode:
+    """A hash-consed BDD node (internal: use :class:`BDDManager`).
+
+    ``refcount`` is only meaningful while a reorder is in flight: it counts
+    live in-table parents plus root references, letting level exchanges
+    delete dead nodes eagerly instead of accumulating garbage.
+    """
+
+    __slots__ = ("variable", "low", "high", "identifier", "refcount")
 
     def __init__(self, variable: Optional[str], low: Optional["BDDNode"], high: Optional["BDDNode"], identifier: int):
         self.variable = variable
         self.low = low
         self.high = high
         self.identifier = identifier
+        self.refcount = 0
 
     @property
     def is_terminal(self) -> bool:
@@ -43,7 +88,14 @@ class BDDNode:
 class BDDManager:
     """Factory and algebra of ROBDDs over a growable, ordered variable set."""
 
-    def __init__(self, variables: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        variables: Iterable[str] = (),
+        *,
+        auto_reorder: bool = False,
+        reorder_threshold: int = 20000,
+        node_budget: Optional[int] = None,
+    ) -> None:
         self._order: list[str] = []
         self._rank: dict[str, int] = {}
         self.false = BDDNode(None, None, None, 0)
@@ -54,6 +106,27 @@ class BDDManager:
         self._quant_cache: dict[tuple[int, int, bool], BDDNode] = {}
         self._relprod_cache: dict[tuple[int, int, int], BDDNode] = {}
         self._varsets: dict[frozenset, int] = {}
+        #: Per-variable node index, so a level exchange touches one level's
+        #: nodes instead of scanning the whole unique table.
+        self._var_nodes: dict[str, list[BDDNode]] = {}
+        #: Reordering state: grouped variables stay adjacent, protected nodes
+        #: are the live roots sifting minimises, and the depth counter defers
+        #: auto-reordering past in-flight recursive operations.
+        self._groups: dict[str, tuple[str, ...]] = {}
+        self._protected: list[BDDNode] = []
+        self._protected_ids: set[int] = set()
+        self.auto_reorder = auto_reorder
+        # Arm the first auto-reorder before a node budget can fire (a design
+        # one sift would fit must reach a checkpoint while still under
+        # budget); post-reorder doubling then governs re-arming as usual.
+        if node_budget is not None:
+            reorder_threshold = min(reorder_threshold, max(node_budget // 2, 1))
+        self.reorder_threshold = reorder_threshold
+        self.node_budget = node_budget
+        self.reorder_count = 0
+        self.peak_nodes = 0
+        self._reordering = False
+        GLOBAL_STATS["managers"] += 1
         for name in variables:
             self.declare(name)
 
@@ -80,17 +153,74 @@ class BDDManager:
         self.declare(name)
         return self._node(name, self.true, self.false)
 
+    def group_variables(self, names: Sequence[str]) -> None:
+        """Pin ``names`` together as one reordering group.
+
+        The variables must already sit contiguously in the current order (the
+        symbolic engines declare a state bit and its primed copy back to
+        back); sifting then moves the whole block as a unit, so prime/unprime
+        pairs stay adjacent — the property that keeps renamed relation BDDs
+        small — across every reorder.
+        """
+        group = tuple(names)
+        if len(group) < 2:
+            return
+        for name in group:
+            self.declare(name)
+        ranks = [self._rank[name] for name in group]
+        if ranks != list(range(ranks[0], ranks[0] + len(group))):
+            raise ValueError(f"group {group} is not contiguous in the current order")
+        for name in group:
+            existing = self._groups.get(name)
+            if existing is not None and existing != group:
+                raise ValueError(f"variable {name!r} already belongs to group {existing}")
+        for name in group:
+            self._groups[name] = group
+
+    def protect(self, node: BDDNode) -> BDDNode:
+        """Register ``node`` as a live root of the reordering metric.
+
+        Protection never affects correctness — every node stays valid across
+        reorders whether protected or not (exchanges preserve node identity
+        and function).  It only tells sifting which diagrams' total size to
+        minimise: the engines protect their durable artifacts (transition
+        clusters, reached sets, frontier rings) and scratch nodes stay out of
+        the metric.  Returns ``node`` for chaining.
+        """
+        if not node.is_terminal and node.identifier not in self._protected_ids:
+            self._protected_ids.add(node.identifier)
+            self._protected.append(node)
+        return node
+
     # -- node construction ---------------------------------------------------------
 
     def _node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
         if low is high:
             return low
-        key = (variable, low.identifier, high.identifier)
-        node = self._unique.get(key)
+        node = self._unique.get((variable, low.identifier, high.identifier))
         if node is None:
-            node = BDDNode(variable, low, high, self._next_id)
-            self._next_id += 1
-            self._unique[key] = node
+            if (
+                self.node_budget is not None
+                and not self._reordering
+                and len(self._unique) >= self.node_budget
+            ):
+                raise NodeBudgetExceeded(
+                    f"unique table would outgrow the node budget of {self.node_budget}"
+                )
+            node = self._new_node(variable, low, high)
+        return node
+
+    def _new_node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        """Create and register a fresh node (table, level index, peak stats)."""
+        node = BDDNode(variable, low, high, self._next_id)
+        self._next_id += 1
+        self._unique[(variable, low.identifier, high.identifier)] = node
+        self._var_nodes.setdefault(variable, []).append(node)
+        population = len(self._unique)
+        if population > self.peak_nodes:
+            self.peak_nodes = population
+            if population > GLOBAL_STATS["peak_nodes"]:
+                GLOBAL_STATS["peak_nodes"] = population
         return node
 
     def _top_variable(self, *nodes: BDDNode) -> str:
@@ -311,6 +441,289 @@ class BDDManager:
         per-iteration frontier rings back through.
         """
         return self.and_exists(relation, self.rename(states, prime_map), quantified)
+
+    # -- dynamic variable reordering -----------------------------------------------------
+
+    def maybe_reorder(self, roots: Iterable[BDDNode] = ()) -> bool:
+        """Reorder if the unique table outgrew ``reorder_threshold``.
+
+        This is the *checkpoint* the engines call at points where they know
+        their complete live set — between fixpoint iterations, between
+        relation conjuncts — passing the still-unprotected working nodes as
+        ``roots`` (combined with every :meth:`protect`-ed node).  Reordering
+        garbage-collects down to those roots first (see :meth:`reorder`), so
+        a checkpoint is only safe when everything the caller will touch again
+        is protected or listed.  Returns True when a reorder actually ran.
+        """
+        if not self.auto_reorder or self._reordering:
+            return False
+        population = len(self._unique)
+        # A checkpoint near the node budget always gets to collect and
+        # re-sift, whatever the threshold has doubled to — dying on budget
+        # without having tried a reorder would defeat the budget's purpose.
+        near_budget = (
+            self.node_budget is not None and population >= (3 * self.node_budget) // 4
+        )
+        if population < self.reorder_threshold and not near_budget:
+            return False
+        self.reorder(roots=[*self._protected, *roots])
+        # Classic threshold doubling: don't re-sift until the table has
+        # genuinely outgrown what this pass settled on.
+        self.reorder_threshold = max(self.reorder_threshold, 2 * len(self._unique))
+        return True
+
+    def _collect(self, roots: Sequence[BDDNode]) -> None:
+        """Mark-and-sweep the unique table down to ``roots``' diagrams.
+
+        Nodes unreachable from the roots are dropped from the table (their
+        Python objects become dead weight the moment the caller lets go);
+        the operation caches are cleared wholesale since they may reference
+        swept nodes.  Only called inside :meth:`reorder` — the sweep is what
+        keeps level exchanges proportional to the live diagrams instead of
+        every node ever created.
+        """
+        live: dict[int, BDDNode] = {}
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node.is_terminal or node.identifier in live:
+                continue
+            live[node.identifier] = node
+            stack.append(node.low)
+            stack.append(node.high)
+        self._unique = {
+            (node.variable, node.low.identifier, node.high.identifier): node
+            for node in live.values()
+        }
+        self._var_nodes = {}
+        for node in live.values():
+            self._var_nodes.setdefault(node.variable, []).append(node)
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        self._relprod_cache.clear()
+
+    def _swap_adjacent(self, position: int) -> None:
+        """Exchange the variables at ``position`` and ``position + 1`` in place.
+
+        The classical level exchange: every live node labelled by the upper
+        variable whose cofactors mention the lower one is rewritten *in
+        place* — same object, same identifier, same boolean function — so
+        references into the root diagrams, and name-based maps, stay valid.
+        Nodes without a lower-variable cofactor simply travel with their
+        label's new rank.  The exchange preserves canonicity because a
+        rewritten node can collide neither with a pre-existing lower-variable
+        node (those are ordered below both levels, hence free of the upper
+        variable, while a rewrite keeps at least one upper-variable cofactor)
+        nor with another rewrite (distinct functions stay distinct).
+
+        Reference counts (established by :meth:`reorder` after its garbage
+        collection) are maintained: rewired-away children are released and
+        dead diagrams deleted eagerly, so ``len(self._unique)`` *is* the live
+        node count throughout sifting — the metric positions are judged by.
+        """
+        upper = self._order[position]
+        lower = self._order[position + 1]
+        affected: list[BDDNode] = []
+        remaining: list[BDDNode] = []
+        for node in self._var_nodes.get(upper, ()):
+            if node.refcount <= 0 or node.variable != upper:
+                continue  # died, or migrated in an earlier exchange
+            if node.low.variable == lower or node.high.variable == lower:
+                affected.append(node)
+            else:
+                remaining.append(node)
+        # Reset the level index before rewriting: freshly created upper-level
+        # children re-register themselves through ``_claim``.
+        self._var_nodes[upper] = remaining
+        lower_level = self._var_nodes.setdefault(lower, [])
+        for node in affected:
+            del self._unique[(upper, node.low.identifier, node.high.identifier)]
+        self._order[position], self._order[position + 1] = lower, upper
+        self._rank[upper], self._rank[lower] = self._rank[lower], self._rank[upper]
+        for node in affected:
+            old_low, old_high = node.low, node.high
+            low_low, low_high = self._cofactors(old_low, lower)
+            high_low, high_high = self._cofactors(old_high, lower)
+            new_low = self._claim(upper, low_low, high_low)
+            new_high = self._claim(upper, low_high, high_high)
+            node.variable = lower
+            node.low = new_low
+            node.high = new_high
+            new_key = (lower, new_low.identifier, new_high.identifier)
+            assert new_key not in self._unique, "level exchange produced a duplicate"
+            self._unique[new_key] = node
+            lower_level.append(node)
+            self._release(old_low)
+            self._release(old_high)
+
+    def _claim(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        """Reduced node construction during a reorder, claiming one reference."""
+        if low is high:
+            if not low.is_terminal:
+                low.refcount += 1
+            return low
+        node = self._unique.get((variable, low.identifier, high.identifier))
+        if node is not None:
+            node.refcount += 1
+            return node
+        node = self._new_node(variable, low, high)
+        node.refcount = 1
+        if not low.is_terminal:
+            low.refcount += 1
+        if not high.is_terminal:
+            high.refcount += 1
+        return node
+
+    def _release(self, node: BDDNode) -> None:
+        """Drop one reference; delete the node (and cascade) when none remain."""
+        if node.is_terminal:
+            return
+        node.refcount -= 1
+        if node.refcount > 0:
+            return
+        del self._unique[(node.variable, node.low.identifier, node.high.identifier)]
+        self._release(node.low)
+        self._release(node.high)
+
+    def _live_counts(self, roots: Sequence[BDDNode]) -> dict[str, int]:
+        """Per-variable node counts of the diagrams reachable from ``roots``."""
+        counts = {name: 0 for name in self._order}
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current.is_terminal or current.identifier in seen:
+                continue
+            seen.add(current.identifier)
+            counts[current.variable] += 1
+            stack.append(current.low)
+            stack.append(current.high)
+        return counts
+
+    def _grouped_order(self) -> list[tuple[str, ...]]:
+        """The current order partitioned into reordering units (groups)."""
+        groups: list[tuple[str, ...]] = []
+        index = 0
+        while index < len(self._order):
+            group = self._groups.get(self._order[index])
+            if group is None:
+                groups.append((self._order[index],))
+                index += 1
+                continue
+            if tuple(self._order[index : index + len(group)]) != group:
+                raise RuntimeError(f"group {group} lost its adjacency")
+            groups.append(group)
+            index += len(group)
+        return groups
+
+    def _swap_groups(self, groups: list[tuple[str, ...]], index: int) -> None:
+        """Exchange the adjacent groups at ``index`` and ``index + 1``."""
+        above, below = groups[index], groups[index + 1]
+        base = self._rank[above[0]]
+        span = len(above)
+        for offset in range(len(below)):
+            for position in range(base + span + offset - 1, base + offset - 1, -1):
+                self._swap_adjacent(position)
+        groups[index], groups[index + 1] = below, above
+
+    def reorder(
+        self, roots: Optional[Iterable[BDDNode]] = None, max_growth: float = 1.4
+    ) -> int:
+        """One pass of group-aware Rudell sifting over the live diagrams.
+
+        The unique table is first garbage-collected down to the nodes
+        reachable from ``roots`` (default: the :meth:`protect`-ed set) —
+        **nodes outside those diagrams are dropped and must not be passed
+        back into the manager afterwards**.  Then every group (prime/unprime
+        pairs declared via :meth:`group_variables`; other variables are
+        singletons) is moved through the order by adjacent level exchanges —
+        largest population first — and parked where the total live node
+        count is smallest; a sweep direction is abandoned once the count
+        exceeds ``max_growth`` times the best seen.  Live nodes are mutated
+        in place — same object, same identifier, same function — so
+        references *into the root diagrams* and name-based renaming maps all
+        survive.  Returns the live node count after the pass.
+        """
+        root_nodes = [
+            node
+            for node in (list(roots) if roots is not None else self._protected)
+            if not node.is_terminal
+        ]
+        if not root_nodes or len(self._order) < 2:
+            return 0
+        self._reordering = True
+        try:
+            self._collect(root_nodes)
+            # Root and parent reference counts let exchanges delete dead
+            # diagrams eagerly: from here on the table holds exactly the
+            # live nodes, so ``len(self._unique)`` is the sifting metric.
+            for node in self._unique.values():
+                node.refcount = 0
+            for node in self._unique.values():
+                if not node.low.is_terminal:
+                    node.low.refcount += 1
+                if not node.high.is_terminal:
+                    node.high.refcount += 1
+            for root in root_nodes:
+                root.refcount += 1
+            groups = self._grouped_order()
+            counts = self._live_counts(root_nodes)
+            population = {group: sum(counts[name] for name in group) for group in groups}
+            for group in sorted(groups, key=lambda g: population[g], reverse=True):
+                self._sift_group(groups, group, max_growth)
+            total = len(self._unique)
+            self._collect(root_nodes)  # rebuild the level index, drop dead entries
+        finally:
+            self._reordering = False
+        self.reorder_count += 1
+        GLOBAL_STATS["reorders"] += 1
+        return total
+
+    def _sift_group(
+        self,
+        groups: list[tuple[str, ...]],
+        group: tuple[str, ...],
+        max_growth: float,
+    ) -> None:
+        """Sift one group to the position minimising the live table size."""
+        position = groups.index(group)
+        best_total, best_index = len(self._unique), position
+        while position < len(groups) - 1:  # sweep down
+            self._swap_groups(groups, position)
+            position += 1
+            total = len(self._unique)
+            if total < best_total:
+                best_total, best_index = total, position
+            if total > max_growth * best_total:
+                break
+        while position > 0:  # sweep up, through the start position
+            self._swap_groups(groups, position - 1)
+            position -= 1
+            total = len(self._unique)
+            if total < best_total:
+                best_total, best_index = total, position
+            if total > max_growth * best_total and position <= best_index:
+                break
+        while position < best_index:  # park at the best position seen
+            self._swap_groups(groups, position)
+            position += 1
+        while position > best_index:
+            self._swap_groups(groups, position - 1)
+            position -= 1
+
+    def statistics(self) -> dict:
+        """Counters of the manager's life so far (sizes, peaks, reorders)."""
+        return {
+            "variables": len(self._order),
+            "table_nodes": len(self._unique),
+            "live_nodes": sum(self._live_counts(self._protected).values()),
+            "peak_nodes": self.peak_nodes,
+            "reorders": self.reorder_count,
+            "nodes_created": self._next_id - 2,
+            "cache_entries": len(self._ite_cache)
+            + len(self._quant_cache)
+            + len(self._relprod_cache),
+        }
 
     # -- bit-vector circuits ------------------------------------------------------------
     #

@@ -253,6 +253,14 @@ class PolynomialReachability(Reachability):
         """False when the ``max_states`` bound truncated the search."""
         return self._complete
 
+    def statistics(self) -> dict:
+        """Explicit-enumeration statistics: states and distinct reactions."""
+        return {
+            "states": self.state_count,
+            "distinct_reactions": len(self._reactions),
+            "bound_reached": not self._complete,
+        }
+
     def reactions(self) -> list[dict[str, Any]]:
         """The distinct decoded reactions reachable states admit (copies)."""
         return [dict(decoded) for _frozen, decoded in self._reactions]

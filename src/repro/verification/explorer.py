@@ -111,6 +111,15 @@ class ExplorationResult(Reachability):
         shortest counterexample traces (BFS parent pointers)."""
         return BackendCapabilities(integer_data=True, bounded=True, synthesis=True, traces=True)
 
+    def statistics(self) -> dict:
+        """Explicit-engine statistics: explored states, transitions, rejections."""
+        return {
+            "states": self.state_count,
+            "transitions": self.transition_count,
+            "rejected_stimuli": self.rejected_stimuli,
+            "bound_reached": self.bound_reached,
+        }
+
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions, on the explored LTS."""
         self._validate_signals(predicate.signals(), self.observed, self.lts.name, "predicate")

@@ -356,6 +356,19 @@ class Reachability(ABC):
     def complete(self) -> bool:
         """False when a bound (states or iterations) truncated the analysis."""
 
+    def statistics(self) -> dict:
+        """Engine-level resource statistics, for reports and benchmarks.
+
+        Backends override this with whatever measures their machinery: the
+        symbolic engines report BDD pressure (peak unique-table nodes, live
+        nodes, dynamic-reorder count, transition-relation cluster count,
+        fixpoint iterations), the explicit engines their state and
+        transition counts.  The workbench surfaces the dict per batch report
+        (:attr:`repro.workbench.report.Report.engine_statistics`).  The
+        default claims nothing.
+        """
+        return {}
+
     @abstractmethod
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions: every reachable reaction satisfies ``predicate``.

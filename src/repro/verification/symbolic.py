@@ -21,17 +21,24 @@ code    x.p     x.v
 Every polynomial constraint becomes a BDD by enumerating the (few) ternary
 variables of its own support; their conjunction is the instantaneous relation
 ``T_inst(state, signals)``, and the next-state polynomials extend it to the
-full transition relation ``T(state, signals, state')``.  Reachability is then
-the least fixed point of relational image computation::
+full transition relation ``T(state, signals, state')``.  The transition
+relation is kept *conjunctively partitioned* — one conjunct per constraint
+and per next-state polynomial, clustered and scheduled for early
+quantification by :class:`~repro.verification.relational.PartitionedRelation`
+— and reachability is the least fixed point of relational image
+computation::
 
     reach₀ = init;   reachₖ₊₁ = reachₖ ∪ rename(∃ signals, state . reachₖ ∧ T)
 
 using the quantification / renaming / ``and_exists`` primitives of
-:mod:`repro.clocks.bdd`.  The frontier never enumerates individual states, so
-designs whose reachable set is far beyond the explicit engine's
-``max_states`` bound (e.g. the 2^n states of an n-stage boolean shift
-register) are handled in time proportional to the BDD sizes instead —
-``benchmarks/bench_symbolic_reachability.py`` measures the crossover.
+:mod:`repro.clocks.bdd` (whose dynamic variable reordering the engine opts
+into by default, ``reorder="auto"``).  The frontier never enumerates
+individual states, so designs whose reachable set is far beyond the explicit
+engine's ``max_states`` bound (e.g. the 2^n states of an n-stage boolean
+shift register) are handled in time proportional to the BDD sizes instead —
+``benchmarks/bench_symbolic_reachability.py`` measures the crossover, and
+``benchmarks/bench_variable_ordering.py`` the adversarial equation orders
+the monolithic static-order encoding cannot survive.
 
 Invariant checking, reaction reachability and controller synthesis are
 offered through the same :class:`~repro.verification.reachability.Reachability`
@@ -44,7 +51,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..clocks.bdd import BDDManager, BDDNode
 from ..core.values import ABSENT
@@ -52,15 +59,26 @@ from ..signal.ast import ProcessDefinition
 from ..simulation.compiler import CompiledProcess
 from .encoding import PolynomialDynamicalSystem, encode_process
 from .invariants import CheckResult
-from .reachability import (
-    BackendCapabilities,
-    ControlVerdict,
-    Reachability,
-    ReactionPredicate,
-    Trace,
-    TraceStep,
+from .reachability import BackendCapabilities, ReactionPredicate
+from .relational import (
+    RelationalEngineOptions,
+    RelationalFixpointEngine,
+    RelationalReachability,
+    _presence,
+    _primed,
+    _value,
+    manager_for_options,
 )
 from .z3z import FIELD, Polynomial
+
+__all__ = [
+    "RelationalFixpointEngine",
+    "SymbolicEncodingError",
+    "SymbolicEngine",
+    "SymbolicOptions",
+    "SymbolicReachability",
+    "symbolic_explore",
+]
 
 
 class SymbolicEncodingError(Exception):
@@ -68,8 +86,13 @@ class SymbolicEncodingError(Exception):
 
 
 @dataclass
-class SymbolicOptions:
+class SymbolicOptions(RelationalEngineOptions):
     """Parameters of a symbolic exploration.
+
+    Inherits the partitioning/reordering knobs of
+    :class:`~repro.verification.relational.RelationalEngineOptions`
+    (``partition``, ``reorder``, ``cluster_size``, ``reorder_threshold``,
+    ``node_budget``) and adds:
 
     Attributes:
         max_iterations: bound on image-computation rounds (None = run to the
@@ -80,94 +103,6 @@ class SymbolicOptions:
 
     max_iterations: Optional[int] = None
     max_support: int = 12
-
-
-def _presence(name: str) -> str:
-    return f"{name}.p"
-
-
-def _value(name: str) -> str:
-    return f"{name}.v"
-
-
-def _primed(bit: str) -> str:
-    return f"{bit}'"
-
-
-class RelationalFixpointEngine:
-    """The image-fixpoint core shared by the symbolic engines.
-
-    Subclasses provide the relation itself — ``manager``, ``instantaneous``,
-    ``transition``, ``initial``, the ``signal_bits`` / ``state_bits`` /
-    ``_unprime_map`` layout and a ``decode_reaction`` — and inherit image
-    computation, the reachability fixpoint loop, state counting and reaction
-    enumeration.  Both the Z/3Z boolean engine and the finite-integer engine
-    (:mod:`repro.verification.symbolic_int`) run on this exact loop, so a
-    change to the fixpoint (e.g. keeping per-iteration frontiers for
-    counterexample paths) lands in both at once.
-    """
-
-    def image(self, states: BDDNode) -> BDDNode:
-        """Successors of ``states`` under the transition relation, unprimed."""
-        quantified = self.signal_bits + self.state_bits
-        successors = self.manager.and_exists(states, self.transition, quantified)
-        return self.manager.rename(successors, self._unprime_map)
-
-    def preimage(self, states: BDDNode) -> BDDNode:
-        """Predecessors of ``states`` under the transition relation.
-
-        The backward counterpart of :meth:`image` — one
-        :meth:`~repro.clocks.bdd.BDDManager.preimage` relational product that
-        renames the target set onto the primed variables and quantifies the
-        signal and primed state bits away.  Trace extraction walks the stored
-        frontier rings back through it.
-        """
-        return self.manager.preimage(
-            self.transition, states, self._prime_map, self.signal_bits + self.primed_bits
-        )
-
-    def _reach_fixpoint(
-        self, max_iterations: Optional[int]
-    ) -> tuple[BDDNode, int, bool, list[BDDNode]]:
-        """Least fixpoint of image computation from the initial state.
-
-        Returns ``(reach, iterations, converged, rings)`` — ``converged`` is
-        False when ``max_iterations`` stopped the loop before the frontier
-        emptied, and ``rings`` are the per-iteration discovery frontiers
-        (``rings[0]`` is the initial state set, ``rings[k]`` the states first
-        reached after exactly k images): the onion rings counterexample
-        extraction walks backward through.  Keeping them is free — they are
-        exactly the frontier BDDs the loop already computes.
-        """
-        manager = self.manager
-        reach = self.initial
-        frontier = self.initial
-        rings = [self.initial]
-        iterations = 0
-        while frontier is not manager.false:
-            if max_iterations is not None and iterations >= max_iterations:
-                return reach, iterations, False, rings
-            successors = self.image(frontier)
-            frontier = manager.diff(successors, reach)
-            reach = manager.disj(reach, frontier)
-            if frontier is not manager.false:
-                rings.append(frontier)
-            iterations += 1
-        return reach, iterations, True, rings
-
-    def count_states(self, states: BDDNode) -> int:
-        """Number of state valuations in a state set (model counting)."""
-        return self.manager.count_satisfying(states, self.state_bits)
-
-    def reactions_of(self, states: BDDNode) -> Iterator[dict[str, Any]]:
-        """Enumerate decoded admissible reactions of a symbolic state set.
-
-        The state bits are quantified out first, so enumeration yields exactly
-        one model per distinct reaction however many states admit it.
-        """
-        admissible = self.manager.and_exists(states, self.instantaneous, self.state_bits)
-        for model in self.manager.satisfying_assignments(admissible, self.signal_bits):
-            yield self.decode_reaction(model)
 
 
 class SymbolicEngine(RelationalFixpointEngine):
@@ -185,7 +120,7 @@ class SymbolicEngine(RelationalFixpointEngine):
             source = encode_process(source)
         self.system: PolynomialDynamicalSystem = source
         self.options = options or SymbolicOptions()
-        self.manager = manager or BDDManager()
+        self.manager = manager if manager is not None else manager_for_options(self.options)
         self._declare_variables()
         self._build_relation()
 
@@ -202,7 +137,9 @@ class SymbolicEngine(RelationalFixpointEngine):
         Variables that occur in the same constraint are declared next to each
         other (first-use order over the constraint list), which keeps the
         relation BDD small for pipelined designs such as shift registers; a
-        state variable's primed bits sit directly below its unprimed ones.
+        state bit's primed copy sits directly below it, and the pair is
+        declared as a reorder *group* so dynamic sifting keeps them adjacent
+        (renaming maps are name-based and survive reorders regardless).
         """
         system = self.system
         order: list[str] = []
@@ -233,15 +170,17 @@ class SymbolicEngine(RelationalFixpointEngine):
         self.primed_bits: list[str] = []
         for name in order:
             bits = (_presence(name), _value(name))
-            for bit in bits:
-                self.manager.declare(bit)
             if name in states:
-                self.state_bits.extend(bits)
                 for bit in bits:
+                    self.manager.declare(bit)
                     self.manager.declare(_primed(bit))
+                    self.manager.group_variables((bit, _primed(bit)))
+                    self.state_bits.append(bit)
                     self.primed_bits.append(_primed(bit))
             else:
-                self.signal_bits.extend(bits)
+                for bit in bits:
+                    self.manager.declare(bit)
+                    self.signal_bits.append(bit)
         self._prime_map = {bit: _primed(bit) for bit in self.state_bits}
         self._unprime_map = {primed: bit for bit, primed in self._prime_map.items()}
 
@@ -300,22 +239,40 @@ class SymbolicEngine(RelationalFixpointEngine):
         return constraint
 
     def _build_relation(self) -> None:
+        """Build the relation as per-constraint conjuncts (the partition).
+
+        Each polynomial constraint and each next-state polynomial contributes
+        one part; the instantaneous relation (needed monolithically by
+        witness extraction and reaction enumeration, and small — its
+        conjuncts have near-disjoint local supports) is still materialised,
+        but the full transition relation is not: the parts go to
+        :meth:`~repro.verification.relational.RelationalFixpointEngine._finalise_relation`,
+        which clusters them for early-quantification products.
+        """
         manager = self.manager
         system = self.system
-        instantaneous = self._well_formed(self.signal_names + self.state_names)
+        parts: list[BDDNode] = [self._well_formed(self.signal_names + self.state_names)]
         for constraint in system.constraints.constraints:
-            instantaneous = manager.conj(instantaneous, self._polynomial_bdd(constraint))
+            parts.append(self._polynomial_bdd(constraint))
+            manager.maybe_reorder(parts)
+        instantaneous = manager.true
+        for part in parts:
+            # The instantaneous relation is materialised monolithically (the
+            # witness machinery needs it), so its fold gets the same growth
+            # checkpoints as the monolithic transition fold.
+            instantaneous = manager.conj(instantaneous, part)
+            manager.maybe_reorder((instantaneous, *parts))
         self.instantaneous = instantaneous
 
-        transition = instantaneous
         for state, polynomial in system.transitions.items():
-            transition = manager.conj(transition, self._polynomial_bdd(polynomial, next_state=state))
-        self.transition = transition
+            parts.append(self._polynomial_bdd(polynomial, next_state=state))
+            manager.maybe_reorder((instantaneous, *parts))
 
         self.initial = manager.conj(
             self._well_formed(self.state_names),
             self._assignment_cube(system.initial_state()),
         )
+        self._finalise_relation(parts, self.options.partition, self.options.cluster_size)
 
     # -- predicates ------------------------------------------------------------------
 
@@ -381,21 +338,18 @@ class SymbolicEngine(RelationalFixpointEngine):
 
 
 @dataclass
-class SymbolicReachability(Reachability):
-    """A symbolically computed reachable state set, behind the shared interface.
+class SymbolicReachability(RelationalReachability):
+    """The Z/3Z engine's reachable set, behind the shared interface.
 
-    ``frontiers`` keeps the per-iteration discovery rings of the fixpoint
-    (``frontiers[0]`` = initial states): they cost nothing beyond a tuple of
-    references the loop computed anyway, and they are what lets
-    :meth:`trace_to` extract a concrete counterexample *path* by walking
-    backward ring by ring instead of re-running the forward search.
+    Everything generic — witness extraction, invariant / reachability
+    checking, frontier-ring counterexample traces, controller synthesis —
+    is inherited from
+    :class:`~repro.verification.relational.RelationalReachability`; this
+    subclass only declares the capabilities and adds the Sigali-style
+    polynomial-invariant objective that needs the Z/3Z ``system``.
     """
 
     engine: SymbolicEngine
-    states: BDDNode
-    iterations: int
-    fixpoint: bool = True
-    frontiers: tuple[BDDNode, ...] = ()
 
     @classmethod
     def capabilities(cls) -> BackendCapabilities:
@@ -403,136 +357,6 @@ class SymbolicReachability(Reachability):
         state bound — ``max_iterations`` is off by default), with symbolic
         supervisory synthesis and ring-walk counterexample traces."""
         return BackendCapabilities(integer_data=False, bounded=False, synthesis=True, traces=True)
-
-    @property
-    def state_count(self) -> int:
-        """Number of reachable state valuations (model counting, no enumeration)."""
-        return self.engine.count_states(self.states)
-
-    @property
-    def complete(self) -> bool:
-        """False when ``max_iterations`` stopped the fixpoint early."""
-        return self.fixpoint
-
-    def _witness(self, condition: BDDNode, name: str, found_holds: bool, missing) -> CheckResult:
-        manager = self.engine.manager
-        hit = manager.conj_all([self.states, self.engine.instantaneous, condition])
-        if manager.is_false(hit):
-            # "No reaction satisfies the condition" is only certain when the
-            # fixpoint actually converged.  ``missing`` is a thunk so the
-            # model count it typically reports is only paid on this branch.
-            self._require_complete(name)
-            return CheckResult(not found_holds, name, details=missing())
-        bits = self.engine.signal_bits + self.engine.state_bits
-        model = next(manager.satisfying_assignments(hit, bits))
-        reaction = {k: v for k, v in self.engine.decode_reaction(model).items() if v is not ABSENT}
-        return CheckResult(found_holds, name, details=f"witness reaction {reaction}")
-
-    def _validate_predicate(self, predicate: ReactionPredicate) -> None:
-        engine = self.engine
-        self._validate_signals(predicate.signals(), engine.signal_names, engine.name, "predicate")
-
-    def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
-        """AG over reactions: no reachable reaction violates ``predicate``."""
-        self._validate_predicate(predicate)
-        violating = self.engine.manager.neg(self.engine.predicate_bdd(predicate))
-        return self._witness(
-            violating, name, found_holds=False, missing=lambda: f"{self.state_count} reachable states"
-        )
-
-    def check_reachable(self, predicate: ReactionPredicate, name: str = "reachability") -> CheckResult:
-        """EF over reactions: some reachable reaction satisfies ``predicate``."""
-        self._validate_predicate(predicate)
-        return self._witness(
-            self.engine.predicate_bdd(predicate),
-            name,
-            found_holds=True,
-            missing=lambda: "no reachable reaction satisfies the predicate",
-        )
-
-    def trace_to(self, predicate: ReactionPredicate, name: str = "trace") -> Optional[Trace]:
-        """A trace to a reaction satisfying ``predicate``, by backward ring walk.
-
-        Forward information is already there: the fixpoint stored one frontier
-        BDD per iteration (:attr:`frontiers`).  Extraction finds the earliest
-        ring admitting a satisfying reaction, picks one concrete (state,
-        reaction) model there with the witness-synthesis machinery, then walks
-        back ring by ring — each step one :meth:`~.SymbolicEngine.preimage`
-        ``and_exists`` product intersected with the previous ring, from which
-        one concrete predecessor state and one connecting reaction are
-        extracted.  The trace length equals the ring index plus one, so no
-        state is ever enumerated outside the path itself.
-        """
-        self._validate_predicate(predicate)
-        return self._extract_trace(self.engine.predicate_bdd(predicate), name)
-
-    def _extract_trace(self, condition: BDDNode, name: str) -> Optional[Trace]:
-        engine = self.engine
-        manager = engine.manager
-        hit = manager.conj_all([self.states, engine.instantaneous, condition])
-        if manager.is_false(hit):
-            self._require_complete(name)
-            return None
-        if not self.frontiers:
-            raise NotImplementedError(
-                f"{name}: this result carries no frontier rings (hand-built?); "
-                "recompute it via the engine's reach() to enable trace extraction"
-            )
-        ring_index = 0
-        ring_hit = manager.false
-        for index, ring in enumerate(self.frontiers):
-            ring_hit = manager.conj(ring, hit)
-            if not manager.is_false(ring_hit):
-                ring_index = index
-                break
-        bits = engine.signal_bits + engine.state_bits
-        model = next(manager.satisfying_assignments(ring_hit, bits))
-
-        # Walk the rings backward from the state the satisfying reaction fires
-        # in, extracting one concrete predecessor and connecting reaction per
-        # ring.  The steps come out in reverse order.
-        steps: list[TraceStep] = []
-        cursor = {bit: model[bit] for bit in engine.state_bits}
-        for index in range(ring_index, 0, -1):
-            cursor_cube = manager.cube(cursor)
-            predecessors = manager.conj(engine.preimage(cursor_cube), self.frontiers[index - 1])
-            previous = next(manager.satisfying_assignments(predecessors, engine.state_bits))
-            step_relation = manager.exists(
-                manager.conj_all(
-                    [
-                        engine.transition,
-                        manager.cube(previous),
-                        manager.rename(cursor_cube, engine._prime_map),
-                    ]
-                ),
-                engine.primed_bits,
-            )
-            reaction_model = next(manager.satisfying_assignments(step_relation, bits))
-            steps.append(
-                TraceStep(engine.decode_reaction(reaction_model), engine.decode_state(cursor))
-            )
-            cursor = previous
-        steps.reverse()
-        steps.append(TraceStep(engine.decode_reaction(model), self._successor_of(model)))
-        return Trace(tuple(steps), name)
-
-    def _successor_of(self, model: Mapping[str, bool]) -> Optional[dict[str, Any]]:
-        """The decoded successor state of one concrete (state, reaction) model.
-
-        ``None`` when the transition relation admits no successor for the
-        model — possible only for engines whose relation guards memory
-        updates (a finite-integer reaction clipping a declared range).
-        """
-        engine = self.engine
-        manager = engine.manager
-        primed = manager.and_exists(
-            manager.cube(model), engine.transition, engine.signal_bits + engine.state_bits
-        )
-        if manager.is_false(primed):
-            return None
-        successor = manager.rename(primed, engine._unprime_map)
-        assignment = next(manager.satisfying_assignments(successor, engine.state_bits))
-        return engine.decode_state(assignment)
 
     def check_polynomial_invariant(self, invariant: Polynomial, name: str = "invariant") -> CheckResult:
         """Sigali-style objective: ``invariant = 0`` on every reachable reaction."""
@@ -542,84 +366,6 @@ class SymbolicReachability(Reachability):
         violating = self.engine.manager.neg(self.engine.invariant_bdd(invariant))
         return self._witness(
             violating, name, found_holds=False, missing=lambda: f"{self.state_count} reachable states"
-        )
-
-    def synthesise(
-        self,
-        safe: ReactionPredicate,
-        controllable: Sequence[str],
-        ensure_nonblocking: bool = True,
-    ) -> ControlVerdict:
-        """Symbolic supervisory-control synthesis (greatest controllable invariant).
-
-        Mirrors the explicit construction of :mod:`.synthesis`: a state is
-        unsafe when it is the target of a reachable reaction violating
-        ``safe``; a reaction is uncontrollable when every ``controllable``
-        signal is absent; kept states must not let an uncontrollable reaction
-        escape and (optionally) must keep at least one allowed reaction.
-
-        Raises:
-            BoundReached: when the reach fixpoint did not converge — the
-                greatest-controllable-invariant fixpoint would treat every
-                reachable-but-unexplored state as an escape target and could
-                report "no controller" for a controllable plant.
-        """
-        engine = self.engine
-        manager = engine.manager
-        self._validate_predicate(safe)
-        self._validate_signals(
-            controllable,
-            engine.signal_names,
-            engine.name,
-            "controllable set",
-            error=ValueError,
-        )
-        self._require_complete("synthesis")
-
-        quantified = engine.signal_bits + engine.state_bits
-        transition = manager.conj(engine.transition, self.states)
-        bad_reaction = manager.neg(engine.predicate_bdd(safe))
-        bad_targets = manager.rename(
-            manager.and_exists(bad_reaction, transition, quantified), engine._unprime_map
-        )
-        kept = manager.diff(self.states, bad_targets)
-
-        uncontrollable = manager.conj_all(
-            manager.nvar(_presence(name)) for name in controllable
-        )
-        uncontrolled_transition = manager.conj(transition, uncontrollable)
-        if ensure_nonblocking:
-            has_outgoing = manager.exists(transition, engine.signal_bits + engine.primed_bits)
-
-        iterations = 0
-        while True:
-            iterations += 1
-            kept_primed = manager.rename(kept, engine._prime_map)
-            escape = manager.and_exists(
-                uncontrolled_transition,
-                manager.neg(kept_primed),
-                engine.signal_bits + engine.primed_bits,
-            )
-            refined = manager.diff(kept, escape)
-            if ensure_nonblocking:
-                alive = manager.and_exists(
-                    transition,
-                    manager.rename(refined, engine._prime_map),
-                    engine.signal_bits + engine.primed_bits,
-                )
-                refined = manager.conj(refined, manager.disj(alive, manager.neg(has_outgoing)))
-            if refined is kept:
-                break
-            kept = refined
-
-        success = not manager.is_false(self.states) and manager.entails(engine.initial, kept)
-        details = "" if success else "the initial state is outside the greatest controllable invariant set"
-        return ControlVerdict(
-            success=success,
-            kept_states=engine.count_states(kept),
-            total_states=self.state_count,
-            details=details,
-            backend=kept,
         )
 
 

@@ -59,13 +59,15 @@ from .encoding import EncodingError
 from .invariants import CheckResult
 from .reachability import BackendCapabilities, BoundReached, ReactionPredicate
 from .ranges import RangeReport, infer_ranges, state_interval
-from .symbolic import (
+from .relational import (
+    RelationalEngineOptions,
     RelationalFixpointEngine,
-    SymbolicReachability,
     _presence,
     _primed,
     _value,
+    manager_for_options,
 )
+from .symbolic import SymbolicReachability
 
 #: Hard cap on the width of any one bit-blasted integer signal.
 MAX_SIGNAL_BITS = 24
@@ -77,8 +79,13 @@ VALUE_ATOM_LIMIT = 1 << 16
 
 
 @dataclass
-class SymbolicIntOptions:
+class SymbolicIntOptions(RelationalEngineOptions):
     """Parameters of a finite-integer symbolic exploration.
+
+    Inherits the partitioning/reordering knobs of
+    :class:`~repro.verification.relational.RelationalEngineOptions`
+    (``partition``, ``reorder``, ``cluster_size``, ``reorder_threshold``,
+    ``node_budget``) and adds:
 
     Attributes:
         max_iterations: bound on image-computation rounds (None = fixpoint).
@@ -153,7 +160,7 @@ class IntSymbolicEngine(RelationalFixpointEngine):
     ) -> None:
         self.compiled = source if isinstance(source, CompiledProcess) else CompiledProcess(source)
         self.options = options or SymbolicIntOptions()
-        self.manager = manager or BDDManager()
+        self.manager = manager if manager is not None else manager_for_options(self.options)
         self.ranges: RangeReport = ranges if ranges is not None else infer_ranges(
             self.compiled, self.options.integer_domain, self.options.ranges
         )
@@ -281,6 +288,7 @@ class IntSymbolicEngine(RelationalFixpointEngine):
                         for bit in self._slots[slot]["bits"]:
                             manager.declare(bit)
                             manager.declare(_primed(bit))
+                            manager.group_variables((bit, _primed(bit)))
                 stack.extend(node.children())
 
         for definition in self.compiled.definitions:
@@ -643,6 +651,25 @@ class IntSymbolicEngine(RelationalFixpointEngine):
 
     # -- the instantaneous and transition relations ------------------------------------
 
+    def _build_checkpoint(self, *extra: BDDNode) -> None:
+        """Reordering checkpoint during relation construction.
+
+        The roots are the durable conjuncts built so far (passed by the
+        caller) plus every BDD captured in the expression-compilation memo —
+        later equations reuse memoised sub-circuits, so they must survive a
+        garbage-collecting reorder.  (Clip conditions are protected at
+        creation and need no listing.)
+        """
+        roots = list(extra)
+        for sym in self._memo.values():
+            roots.append(sym.pres)
+            value = sym.value
+            if isinstance(value, _IntVec):
+                roots.extend(value.bits)
+            elif value is not None:
+                roots.append(value)
+        self.manager.maybe_reorder(roots)
+
     def _build_relation(self) -> None:
         manager = self.manager
         compiled = self.compiled
@@ -671,23 +698,34 @@ class IntSymbolicEngine(RelationalFixpointEngine):
             )
             domain = manager.conj(domain, manager.implies(signal.pres, member))
 
-        clocks = manager.true
-        for constraint in compiled.constraints:
-            clocks = manager.conj(clocks, self._clock_constraint(constraint))
+        clock_parts = [self._clock_constraint(constraint) for constraint in compiled.constraints]
+        clocks = manager.conj_all(clock_parts)
 
         self._equation_constraints: list[BDDNode] = []
         self._relaxed_constraints: list[BDDNode] = []
         self._equation_clips: list[tuple[str, BDDNode]] = []
+        # Every BDD consumed after the loops below must ride through the
+        # garbage-collecting checkpoints: the clocks *conjunction* (not just
+        # its parts) feeds the base relation at the end of the build.
+        durable = [well_formed, domain, clocks, *clock_parts]
         for definition in compiled.definitions:
             constraint, relaxed, clip = self._equation(definition)
             self._equation_constraints.append(constraint)
             self._relaxed_constraints.append(relaxed)
             if clip is not manager.false:
-                self._equation_clips.append((definition.target, clip))
+                # Clips are consulted by the overflow audit after the (maybe
+                # reordered) fixpoint, so they must survive collection.
+                self._equation_clips.append((definition.target, manager.protect(clip)))
+            self._build_checkpoint(
+                *durable, *self._equation_constraints, *self._relaxed_constraints
+            )
 
-        self._base_relation = manager.conj_all([well_formed, domain, clocks])
+        # Local on purpose: the base relation is only an ingredient of the
+        # instantaneous/relaxed conjunctions below, and a kept-but-unprotected
+        # attribute would go stale at the first garbage-collecting reorder.
+        base_relation = manager.conj_all([well_formed, domain, clocks])
         self.instantaneous = manager.conj(
-            self._base_relation, manager.conj_all(self._equation_constraints)
+            base_relation, manager.conj_all(self._equation_constraints)
         )
         # The audit relation: every equation keeps its presence linking and its
         # in-window value equality, but *admits* the reactions whose value
@@ -695,23 +733,31 @@ class IntSymbolicEngine(RelationalFixpointEngine):
         # the projection of the explicit relation onto the representable
         # space, so clips are audited against it — a strict window of one
         # equation can never mask a simultaneous clip of another.
-        self._relaxed_relation = manager.conj(
-            self._base_relation, manager.conj_all(self._relaxed_constraints)
+        self._relaxed_relation = manager.protect(
+            manager.conj(base_relation, manager.conj_all(self._relaxed_constraints))
         )
 
-        transition = self.instantaneous
+        # The transition relation stays partitioned: one conjunct per clock
+        # constraint, per equation and per memory-slot update (the int
+        # engine's bit-vector fragments).
+        parts: list[BDDNode] = [well_formed, domain]
+        parts.extend(clock_parts)
+        parts.extend(self._equation_constraints)
         self._slot_clips: list[tuple[str, BDDNode]] = []
         for key, node in compiled.stateful_nodes():
             step, clip = self._slot_transition(node)
-            transition = manager.conj(transition, step)
+            parts.append(step)
             if clip is not manager.false:
-                self._slot_clips.append((key, clip))
-        self.transition = transition
+                self._slot_clips.append((key, manager.protect(clip)))
+            self._build_checkpoint(
+                self.instantaneous, *parts, *self._relaxed_constraints
+            )
 
         initial: dict[str, bool] = {}
         for name, slot in self._slots.items():
             initial.update(self._slot_cube(slot, slot["init"]))
         self.initial = manager.cube(initial)
+        self._finalise_relation(parts, self.options.partition, self.options.cluster_size)
 
     def _clock_constraint(self, constraint) -> BDDNode:
         manager = self.manager

@@ -552,6 +552,7 @@ class Design:
             checks=checks,
             elapsed=perf_counter() - started,
             artifact_seconds=dict(self.artifact_seconds),
+            engine_statistics=engine.statistics(),
         )
 
     @staticmethod

@@ -30,6 +30,13 @@ symbolic-int  :func:`repro.verification.symbolic_int.symbolic_int_explore`
                                                              traces
 ============ ============================================== =========================
 
+Every backend also reports engine statistics through
+:meth:`~repro.verification.reachability.Reachability.statistics` — BDD
+pressure (peak/live nodes, dynamic reorders, transition-relation clusters)
+for the symbolic engines, state/transition counts for the explicit ones —
+which batch reports surface as
+:attr:`~repro.workbench.report.Report.engine_statistics`.
+
 Use :func:`register_backend` to add an engine globally, or
 ``Design(..., registry=...)`` / :meth:`BackendRegistry.copy` for a private
 registry.

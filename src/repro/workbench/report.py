@@ -103,6 +103,12 @@ class Report:
     checks: list[PropertyCheck] = field(default_factory=list)
     elapsed: float = 0.0
     artifact_seconds: dict[str, float] = field(default_factory=dict)
+    #: Engine resource statistics (:meth:`Reachability.statistics`): for the
+    #: symbolic engines peak/live BDD node counts, dynamic-reorder count,
+    #: transition-relation cluster count and fixpoint iterations; for the
+    #: explicit engines state/transition counts.  Empty when the backend
+    #: reports nothing.
+    engine_statistics: dict = field(default_factory=dict)
 
     # -- access --------------------------------------------------------------------
 
@@ -157,6 +163,11 @@ class Report:
             f"  backend: {self.backend_name} ({self.capabilities.describe()}) — "
             f"{self.state_count} states, {status}, {self.elapsed:.3f}s",
         ]
+        if self.engine_statistics:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.engine_statistics.items())
+            )
+            lines.append(f"  engine: {rendered}")
         for check in self.checks:
             lines.append(f"  {check.explain()}")
             if check.trace is not None:

@@ -126,9 +126,57 @@ def test_explicit_traces_are_shortest():
     predicate = P.true_of(f"s{depth - 1}")
     assert len(explore(process).trace_to(predicate)) == depth + 1
     # The symbolic ring walk starts from the earliest ring admitting the
-    # reaction, so it happens to match here too (pinning it contractually is
-    # the ROADMAP's trace-minimisation follow-on).
+    # reaction; ``rings[k]`` holds exactly the states first reached after k
+    # images, so this equality is contractual, not a coincidence — the
+    # corpus-wide pins below assert it over every engine and property.
     assert len(SymbolicEngine(process).reach().trace_to(predicate)) == depth + 1
+
+
+# --------------------------------------------------------------------------- shortest-ness
+#
+# The contract (ROADMAP trace-minimisation follow-on): symbolic traces are as
+# short as the explicit engine's BFS paths.  The explicit trace length is the
+# BFS distance + 1 by construction (parent pointers of a breadth-first
+# exploration), and the symbolic ring index is the same distance because the
+# fixpoint's ring k is exactly the set of states first discovered after k
+# images.  These pins run the ring-indexed check over the full boolean and
+# integer corpora, for every reachable predicate of the differential battery.
+
+@pytest.mark.parametrize("label,factory", CORPUS, ids=[label for label, _ in CORPUS])
+def test_boolean_corpus_trace_lengths_match_explicit_bfs(label, factory):
+    """Symbolic ring-walk traces are exactly as short as explicit BFS traces."""
+    process = factory()
+    engines = dict(zip(ENGINE_NAMES, engines_for(process)))
+    for predicate in predicates_for(process):
+        explicit_trace = engines["explicit"].trace_to(predicate)
+        if explicit_trace is None:
+            continue
+        for name in ("symbolic", "symbolic-int"):
+            trace = engines[name].trace_to(predicate)
+            assert trace is not None, (name, repr(predicate))
+            assert len(trace) == len(explicit_trace), (
+                f"{name} trace has {len(trace)} steps, explicit BFS distance "
+                f"is {len(explicit_trace) - 1} for {predicate!r}"
+            )
+
+
+@pytest.mark.parametrize(
+    "label,factory,payload,values", INTEGER_CORPUS, ids=[c[0] for c in INTEGER_CORPUS]
+)
+def test_integer_corpus_trace_lengths_match_explicit_bfs(label, factory, payload, values):
+    """The finite-integer ring walk matches explicit BFS distances on data too."""
+    process = factory()
+    explicit, symbolic_int = integer_engines_for(process)
+    for predicate in integer_predicates_for(process, payload, values):
+        explicit_trace = explicit.trace_to(predicate)
+        if explicit_trace is None:
+            continue
+        trace = symbolic_int.trace_to(predicate)
+        assert trace is not None, repr(predicate)
+        assert len(trace) == len(explicit_trace), (
+            f"symbolic-int trace has {len(trace)} steps, explicit BFS distance "
+            f"is {len(explicit_trace) - 1} for {predicate!r}"
+        )
 
 
 def test_trace_steps_carry_successor_states():

@@ -461,3 +461,173 @@ class TestMultiplication:
         for k in range(-1, 11):
             expected = explicit.check_reachable(P.value("p", lambda v, k=k: v == k)).holds
             assert result.check_reachable(P.value("p", lambda v, k=k: v == k)).holds == expected, k
+
+
+# --------------------------------------------------------------------------- refinement edges
+#
+# Comparison-refinement corners of ranges.py that the partitioned engine now
+# exercises per bit-vector fragment: windows entirely below zero, sampling
+# conditions that pin a signal to one value ([k, k] -> zero bits), and
+# refinement flowing through chains of ``default`` merges.  Each inference
+# pin is paired with a differential check against the explicit explorer, so
+# the window is not just *computed* but demonstrably sound per fragment.
+
+def negative_window_process():
+    """``y := x when x < 0`` over a declared signed input: a window < 0."""
+    builder = ProcessBuilder("NegWindow")
+    x = builder.input("x", "integer", bounds=(-4, 3))
+    builder.define(builder.output("y", "integer"), x.when(x.lt(0)))
+    return builder.build()
+
+
+def pinned_value_process():
+    """``y := x when x = 2``: refinement collapses y to the point [2, 2]."""
+    builder = ProcessBuilder("Pinned")
+    x = builder.input("x", "integer")
+    builder.define(builder.output("y", "integer"), x.when(x.eq(2)))
+    return builder.build()
+
+
+def default_chain_process():
+    """Refinement through a ``default`` chain of disjoint sampled windows."""
+    builder = ProcessBuilder("Chain")
+    x = builder.input("x", "integer", bounds=(0, 9))
+    builder.define(
+        builder.output("y", "integer"),
+        x.when(x.lt(3)).default(const(7).when(x.ge(3))),
+    )
+    return builder.build()
+
+
+class TestComparisonRefinementEdges:
+    def test_negative_window_inferred_and_sound(self):
+        process = negative_window_process()
+        domain = (-4, -1, 0, 3)
+        report = infer_ranges(process, integer_domain=domain)
+        assert report.range_of("x") == (-4, 3)
+        assert report.range_of("y") == (-4, -1)  # the window sits entirely below 0
+        from repro.verification import ExplorationOptions
+
+        explicit = explore(process, ExplorationOptions(integer_domain=domain))
+        result = symbolic_int_explore(process, SymbolicIntOptions(integer_domain=domain))
+        assert result.complete
+        for k in range(-5, 4):
+            predicate = P.value("y", lambda v, k=k: v == k)
+            assert (
+                result.check_reachable(predicate).holds
+                == explicit.check_reachable(predicate).holds
+            ), k
+
+    def test_mirrored_constant_comparison_refines_too(self):
+        """``k > x`` is normalised to ``x < k`` before refining."""
+        builder = ProcessBuilder("Mirrored")
+        x = builder.input("x", "integer", bounds=(0, 9))
+        builder.define(builder.output("y", "integer"), x.when(const(4).gt(x)))
+        report = infer_ranges(builder.build())
+        assert report.range_of("y") == (0, 3)
+
+    def test_equality_refinement_pins_to_zero_bits(self):
+        """``x when x = 2`` infers [2, 2]; the engine spends zero value bits
+        on it and still agrees with the explicit explorer."""
+        process = pinned_value_process()
+        domain = (0, 1, 2, 3)
+        report = infer_ranges(process, integer_domain=domain)
+        assert report.range_of("y") == (2, 2)
+        engine_result = symbolic_int_explore(process, SymbolicIntOptions(integer_domain=domain))
+        from repro.verification.symbolic_int import IntSymbolicEngine
+
+        engine = IntSymbolicEngine(process, SymbolicIntOptions(integer_domain=domain))
+        assert engine._signal_bit_names("y") == ["y.p"]  # presence only, zero value bits
+        from repro.verification import ExplorationOptions
+
+        explicit = explore(process, ExplorationOptions(integer_domain=domain))
+        only_two = P.absent("y") | P.value("y", lambda v: v == 2)
+        assert engine_result.check_invariant(only_two).holds
+        assert explicit.check_invariant(only_two).holds
+        present = P.present("y")
+        assert (
+            engine_result.check_reachable(present).holds
+            == explicit.check_reachable(present).holds
+            is True
+        )
+
+    def test_refinement_through_default_chain(self):
+        """The merge hulls a refined window with a constant branch: the chain
+        ``(x when x < 3) default (7 when x >= 3)`` lands on [0, 7]."""
+        process = default_chain_process()
+        domain = (0, 2, 3, 8)
+        report = infer_ranges(process, integer_domain=domain)
+        assert report.range_of("y") == (0, 7)
+        from repro.verification import ExplorationOptions
+
+        explicit = explore(process, ExplorationOptions(integer_domain=domain))
+        result = symbolic_int_explore(process, SymbolicIntOptions(integer_domain=domain))
+        assert result.complete
+        for k in (0, 1, 2, 3, 6, 7):
+            predicate = P.value("y", lambda v, k=k: v == k)
+            assert (
+                result.check_reachable(predicate).holds
+                == explicit.check_reachable(predicate).holds
+            ), k
+
+    def test_refinement_default_chain_with_nested_windows(self):
+        """Chained defaults refine each branch independently before hulling."""
+        builder = ProcessBuilder("Nested")
+        x = builder.input("x", "integer", bounds=(0, 9))
+        chain = x.when(x.le(1)).default(x.when(x.ge(8)))
+        builder.define(builder.output("y", "integer"), chain)
+        report = infer_ranges(builder.build())
+        # [0, 1] hulled with [8, 9]: the hull spans the gap, conservatively.
+        assert report.range_of("y") == (0, 9)
+
+
+# --------------------------------------------------------------------------- build-time reorders
+
+class TestBuildTimeReorders:
+    def test_mid_build_reorder_keeps_the_clock_conjunction_alive(self):
+        """Regression: with auto-reorder armed low enough to fire during the
+        equation loop, the clocks conjunction (consumed only at the end of
+        the build) must survive the garbage-collecting checkpoints — it used
+        to be swept, corrupting the relation (duplicate-node assertion, or
+        silently wrong verdicts)."""
+        builder = ProcessBuilder("ManyClocks")
+        inputs = [builder.input(f"i{k}", "boolean") for k in range(4)]
+        outputs = [builder.output(f"o{k}", "boolean") for k in range(6)]
+        for k, out in enumerate(outputs):
+            left = inputs[k % 4]
+            right = inputs[(k + 1) % 4]
+            builder.define(out, (left & right).default(left.delayed(False)))
+        builder.synchronize(inputs[0], inputs[1])
+        builder.synchronize(inputs[2], inputs[3])
+        process = builder.build()
+
+        for threshold in (64, 128, 300):
+            result = symbolic_int_explore(
+                process, SymbolicIntOptions(reorder="auto", reorder_threshold=threshold)
+            )
+            assert result.complete
+            explicit = explore(process)
+            assert result.state_count == explicit.state_count
+            for predicate in (
+                P.present("o0") & P.present("o5"),
+                P.true_of("o2"),
+                P.never(),
+            ):
+                assert (
+                    result.check_reachable(predicate).holds
+                    == explicit.check_reachable(predicate).holds
+                ), repr(predicate)
+
+    def test_mid_build_reorder_on_integer_fragments(self):
+        """The same low-threshold build on integer data: clip conditions,
+        memoised sub-circuits and the relaxed relation all survive."""
+        process = saturating_accumulator_process(20)
+        result = symbolic_int_explore(
+            process, SymbolicIntOptions(reorder="auto", reorder_threshold=200)
+        )
+        assert result.complete
+        explicit = explore(process)
+        assert result.state_count == explicit.state_count
+        bound = P.absent("total") | P.value("total", lambda v: 0 <= v <= 20)
+        assert result.check_invariant(bound).holds
+        assert explicit.check_invariant(bound).holds

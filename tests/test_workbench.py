@@ -369,6 +369,33 @@ class TestBatchAPI:
             report["missing"]
         assert "properties hold" in report.summary()
 
+    def test_report_surfaces_engine_statistics(self):
+        """The statistics hook: BDD pressure for symbolic backends, state and
+        transition counts for the explicit one, rendered in summary()."""
+        design = Design.from_process(boolean_shift_register_process(4))
+        symbolic = design.check(
+            ("ok", P.present("s3").implies(P.present("x"))), backend="symbolic"
+        )
+        stats = symbolic.engine_statistics
+        assert stats["peak_nodes"] >= stats["live_nodes"] > 0
+        assert stats["clusters"] >= 1
+        assert stats["iterations"] == len(design.symbolic.frontiers)
+        assert "reorders" in stats
+        assert "engine:" in symbolic.summary()
+        assert f"clusters={stats['clusters']}" in symbolic.summary()
+
+        explicit = design.check(
+            ("ok", P.present("s3").implies(P.present("x"))), backend="explicit"
+        )
+        assert explicit.engine_statistics["states"] == 16
+        assert explicit.engine_statistics["transitions"] > 0
+
+        int_report = design.check(
+            ("ok", P.present("s3").implies(P.present("x"))), backend="symbolic-int"
+        )
+        assert int_report.engine_statistics["clusters"] >= 1
+        assert int_report.engine_statistics["peak_nodes"] > 0
+
     def test_check_auto_names_and_pairs(self):
         design = Design.from_process(alternator_process())
         report = design.check(
