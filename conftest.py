@@ -20,6 +20,12 @@ import time
 
 _durations: dict[str, float] = {}
 _bdd_stats: dict[str, dict] = {}
+#: True when the session's *collected items* are exactly the bench-smoke
+#: suite.  Set at collection time — substring-matching the ``-m`` expression
+#: would misread ``-m "not bench_smoke"`` (or any compound expression
+#: mentioning the marker) as a smoke run and overwrite BENCH_SMOKE.json
+#: with an empty or partial payload.
+_bench_smoke_run = False
 
 
 def _bdd_module():
@@ -28,6 +34,15 @@ def _bdd_module():
     except ImportError:  # pragma: no cover - repro not importable (bad env)
         return None
     return bdd
+
+
+def pytest_collection_finish(session):
+    # Runs after every collection-modifying hook — in particular after the
+    # ``-m`` marker filter has deselected items — so ``session.items`` is
+    # exactly what will execute.
+    global _bench_smoke_run
+    items = session.items
+    _bench_smoke_run = bool(items) and all("bench_smoke" in item.keywords for item in items)
 
 
 def pytest_runtest_setup(item):
@@ -53,8 +68,7 @@ def _output_path(config) -> str | None:
     explicit = os.environ.get("BENCH_SMOKE_JSON")
     if explicit:
         return explicit
-    markexpr = getattr(config.option, "markexpr", "") or ""
-    if "bench_smoke" in markexpr:
+    if _bench_smoke_run:
         return os.path.join(str(config.rootpath), "BENCH_SMOKE.json")
     return None
 

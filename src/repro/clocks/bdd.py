@@ -58,6 +58,90 @@ def global_stats() -> dict:
     return dict(GLOBAL_STATS)
 
 
+#: Version tag of the :func:`dump_nodes` payload layout.  Bump on any change
+#: to the node-table encoding so stale persisted dumps are rejected as a
+#: cache miss instead of being mis-decoded.
+DUMP_FORMAT = 1
+
+
+def dump_nodes(manager: "BDDManager", roots: Sequence["BDDNode"]) -> dict:
+    """Serialise the diagrams of ``roots`` into a pure-data payload.
+
+    The payload is a children-first node table over the dump-time variable
+    order — plain strings, ints and lists, so it pickles/JSONs freely::
+
+        {"format": DUMP_FORMAT,
+         "order": [...variable names, dump-time level order, support only...],
+         "nodes": [[variable, low_index, high_index], ...],
+         "roots": [index, ...]}          # parallel to ``roots``
+
+    Indices 0 and 1 denote the false/true terminals; internal nodes are
+    numbered from 2 in table order.  Shared sub-diagrams are emitted once,
+    so the table size equals the shared node count of the root set.  The
+    payload records *which* order the nodes were reduced under, but
+    :func:`load_nodes` does not depend on it — diagrams are rebuilt
+    bottom-up with ``ite``, which re-canonicalises under whatever order the
+    target manager currently has.
+    """
+    index: dict[int, int] = {manager.false.identifier: 0, manager.true.identifier: 1}
+    nodes: list[list] = []
+    for root in roots:
+        if root.identifier in index:
+            continue
+        stack: list[tuple[BDDNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.identifier in index:
+                continue
+            if expanded:
+                nodes.append([node.variable, index[node.low.identifier], index[node.high.identifier]])
+                index[node.identifier] = len(nodes) + 1
+            else:
+                stack.append((node, True))
+                stack.append((node.high, False))
+                stack.append((node.low, False))
+    used = {entry[0] for entry in nodes}
+    return {
+        "format": DUMP_FORMAT,
+        "order": [name for name in manager.variables if name in used],
+        "nodes": nodes,
+        "roots": [index[root.identifier] for root in roots],
+    }
+
+
+def load_nodes(manager: "BDDManager", payload: Mapping) -> list["BDDNode"]:
+    """Rebuild the diagrams of a :func:`dump_nodes` payload in ``manager``.
+
+    Returns the root nodes, parallel to the ``roots`` the dump was taken
+    over.  The target manager may have a *different* current variable order
+    than the dump-time one: every table entry is rebuilt bottom-up through
+    ``ite(var, high, low)``, which re-reduces the diagram under the target
+    order, and hash-consing guarantees that reloading a function the
+    manager already holds yields the identical node object.  Variables the
+    payload mentions that the manager has not seen are declared (appended
+    to the order) on the fly.
+
+    Raises:
+        ValueError: on a payload whose ``format`` tag or table shape this
+            version does not understand (a torn or stale cache entry).
+    """
+    if not isinstance(payload, Mapping) or payload.get("format") != DUMP_FORMAT:
+        raise ValueError(f"unsupported BDD dump payload (format {payload.get('format')!r})"
+                         if isinstance(payload, Mapping) else "BDD dump payload is not a mapping")
+    for name in payload["order"]:
+        manager.declare(name)
+    table: list[BDDNode] = [manager.false, manager.true]
+    for entry in payload["nodes"]:
+        variable, low, high = entry
+        if not isinstance(variable, str) or not (0 <= low < len(table)) or not (0 <= high < len(table)):
+            raise ValueError(f"malformed BDD dump entry {entry!r}")
+        table.append(manager.ite(manager.var(variable), table[high], table[low]))
+    roots = payload["roots"]
+    if any(not isinstance(index, int) or not (0 <= index < len(table)) for index in roots):
+        raise ValueError("BDD dump root index out of range")
+    return [table[index] for index in roots]
+
+
 class BDDNode:
     """A hash-consed BDD node (internal: use :class:`BDDManager`).
 

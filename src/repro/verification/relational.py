@@ -43,7 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
-from ..clocks.bdd import BDDManager, BDDNode
+from ..clocks.bdd import BDDManager, BDDNode, dump_nodes, load_nodes
 from ..core.values import ABSENT
 from .invariants import CheckResult
 from .reachability import (
@@ -306,6 +306,60 @@ class RelationalFixpointEngine:
             manager.maybe_reorder((reach,))
         return manager.protect(reach), iterations, True, rings
 
+    # -- suspend / resume ------------------------------------------------------------
+
+    def snapshot_relation(self) -> dict:
+        """The engine's durable relation BDDs as one pure-data payload.
+
+        Captures the instantaneous relation, the initial state set, the
+        transition clusters and whatever extra durable roots the engine
+        declares through :meth:`_snapshot_extras` (the finite-integer
+        engine's audit relation and clip conditions) in a single shared
+        node table, so an engine can be rebuilt by
+        :meth:`_restore_relation` without redoing any BDD circuit work —
+        the expensive half of construction.
+        """
+        extras, metadata = self._snapshot_extras()
+        roots = [self.instantaneous, self.initial, *self.relation.clusters, *extras]
+        payload = {
+            "cluster_count": len(self.relation.clusters),
+            "dump": dump_nodes(self.manager, roots),
+        }
+        payload.update(metadata)
+        return payload
+
+    def _snapshot_extras(self) -> tuple[list[BDDNode], dict]:
+        """Extra durable roots (and their metadata) an engine wants persisted."""
+        return [], {}
+
+    def _restore_relation(self, payload: Mapping) -> None:
+        """Rebuild the relation from a :meth:`snapshot_relation` payload.
+
+        The caller must have run the (cheap) variable layout first —
+        ``signal_bits`` / ``state_bits`` / renaming maps — so the manager
+        knows the reorder groups; the loaded diagrams themselves are order
+        independent.  Every restored root is protected: a rehydrated engine
+        must survive its first garbage-collecting reorder exactly like a
+        freshly built one.
+        """
+        manager = self.manager
+        roots = load_nodes(manager, payload["dump"])
+        cluster_count = payload["cluster_count"]
+        if len(roots) < 2 + cluster_count:
+            raise ValueError("relation snapshot is missing roots")
+        self.instantaneous = manager.protect(roots[0])
+        self.initial = manager.protect(roots[1])
+        clusters = roots[2 : 2 + cluster_count]
+        # cluster_size=0 keeps every restored cluster as its own cluster —
+        # re-merging would undo the clustering the snapshot was taken with.
+        self.relation = PartitionedRelation(manager, clusters, cluster_size=0)
+        for cluster in self.relation.clusters:
+            manager.protect(cluster)
+        self._restore_extras(roots[2 + cluster_count :], payload)
+
+    def _restore_extras(self, extras: Sequence[BDDNode], payload: Mapping) -> None:
+        """Reinstall the engine-specific roots of :meth:`_snapshot_extras`."""
+
     def count_states(self, states: BDDNode) -> int:
         """Number of state valuations in a state set (model counting)."""
         return self.manager.count_satisfying(states, self.state_bits)
@@ -366,6 +420,62 @@ class RelationalReachability(Reachability):
         stats["iterations"] = self.iterations
         stats["frontier_rings"] = len(self.frontiers)
         return stats
+
+    # -- suspend / resume ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The reached set, frontier rings and engine relation as pure data.
+
+        The payload is self-contained: ``engine`` holds the
+        :meth:`RelationalFixpointEngine.snapshot_relation` dump, so a cold
+        process can rebuild both halves; a process that already holds the
+        engine can restore the result alone from the ``dump`` part.  The
+        frontier rings ride along so ring-walk trace extraction works on a
+        warm-loaded result exactly as on a freshly computed one.
+        """
+        payload = {
+            "engine": self.engine.snapshot_relation(),
+            "iterations": self.iterations,
+            "fixpoint": self.fixpoint,
+            "dump": dump_nodes(self.engine.manager, [self.states, *self.frontiers]),
+        }
+        payload.update(self._snapshot_result_extras())
+        return payload
+
+    def _snapshot_result_extras(self) -> dict:
+        """Extra result fields a subclass persists (e.g. the overflow audit)."""
+        return {}
+
+    @classmethod
+    def _result_extras(cls, payload: Mapping) -> dict:
+        """Constructor kwargs a subclass recovers from its persisted extras."""
+        return {}
+
+    @classmethod
+    def from_snapshot(cls, engine: RelationalFixpointEngine, payload: Mapping) -> "RelationalReachability":
+        """Rehydrate a result into ``engine`` from a :meth:`snapshot` payload.
+
+        ``engine`` is any live engine of the same design — typically one
+        restored through ``rehydrated(...)`` from the payload's own
+        ``engine`` part, but an already-built engine works too (the loaded
+        diagrams land in its manager under whatever variable order it
+        currently has).  The reached set and every ring are protected so
+        they survive later reorders.
+        """
+        manager = engine.manager
+        roots = load_nodes(manager, payload["dump"])
+        if not roots:
+            raise ValueError("result snapshot carries no reached set")
+        states = manager.protect(roots[0])
+        frontiers = tuple(manager.protect(ring) for ring in roots[1:])
+        return cls(
+            engine=engine,
+            states=states,
+            iterations=payload["iterations"],
+            fixpoint=payload["fixpoint"],
+            frontiers=frontiers,
+            **cls._result_extras(payload),
+        )
 
     def _witness(self, condition: BDDNode, name: str, found_holds: bool, missing) -> CheckResult:
         manager = self.engine.manager

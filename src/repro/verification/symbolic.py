@@ -124,6 +124,32 @@ class SymbolicEngine(RelationalFixpointEngine):
         self._declare_variables()
         self._build_relation()
 
+    @classmethod
+    def rehydrated(
+        cls,
+        system: PolynomialDynamicalSystem,
+        options: Optional[SymbolicOptions] = None,
+        payload: Optional[Mapping] = None,
+    ) -> "SymbolicEngine":
+        """An engine restored from a ``snapshot_relation`` payload.
+
+        Skips :meth:`_build_relation` — the expensive half of construction,
+        which enumerates every polynomial's ternary support — and loads the
+        relation BDDs from ``payload`` instead; only the cheap variable
+        layout runs.  The manager's variable order starts from the layout's
+        declaration order whatever order the dump was sifted to, which is
+        exactly the state a freshly built engine starts from.
+        """
+        if payload is None:
+            raise ValueError("rehydrated() needs a snapshot_relation payload")
+        engine = cls.__new__(cls)
+        engine.system = system
+        engine.options = options or SymbolicOptions()
+        engine.manager = manager_for_options(engine.options)
+        engine._declare_variables()
+        engine._restore_relation(payload)
+        return engine
+
     @property
     def name(self) -> str:
         """Name of the encoded process (shared engine interface)."""

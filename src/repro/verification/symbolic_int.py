@@ -172,6 +172,75 @@ class IntSymbolicEngine(RelationalFixpointEngine):
         self._declare_variables()
         self._build_relation()
 
+    @classmethod
+    def rehydrated(
+        cls,
+        source: Union[ProcessDefinition, CompiledProcess],
+        options: Optional[SymbolicIntOptions] = None,
+        ranges: Optional[RangeReport] = None,
+        payload: Optional[Mapping] = None,
+    ) -> "IntSymbolicEngine":
+        """An engine restored from a ``snapshot_relation`` payload.
+
+        Skips :meth:`_build_relation` — the bit-vector circuit compilation
+        that dominates construction — and loads the relation, the relaxed
+        audit relation and the overflow clip conditions from ``payload``;
+        only the cheap AST-walking variable layout runs.
+        """
+        if payload is None:
+            raise ValueError("rehydrated() needs a snapshot_relation payload")
+        engine = cls.__new__(cls)
+        engine.compiled = source if isinstance(source, CompiledProcess) else CompiledProcess(source)
+        engine.options = options or SymbolicIntOptions()
+        engine.manager = manager_for_options(engine.options)
+        engine.ranges = ranges if ranges is not None else infer_ranges(
+            engine.compiled, engine.options.integer_domain, engine.options.ranges
+        )
+        engine.signal_names = list(engine.compiled.signal_names)
+        engine._check_widths()
+        engine._slot_keys = {id(node): key for key, node in engine.compiled.stateful_nodes()}
+        engine._slots = {}
+        engine._memo = {}
+        engine._declare_variables()
+        engine._restore_relation(payload)
+        return engine
+
+    def _snapshot_extras(self) -> tuple[list["BDDNode"], dict]:
+        """Persist the audit machinery alongside the relation proper.
+
+        The relaxed relation and the clip conditions are consulted by the
+        overflow audit of every later :meth:`reach` run, so a rehydrated
+        engine without them would silently lose the range-soundness check.
+        """
+        extras = [self._relaxed_relation]
+        extras.extend(clip for _name, clip in self._equation_clips)
+        extras.extend(clip for _key, clip in self._slot_clips)
+        metadata = {
+            "equation_clips": [name for name, _clip in self._equation_clips],
+            "slot_clips": [key for key, _clip in self._slot_clips],
+        }
+        return extras, metadata
+
+    def _restore_extras(self, extras: Sequence["BDDNode"], payload: Mapping) -> None:
+        manager = self.manager
+        equation_names = list(payload["equation_clips"])
+        slot_keys = list(payload["slot_clips"])
+        if len(extras) != 1 + len(equation_names) + len(slot_keys):
+            raise ValueError("relation snapshot extras do not match their metadata")
+        self._relaxed_relation = manager.protect(extras[0])
+        cursor = 1
+        self._equation_clips = [
+            (name, manager.protect(clip))
+            for name, clip in zip(equation_names, extras[cursor : cursor + len(equation_names)])
+        ]
+        cursor += len(equation_names)
+        self._slot_clips = [
+            (key, manager.protect(clip)) for key, clip in zip(slot_keys, extras[cursor:])
+        ]
+        # Build-time scratch lists; a rehydrated engine never re-runs the build.
+        self._equation_constraints = []
+        self._relaxed_constraints = []
+
     @property
     def name(self) -> str:
         """Name of the encoded process (shared engine interface)."""
@@ -1026,6 +1095,13 @@ class IntSymbolicReachability(SymbolicReachability):
         """False when the fixpoint was truncated *or* a declared range
         demonstrably clipped a reachable reaction."""
         return self.fixpoint and not self.overflowed
+
+    def _snapshot_result_extras(self) -> dict:
+        return {"overflowed": list(self.overflowed)}
+
+    @classmethod
+    def _result_extras(cls, payload: Mapping) -> dict:
+        return {"overflowed": tuple(payload["overflowed"])}
 
     def _require_complete(self, name: str) -> None:
         if self.overflowed:

@@ -18,10 +18,22 @@ declared :class:`~repro.verification.reachability.BackendCapabilities`.
     })
     print(report.summary())   # backend: symbolic — one fixpoint, k queries
 
+Expensive artifacts can additionally be shared *across* designs (and across
+processes) through the content-addressed persistent cache of
+:mod:`repro.workbench.cache`: pass ``Design(..., cache=store)`` or install a
+process-wide default with :func:`configure_cache`.
+
 The legacy module-level entry points (``explore``, ``invariant_holds``,
 ``synthesise_with``, ...) remain available and now also accept a Design.
 """
 
+from .cache import (
+    ArtifactStore,
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    configure_cache,
+    default_cache,
+)
 from .design import Design
 from .registry import (
     BackendFactory,
@@ -33,13 +45,18 @@ from .registry import (
 from .report import Property, PropertyCheck, Report
 
 __all__ = [
+    "ArtifactStore",
     "BackendFactory",
     "BackendRegistry",
     "Design",
+    "DiskArtifactStore",
+    "MemoryArtifactStore",
     "Property",
     "PropertyCheck",
     "RegisteredBackend",
     "Report",
+    "configure_cache",
+    "default_cache",
     "default_registry",
     "register_backend",
 ]

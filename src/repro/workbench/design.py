@@ -39,9 +39,11 @@ default keeps batch throughput unchanged).
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
+from ..clocks.bdd import NodeBudgetExceeded
 from ..clocks.endochrony import EndochronyReport, analyse_endochrony
 from ..clocks.hierarchy import ClockHierarchy, build_hierarchy
 from ..signal.ast import ProcessDefinition
@@ -70,6 +72,15 @@ from ..verification.symbolic_int import (
     IntSymbolicReachability,
     SymbolicIntOptions,
 )
+from .cache import (
+    CACHEABLE_ARTIFACTS,
+    MISSING,
+    ArtifactStore,
+    artifact_key,
+    default_cache,
+    error_payload,
+    payload_error,
+)
 from .registry import BackendRegistry, RegisteredBackend, default_registry
 from .report import Property, PropertyCheck, Report
 
@@ -89,6 +100,19 @@ class _FailedArtifact:
 
     def __init__(self, error: Exception) -> None:
         self.error = error
+
+
+#: Default of the ``cache=`` constructor parameter: consult the process-wide
+#: :func:`~repro.workbench.cache.default_cache` (``cache=None`` disables
+#: caching for the design even when a process default is configured).
+USE_DEFAULT_CACHE = object()
+
+#: Resource-limit failures are *transient*: the same query can succeed after
+#: a raised budget or on a less loaded machine, so they are re-raised without
+#: being memoised — and never persisted, where they would poison every later
+#: process that shares the store.  Structural failures (``EncodingError``)
+#: stay memoised and persisted: they are properties of the design itself.
+_TRANSIENT_FAILURES = (NodeBudgetExceeded, BoundReached)
 
 
 class Design:
@@ -116,10 +140,19 @@ class Design:
         registry: Optional[BackendRegistry] = None,
         source: Optional[str] = None,
         translation: Optional[Any] = None,
+        cache: Any = USE_DEFAULT_CACHE,
     ) -> None:
         self._artifacts: dict[str, Any] = {}
         self.artifact_counts: dict[str, int] = {}
         self.artifact_seconds: dict[str, float] = {}
+        self.cache: Optional[ArtifactStore] = (
+            default_cache() if cache is USE_DEFAULT_CACHE else cache
+        )
+        self.cache_stats: dict[str, int] = {"hits": 0, "misses": 0}
+        # One reentrant lock per design: artifact builds recurse into other
+        # artifacts, and concurrent check() calls must neither double-compute
+        # a fixpoint nor race the counters.
+        self._lock = threading.RLock()
         if isinstance(process, CompiledProcess):
             self._artifacts["compiled"] = process
             process = process.definition
@@ -184,20 +217,118 @@ class Design:
     # -- memoisation core ----------------------------------------------------------------
 
     def _artifact(self, name: str, build: Callable[[], Any]) -> Any:
-        """Compute-once accessor; failures are memoised and re-raised."""
+        """Compute-once accessor; structural failures are memoised and re-raised.
+
+        Double-checked under the per-design lock, so concurrent queries
+        compute each artifact exactly once and never race the counters.
+        Transient resource-limit failures (:data:`_TRANSIENT_FAILURES`) are
+        re-raised *without* being memoised: a later identical query retries
+        — the caller may have raised the budget in the meantime — where a
+        memoised budget exhaustion would be re-raised forever.
+        """
         if name not in self._artifacts:
-            started = perf_counter()
-            try:
-                value = build()
-            except Exception as error:
-                value = _FailedArtifact(error)
-            self.artifact_seconds[name] = perf_counter() - started
-            self.artifact_counts[name] = self.artifact_counts.get(name, 0) + 1
-            self._artifacts[name] = value
+            with self._lock:
+                if name not in self._artifacts:
+                    started = perf_counter()
+                    try:
+                        value = self._produce(name, build)
+                    except _TRANSIENT_FAILURES:
+                        self.artifact_seconds[name] = perf_counter() - started
+                        self.artifact_counts[name] = self.artifact_counts.get(name, 0) + 1
+                        raise
+                    except Exception as error:
+                        value = _FailedArtifact(error)
+                    self.artifact_seconds[name] = perf_counter() - started
+                    self.artifact_counts[name] = self.artifact_counts.get(name, 0) + 1
+                    self._artifacts[name] = value
         value = self._artifacts[name]
         if isinstance(value, _FailedArtifact):
             raise value.error
         return value
+
+    # -- the persistent cache glue -------------------------------------------------------
+
+    def _produce(self, name: str, build: Callable[[], Any]) -> Any:
+        """Build one artifact, consulting the content-addressed store around it."""
+        store = self.cache
+        if store is None or name not in CACHEABLE_ARTIFACTS:
+            return build()
+        key = artifact_key(self, name)
+        payload = store.get(key, MISSING)
+        if payload is not MISSING:
+            error = payload_error(payload)
+            if error is not None:
+                self.cache_stats["hits"] += 1
+                raise error
+            try:
+                value = self._from_payload(name, payload)
+            except _TRANSIENT_FAILURES:
+                raise
+            except Exception:
+                # An undecodable or version-skewed entry is a miss: fall
+                # through to a clean rebuild (which overwrites it).
+                pass
+            else:
+                self.cache_stats["hits"] += 1
+                return value
+        self.cache_stats["misses"] += 1
+        try:
+            value = build()
+        except EncodingError as failure:
+            self._store_put(store, key, error_payload(failure))
+            raise
+        self._store_put(store, key, self._to_payload(name, value))
+        return value
+
+    @staticmethod
+    def _store_put(store: ArtifactStore, key: str, payload: Any) -> None:
+        """Best-effort store write: a full disk must not fail a verification."""
+        try:
+            store.put(key, payload)
+        except Exception:
+            pass
+
+    def _to_payload(self, name: str, value: Any) -> Any:
+        """The pure-data form an artifact is persisted as."""
+        if name == "endochrony":
+            # The report's hierarchy back-reference holds live BDDs; persist
+            # the verdict fields only (a warm load records hierarchy=None).
+            return {
+                "process_name": value.process_name,
+                "is_endochronous": value.is_endochronous,
+                "master_signals": tuple(value.master_signals),
+                "free_clocks": tuple(value.free_clocks),
+                "issues": list(value.issues),
+            }
+        if name in ("symbolic", "symbolic_int"):
+            return value.snapshot()
+        # encoding / ranges: plain picklable dataclasses, stored as-is.
+        return value
+
+    def _from_payload(self, name: str, payload: Any) -> Any:
+        """Rebuild an artifact from its persisted form (inverse of _to_payload)."""
+        if name == "endochrony":
+            return EndochronyReport(hierarchy=None, **payload)
+        if name == "symbolic":
+            engine = self._artifacts.get("symbolic_engine")
+            if not isinstance(engine, SymbolicEngine):
+                engine = SymbolicEngine.rehydrated(
+                    self.encoding, self.symbolic_options, payload["engine"]
+                )
+                self._artifacts["symbolic_engine"] = engine
+            return SymbolicReachability.from_snapshot(engine, payload)
+        if name == "symbolic_int":
+            engine = self._artifacts.get("symbolic_int_engine")
+            if not isinstance(engine, IntSymbolicEngine):
+                engine = IntSymbolicEngine.rehydrated(
+                    self.compiled, self.symbolic_int_options, self.ranges, payload["engine"]
+                )
+                self._artifacts["symbolic_int_engine"] = engine
+            return IntSymbolicReachability.from_snapshot(engine, payload)
+        expected = PolynomialDynamicalSystem if name == "encoding" else RangeReport
+        if not isinstance(payload, expected):
+            raise ValueError(f"cached {name} payload is not a {expected.__name__}")
+        return payload
 
     #: Which artifacts are derived from which, so invalidation cascades —
     #: recomputing a dropped artifact must never rebuild on a stale upstream.
@@ -553,6 +684,8 @@ class Design:
             elapsed=perf_counter() - started,
             artifact_seconds=dict(self.artifact_seconds),
             engine_statistics=engine.statistics(),
+            cache_hits=self.cache_stats["hits"],
+            cache_misses=self.cache_stats["misses"],
         )
 
     @staticmethod

@@ -109,6 +109,10 @@ class Report:
     #: explicit engines state/transition counts.  Empty when the backend
     #: reports nothing.
     engine_statistics: dict = field(default_factory=dict)
+    #: Persistent-cache traffic of the design at report time (lifetime
+    #: totals of ``Design.cache_stats``); both zero when no cache is wired.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # -- access --------------------------------------------------------------------
 
@@ -168,6 +172,8 @@ class Report:
                 f"{key}={value}" for key, value in sorted(self.engine_statistics.items())
             )
             lines.append(f"  engine: {rendered}")
+        if self.cache_hits or self.cache_misses:
+            lines.append(f"  cache: {self.cache_hits} hits, {self.cache_misses} misses")
         for check in self.checks:
             lines.append(f"  {check.explain()}")
             if check.trace is not None:

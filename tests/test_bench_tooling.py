@@ -1,0 +1,162 @@
+"""Tests for the benchmark-trajectory tooling around the smoke runs.
+
+Two pieces of plumbing are pinned here.  ``tools/check_bench_regression.py``
+is the CI gate comparing a fresh ``BENCH_SMOKE.json`` against the committed
+baseline: its message formatting must survive schema-skewed entries (a
+baseline predating the ``peak_nodes`` counters, a current entry missing
+``seconds``) without crashing or silently skipping a gate.  The repo
+``conftest`` must write ``BENCH_SMOKE.json`` exactly when the collected
+items *are* the smoke suite — substring-matching the ``-m`` expression
+would misread ``-m "not bench_smoke"`` as a smoke run and overwrite the
+artifact with an empty payload.
+"""
+
+import importlib.util
+import json
+import os
+import types
+
+import pytest
+
+import conftest
+
+_TOOL_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "tools", "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _TOOL_PATH)
+check_bench_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_regression)
+
+
+def _payload(*entries):
+    return {"schema": "bench-smoke/2", "benchmarks": list(entries)}
+
+
+def _entry(nodeid, seconds=None, peak_nodes=None):
+    entry = {"id": nodeid}
+    if seconds is not None:
+        entry["seconds"] = seconds
+    if peak_nodes is not None:
+        entry["peak_nodes"] = peak_nodes
+    return entry
+
+
+class TestRegressionGate:
+    def test_within_factor_passes(self):
+        current = _payload(_entry("bench::a", seconds=0.2, peak_nodes=5000))
+        baseline = _payload(_entry("bench::a", seconds=0.1, peak_nodes=4000))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+
+    def test_seconds_regression_fails_with_both_values(self):
+        current = _payload(_entry("bench::a", seconds=1.0))
+        baseline = _payload(_entry("bench::a", seconds=0.1))
+        (failure,) = check_bench_regression.check(current, baseline, factor=3.0)
+        assert "1.000s" in failure and "0.100s" in failure
+
+    def test_peak_nodes_regression_fails(self):
+        current = _payload(_entry("bench::a", seconds=0.01, peak_nodes=50_000))
+        baseline = _payload(_entry("bench::a", seconds=0.01, peak_nodes=3000))
+        (failure,) = check_bench_regression.check(current, baseline, factor=3.0)
+        assert "BDD nodes" in failure
+
+    def test_seconds_floor_absorbs_jitter(self):
+        # 0.001s -> 0.1s is 100x, but both sit under the clamped floor budget.
+        current = _payload(_entry("bench::a", seconds=0.1))
+        baseline = _payload(_entry("bench::a", seconds=0.001))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+
+    def test_peak_nodes_floor_absorbs_trivial_diagrams(self):
+        current = _payload(_entry("bench::a", seconds=0.01, peak_nodes=5000))
+        baseline = _payload(_entry("bench::a", seconds=0.01, peak_nodes=10))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+
+    def test_baseline_without_peak_nodes_notes_instead_of_skipping(self, capsys):
+        """A schema-1-era baseline entry has no node counts: the gate must say
+        so (refresh needed) rather than silently not gating."""
+        current = _payload(_entry("bench::a", seconds=0.01, peak_nodes=9999))
+        baseline = _payload(_entry("bench::a", seconds=0.01))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+        out = capsys.readouterr().out
+        assert "baseline lacks peak_nodes" in out
+        assert "bench::a" in out
+
+    def test_current_without_peak_nodes_is_silent(self, capsys):
+        current = _payload(_entry("bench::a", seconds=0.01))
+        baseline = _payload(_entry("bench::a", seconds=0.01, peak_nodes=5000))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+        assert "peak_nodes" not in capsys.readouterr().out
+
+    def test_current_entry_missing_seconds_does_not_crash(self):
+        """The failure-message path indexes the current entry defensively: an
+        entry with no ``seconds`` field counts as 0 and cannot regress."""
+        current = _payload(_entry("bench::a", peak_nodes=100))
+        baseline = _payload(_entry("bench::a", seconds=10.0, peak_nodes=100))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+
+    def test_one_sided_benchmarks_note_but_pass(self, capsys):
+        current = _payload(_entry("bench::new", seconds=0.01))
+        baseline = _payload(_entry("bench::old", seconds=0.01))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+        out = capsys.readouterr().out
+        assert "disappeared" in out and "bench::old" in out
+        assert "without baseline" in out and "bench::new" in out
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        base = tmp_path / "base.json"
+        good.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        bad.write_text(json.dumps(_payload(_entry("bench::a", seconds=9.0))))
+        base.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        assert check_bench_regression.main([str(good), str(base)]) == 0
+        assert "bench gate OK" in capsys.readouterr().out
+        assert check_bench_regression.main([str(bad), str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- conftest smoke gating
+
+def _item(keywords):
+    return types.SimpleNamespace(keywords=keywords)
+
+
+class TestSmokeRunDetection:
+    @pytest.fixture(autouse=True)
+    def _restore_flag(self, monkeypatch):
+        monkeypatch.setattr(conftest, "_bench_smoke_run", False)
+        monkeypatch.delenv("BENCH_SMOKE_JSON", raising=False)
+
+    def test_all_smoke_items_arm_the_writer(self):
+        items = [_item({"bench_smoke": True}), _item({"bench_smoke": True})]
+        conftest.pytest_collection_finish(types.SimpleNamespace(items=items))
+        assert conftest._bench_smoke_run is True
+
+    def test_mixed_collection_does_not_arm(self):
+        """The regression this fixes: ``-m "not bench_smoke"`` selects the
+        whole non-smoke suite; the old markexpr substring check would have
+        armed the writer and clobbered BENCH_SMOKE.json."""
+        items = [_item({"bench_smoke": True}), _item({"other_marker": True})]
+        conftest.pytest_collection_finish(types.SimpleNamespace(items=items))
+        assert conftest._bench_smoke_run is False
+
+    def test_no_smoke_items_do_not_arm(self):
+        session = types.SimpleNamespace(items=[_item({}), _item({})])
+        conftest.pytest_collection_finish(session)
+        assert conftest._bench_smoke_run is False
+
+    def test_empty_collection_does_not_arm(self):
+        conftest.pytest_collection_finish(types.SimpleNamespace(items=[]))
+        assert conftest._bench_smoke_run is False
+
+    def test_output_path_none_outside_smoke_runs(self):
+        config = types.SimpleNamespace(rootpath="/somewhere")
+        assert conftest._output_path(config) is None
+
+    def test_output_path_under_rootdir_during_smoke_runs(self, monkeypatch):
+        monkeypatch.setattr(conftest, "_bench_smoke_run", True)
+        config = types.SimpleNamespace(rootpath="/somewhere")
+        assert conftest._output_path(config) == os.path.join("/somewhere", "BENCH_SMOKE.json")
+
+    def test_env_override_wins_even_outside_smoke_runs(self, monkeypatch):
+        monkeypatch.setenv("BENCH_SMOKE_JSON", "/tmp/override.json")
+        config = types.SimpleNamespace(rootpath="/somewhere")
+        assert conftest._output_path(config) == "/tmp/override.json"

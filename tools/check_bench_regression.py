@@ -53,8 +53,8 @@ def check(current: dict, baseline: dict, factor: float) -> list[str]:
         budget = factor * max(then.get("seconds", 0.0), SECONDS_FLOOR)
         if now.get("seconds", 0.0) > budget:
             failures.append(
-                f"{nodeid}: {now['seconds']:.3f}s exceeds {budget:.3f}s "
-                f"({factor}x the {then['seconds']:.3f}s baseline)"
+                f"{nodeid}: {now.get('seconds', 0.0):.3f}s exceeds {budget:.3f}s "
+                f"({factor}x the {then.get('seconds', 0.0):.3f}s baseline)"
             )
         if "peak_nodes" in now and "peak_nodes" in then:
             node_budget = factor * max(then["peak_nodes"], PEAK_NODES_FLOOR)
@@ -63,6 +63,10 @@ def check(current: dict, baseline: dict, factor: float) -> list[str]:
                     f"{nodeid}: peak {now['peak_nodes']} BDD nodes exceeds "
                     f"{node_budget:.0f} ({factor}x the {then['peak_nodes']}-node baseline)"
                 )
+        elif "peak_nodes" in now:
+            # A schema-1-era baseline entry has no node counts: say so instead
+            # of silently skipping the (deterministic) node gate.
+            print(f"note: baseline lacks peak_nodes (refresh needed?): {nodeid}")
     return failures
 
 
