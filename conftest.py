@@ -1,4 +1,4 @@
-"""Repo-level pytest plumbing: the benchmark-smoke trajectory file.
+"""Repo-level pytest plumbing: timeout guards and the bench-smoke trajectory file.
 
 ``make bench-smoke`` (``pytest -m bench_smoke``) smoke-runs every
 ``benchmarks/bench_*.py`` main path at its smallest size.  This plugin
@@ -16,7 +16,11 @@ regression of any benchmark's wall-clock or peak-node count.
 import json
 import os
 import platform
+import signal
+import threading
 import time
+
+import pytest
 
 _durations: dict[str, float] = {}
 _bdd_stats: dict[str, dict] = {}
@@ -35,6 +39,43 @@ def _bdd_module():
         return None
     return bdd
 
+
+# --------------------------------------------------------------------- timeout guard
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)``: fail, don't hang.
+
+    The multiprocess pool tests deadlock rather than fail when the queue or
+    service loop regresses; without a guard, CI hangs until the job-level
+    kill and reports nothing useful.  SIGALRM (via ``setitimer``, so
+    fractional budgets work) interrupts the test body with a pointed
+    failure.  Only usable on the POSIX main thread — anywhere else the
+    marker degrades to a no-op rather than breaking collection.
+    """
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else 0.0
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+
+    def expired(signum, frame):
+        pytest.fail(f"test exceeded its {seconds:g}s timeout guard", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------- bench-smoke output
 
 def pytest_collection_finish(session):
     # Runs after every collection-modifying hook — in particular after the

@@ -23,6 +23,12 @@ processes) through the content-addressed persistent cache of
 :mod:`repro.workbench.cache`: pass ``Design(..., cache=store)`` or install a
 process-wide default with :func:`configure_cache`.
 
+Verification scales past one interpreter through the job layer
+(:mod:`repro.workbench.jobs`): a :class:`WorkerPool` of spawned OS processes
+runs ``submit``/``map_designs``/``design.check_async`` jobs against a shared
+:class:`DiskArtifactStore`, with priorities, per-job timeouts, cooperative
+cancellation and crash retry — answered as :class:`JobHandle` futures.
+
 The legacy module-level entry points (``explore``, ``invariant_holds``,
 ``synthesise_with``, ...) remain available and now also accept a Design.
 """
@@ -34,7 +40,7 @@ from .cache import (
     configure_cache,
     default_cache,
 )
-from .design import Design
+from .design import CheckCancelled, Design
 from .registry import (
     BackendFactory,
     BackendRegistry,
@@ -44,19 +50,48 @@ from .registry import (
 )
 from .report import Property, PropertyCheck, Report
 
+# .jobs imports .design; keep it after the facade so the cycle stays one-way.
+from .jobs import (
+    Compare,
+    DesignSpec,
+    JobCancelled,
+    JobError,
+    JobFailed,
+    JobHandle,
+    JobQueue,
+    JobTimeout,
+    WorkerCrashed,
+    WorkerPool,
+    configure_pool,
+    default_pool,
+)
+
 __all__ = [
     "ArtifactStore",
     "BackendFactory",
     "BackendRegistry",
+    "CheckCancelled",
+    "Compare",
     "Design",
+    "DesignSpec",
     "DiskArtifactStore",
+    "JobCancelled",
+    "JobError",
+    "JobFailed",
+    "JobHandle",
+    "JobQueue",
+    "JobTimeout",
     "MemoryArtifactStore",
     "Property",
     "PropertyCheck",
     "RegisteredBackend",
     "Report",
+    "WorkerCrashed",
+    "WorkerPool",
     "configure_cache",
+    "configure_pool",
     "default_cache",
+    "default_pool",
     "default_registry",
     "register_backend",
 ]

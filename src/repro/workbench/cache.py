@@ -117,10 +117,21 @@ class DiskArtifactStore(ArtifactStore):
     killed process leaves at worst an orphaned ``*.tmp`` file, never a torn
     entry a warm load would trust.  Reads treat any missing, truncated or
     undecodable file as a miss and drop the offender.
+
+    ``max_bytes`` bounds the store: after every write the least-recently-used
+    entries (by mtime — reads bump it) are deleted until the store fits, and
+    a single payload larger than the whole budget is not persisted at all.
+    Eviction uses plain :func:`os.unlink` and shrugs at races: a concurrent
+    reader of an evicted entry just sees a miss, which the store's contract
+    already allows at any time.  A long-lived worker pool sharing one store
+    must not fill the disk — this is its backstop.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive (or None), not {max_bytes!r}")
         self.root = str(root)
+        self.max_bytes = max_bytes
         os.makedirs(self.root, exist_ok=True)
 
     def _path(self, key: str) -> str:
@@ -130,7 +141,7 @@ class DiskArtifactStore(ArtifactStore):
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
         except FileNotFoundError:
             return default
         except Exception:
@@ -141,9 +152,16 @@ class DiskArtifactStore(ArtifactStore):
             except OSError:
                 pass
             return default
+        try:
+            os.utime(path)  # LRU bookkeeping: a hit is recent use
+        except OSError:
+            pass
+        return payload
 
     def put(self, key: str, payload: Any) -> None:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.max_bytes is not None and len(blob) > self.max_bytes:
+            return  # would evict the whole store and still not fit
         descriptor, temporary = tempfile.mkstemp(dir=self.root, prefix=f".{key}.", suffix=".tmp")
         try:
             with os.fdopen(descriptor, "wb") as handle:
@@ -157,6 +175,51 @@ class DiskArtifactStore(ArtifactStore):
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict(self.max_bytes)
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; True when it existed."""
+        try:
+            os.unlink(self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """(mtime, size, path) of every live entry; vanished files skipped."""
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Bytes currently held in live entries."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _evict(self, budget: int) -> None:
+        """Delete least-recently-used entries until the store fits ``budget``."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in sorted(entries):
+            if total <= budget:
+                return
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # a concurrent evictor/writer got there first
+            total -= size
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))

@@ -82,7 +82,7 @@ from .cache import (
     payload_error,
 )
 from .registry import BackendRegistry, RegisteredBackend, default_registry
-from .report import Property, PropertyCheck, Report
+from .report import Property, PropertyCheck, Report, normalise_properties
 
 #: What ``check``/``check_all`` accept per property: a bare predicate
 #: (auto-named), a ``(name, predicate)`` pair, or a full Property.
@@ -91,6 +91,15 @@ PropertyLike = Union[Property, ReactionPredicate, tuple[str, ReactionPredicate]]
 #: A collection of named properties: mapping name -> predicate, or a sequence
 #: of PropertyLike.
 PropertiesLike = Union[Mapping[str, ReactionPredicate], Sequence[PropertyLike]]
+
+
+class CheckCancelled(RuntimeError):
+    """A batch check was abandoned at a cancellation point.
+
+    Raised by :meth:`Design.check`/:meth:`Design.check_all` when the
+    ``should_cancel`` callback answers True — the cooperative cancellation
+    hook the job layer's worker processes poll between properties.
+    """
 
 
 class _FailedArtifact:
@@ -589,7 +598,14 @@ class Design:
 
     # -- the batch verification API ---------------------------------------------------------
 
-    def check(self, *properties: PropertyLike, backend: str = "auto", traces: bool = False) -> Report:
+    def check(
+        self,
+        *properties: PropertyLike,
+        backend: str = "auto",
+        traces: bool = False,
+        progress: Optional[Callable[[str, dict], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Report:
         """Check properties against one shared reachable set.
 
         Each property is a :class:`~repro.workbench.report.Property`, a
@@ -599,8 +615,17 @@ class Design:
         counterexample/witness :class:`~repro.verification.reachability.Trace`
         attached to its result — extraction is lazy and per-property, so the
         default (off) keeps batch throughput untouched.
+
+        ``progress`` (a ``(kind, payload)`` callback) observes the backend
+        resolution and every finished property; ``should_cancel`` is polled
+        between properties and aborts the batch with :class:`CheckCancelled`
+        when it answers True.  Both are the job layer's hooks, but any caller
+        may use them.
         """
-        return self._run_checks(self._normalise(properties, "invariant"), backend, traces)
+        return self._run_checks(
+            self._normalise(properties, "invariant"), backend, traces,
+            progress=progress, should_cancel=should_cancel,
+        )
 
     def check_all(
         self,
@@ -608,6 +633,8 @@ class Design:
         reachables: Optional[PropertiesLike] = None,
         backend: str = "auto",
         traces: bool = False,
+        progress: Optional[Callable[[str, dict], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
     ) -> Report:
         """Batch check: invariants (AG) and reachability (EF) properties together.
 
@@ -615,12 +642,39 @@ class Design:
         or sequences of properties; everything is evaluated against the same
         memoised reachable set, so k properties cost one exploration /
         encoding / fixpoint plus k cheap queries.  ``traces=True`` attaches
-        counterexample/witness traces (see :meth:`check`).
+        counterexample/witness traces; ``progress``/``should_cancel`` hook
+        observation and cooperative cancellation (see :meth:`check`).
         """
         specs = self._normalise(invariants, "invariant") + self._normalise(reachables, "reachable")
         if not specs:
             raise ValueError("check_all needs at least one invariant or reachable property")
-        return self._run_checks(specs, backend, traces)
+        return self._run_checks(specs, backend, traces, progress=progress, should_cancel=should_cancel)
+
+    def check_async(
+        self,
+        *properties: PropertyLike,
+        invariants: Optional[PropertiesLike] = None,
+        reachables: Optional[PropertiesLike] = None,
+        pool: Optional[Any] = None,
+        **options: Any,
+    ) -> Any:
+        """Submit this design's check to a worker pool; returns a JobHandle.
+
+        The job runs in a separate OS process (rebuilt from a picklable
+        :class:`~repro.workbench.jobs.protocol.DesignSpec`), so predicates
+        must be picklable — use :class:`~repro.workbench.jobs.Compare` for
+        value atoms instead of lambdas.  ``pool`` defaults to the
+        process-wide :func:`~repro.workbench.jobs.default_pool`; ``options``
+        pass through to :meth:`~repro.workbench.jobs.WorkerPool.submit`
+        (``backend``, ``traces``, ``priority``, ``timeout``, ...).
+        """
+        if pool is None:
+            from .jobs import default_pool
+
+            pool = default_pool()
+        return pool.submit(
+            self, *properties, invariants=invariants, reachables=reachables, **options
+        )
 
     def synthesise(
         self,
@@ -636,31 +690,34 @@ class Design:
     # -- internals ----------------------------------------------------------------------------
 
     def _normalise(self, properties: Optional[PropertiesLike], kind: str) -> list[Property]:
-        if properties is None:
-            return []
-        if isinstance(properties, Mapping):
-            return [Property(name, predicate, kind) for name, predicate in properties.items()]
-        specs: list[Property] = []
-        for index, item in enumerate(properties, start=1):
-            if isinstance(item, Property):
-                specs.append(item)
-            elif isinstance(item, ReactionPredicate):
-                specs.append(Property(f"P{index}", item, kind))
-            elif isinstance(item, tuple) and len(item) == 2:
-                specs.append(Property(item[0], item[1], kind))
-            else:
-                raise TypeError(
-                    f"property #{index} must be a Property, a ReactionPredicate or a "
-                    f"(name, predicate) pair, not {type(item).__name__}"
-                )
-        return specs
+        return normalise_properties(properties, kind)
 
-    def _run_checks(self, specs: list[Property], backend: str, traces: bool = False) -> Report:
+    def to_spec(self) -> Any:
+        """This design's picklable rebuild recipe (for the job layer)."""
+        from .jobs import DesignSpec
+
+        return DesignSpec.from_design(self)
+
+    def _run_checks(
+        self,
+        specs: list[Property],
+        backend: str,
+        traces: bool = False,
+        progress: Optional[Callable[[str, dict], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Report:
         started = perf_counter()
         predicates = [spec.predicate for spec in specs]
         entry, engine = self._resolve_backend(backend, predicates=predicates)
+        if progress is not None:
+            progress("backend", {"backend": entry.name, "state_count": engine.state_count})
         checks: list[PropertyCheck] = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
+            if should_cancel is not None and should_cancel():
+                raise CheckCancelled(
+                    f"check of {self.name!r} cancelled after "
+                    f"{index} of {len(specs)} properties"
+                )
             check_started = perf_counter()
             try:
                 if spec.kind == "invariant":
@@ -674,6 +731,13 @@ class Design:
                 check = PropertyCheck(spec.name, spec.kind, None, error=str(refusal))
             check.elapsed = perf_counter() - check_started
             checks.append(check)
+            if progress is not None:
+                holds = None if check.result is None else check.result.holds
+                progress(
+                    "property",
+                    {"name": spec.name, "property_kind": spec.kind, "holds": holds,
+                     "index": index + 1, "total": len(specs)},
+                )
         return Report(
             design_name=self.name,
             backend_name=entry.name,

@@ -12,7 +12,7 @@ per property and for the artifacts the design had to compute to answer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Union
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from ..verification.invariants import CheckResult
 from ..verification.reachability import BackendCapabilities, ReactionPredicate
@@ -47,6 +47,39 @@ class Property:
     def reachable(cls, name: str, predicate: ReactionPredicate) -> "Property":
         """EF over reactions: some reachable reaction satisfies ``predicate``."""
         return cls(name, predicate, "reachable")
+
+
+def normalise_properties(
+    properties: Optional[Union[Mapping[str, ReactionPredicate], Sequence[Any]]],
+    kind: str,
+) -> list[Property]:
+    """The loose property forms the batch APIs accept, as Property objects.
+
+    ``properties`` is a mapping ``name -> predicate``, or a sequence whose
+    items are full :class:`Property` objects, ``(name, predicate)`` pairs, or
+    bare predicates (auto-named ``P1``, ``P2``, ... by position); None means
+    none.  Shared by ``Design.check``/``check_all`` and the job layer's
+    submission path, so a pooled job accepts exactly the forms the in-process
+    call does.
+    """
+    if properties is None:
+        return []
+    if isinstance(properties, Mapping):
+        return [Property(name, predicate, kind) for name, predicate in properties.items()]
+    specs: list[Property] = []
+    for index, item in enumerate(properties, start=1):
+        if isinstance(item, Property):
+            specs.append(item)
+        elif isinstance(item, ReactionPredicate):
+            specs.append(Property(f"P{index}", item, kind))
+        elif isinstance(item, tuple) and len(item) == 2:
+            specs.append(Property(item[0], item[1], kind))
+        else:
+            raise TypeError(
+                f"property #{index} must be a Property, a ReactionPredicate or a "
+                f"(name, predicate) pair, not {type(item).__name__}"
+            )
+    return specs
 
 
 @dataclass
@@ -109,10 +142,18 @@ class Report:
     #: explicit engines state/transition counts.  Empty when the backend
     #: reports nothing.
     engine_statistics: dict = field(default_factory=dict)
-    #: Persistent-cache traffic of the design at report time (lifetime
-    #: totals of ``Design.cache_stats``); both zero when no cache is wired.
+    #: Persistent-cache traffic behind this report.  In-process: the design's
+    #: lifetime ``Design.cache_stats`` totals at report time.  Pooled: the
+    #: *worker-side, job-scoped* counters the pool aggregated back in —
+    #: cache counters are per-process, so without the aggregation a pooled
+    #: report would always read 0.  Both zero when no cache is wired.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Progress/status events (dicts with at least ``kind`` and ``at``)
+    #: accumulated by the job layer: submission, dispatch, start, the
+    #: worker's streamed ``backend``/``property`` progress, and the terminal
+    #: transition.  Empty for in-process checks.
+    events: list = field(default_factory=list)
 
     # -- access --------------------------------------------------------------------
 
@@ -174,6 +215,9 @@ class Report:
             lines.append(f"  engine: {rendered}")
         if self.cache_hits or self.cache_misses:
             lines.append(f"  cache: {self.cache_hits} hits, {self.cache_misses} misses")
+        if self.events:
+            kinds = ", ".join(event.get("kind", "?") for event in self.events)
+            lines.append(f"  events: {kinds}")
         for check in self.checks:
             lines.append(f"  {check.explain()}")
             if check.trace is not None:

@@ -101,6 +101,83 @@ class TestDiskStore:
             store.put("k", lambda: None)  # lambdas do not pickle
         assert list(tmp_path.iterdir()) == []
 
+    def test_delete(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.put("k", 1)
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.get("k", "miss") == "miss"
+
+
+class TestDiskStoreEviction:
+    """The ``max_bytes`` LRU budget — a long-lived pool must not fill the disk."""
+
+    @staticmethod
+    def entry_size(tmp_path) -> int:
+        probe = DiskArtifactStore(tmp_path / "probe")
+        probe.put("probe", b"x" * 100)
+        return probe.total_bytes()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskArtifactStore(tmp_path, max_bytes=0)
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        import os
+
+        size = self.entry_size(tmp_path)
+        store = DiskArtifactStore(tmp_path, max_bytes=3 * size)
+        now = 1_000_000_000
+        for index, key in enumerate(("a", "b", "c")):
+            store.put(key, b"x" * 100)
+            os.utime(tmp_path / f"{key}.pkl", (now + index, now + index))
+        store.put("d", b"x" * 100)  # over budget: the LRU entry must go
+        assert "a" not in store
+        assert all(key in store for key in ("b", "c", "d"))
+        assert store.total_bytes() <= 3 * size
+
+    def test_read_refreshes_recency(self, tmp_path):
+        import os
+
+        size = self.entry_size(tmp_path)
+        store = DiskArtifactStore(tmp_path, max_bytes=2 * size)
+        now = 1_000_000_000
+        store.put("old", b"x" * 100)
+        os.utime(tmp_path / "old.pkl", (now, now))
+        store.put("young", b"x" * 100)
+        os.utime(tmp_path / "young.pkl", (now + 10, now + 10))
+        assert store.get("old") == b"x" * 100  # bumps mtime past "young"
+        store.put("new", b"x" * 100)
+        assert "old" in store and "new" in store
+        assert "young" not in store
+
+    def test_oversized_payload_is_not_persisted(self, tmp_path):
+        store = DiskArtifactStore(tmp_path, max_bytes=64)
+        store.put("small", 1)
+        store.put("huge", b"x" * 4096)  # larger than the whole budget
+        assert "huge" not in store
+        assert "small" in store  # and nothing was evicted to make room
+
+    def test_unbudgeted_store_never_evicts(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        for index in range(20):
+            store.put(f"k{index}", b"x" * 200)
+        assert len(store) == 20
+
+    def test_design_verdicts_survive_eviction_pressure(self, tmp_path):
+        # A budget smaller than the fixpoint snapshot degrades to recompute
+        # (misses), never to wrong answers or errors.
+        store = DiskArtifactStore(tmp_path, max_bytes=256)
+        predicate = P.present("s2").implies(P.present("x"))
+        cold = Design.from_process(
+            boolean_shift_register_process(3), cache=store
+        ).check(("p", predicate))
+        warmish = Design.from_process(
+            boolean_shift_register_process(3), cache=store
+        ).check(("p", predicate))
+        assert cold["p"].holds == warmish["p"].holds
+        assert store.total_bytes() <= 256
+
 
 # ------------------------------------------------------------------------- keys
 
