@@ -40,6 +40,25 @@ def _bdd_module():
     return bdd
 
 
+def _parallel_module():
+    try:
+        from repro.verification import parallel
+    except ImportError:  # pragma: no cover - repro not importable (bad env)
+        return None
+    return parallel
+
+
+@pytest.fixture(scope="session")
+def parallel_workers() -> int:
+    """Worker count for the pooled-image differential suite.
+
+    CI's ``parallel`` matrix leg exports ``REPRO_PARALLEL_WORKERS`` (1, 2, 4)
+    so the same tests exercise every pool width; local runs default to 2 —
+    wide enough to cross the process boundary, cheap enough for one core.
+    """
+    return int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
 # --------------------------------------------------------------------- timeout guard
 
 @pytest.hookimpl(wrapper=True)
@@ -91,6 +110,9 @@ def pytest_runtest_setup(item):
         bdd = _bdd_module()
         if bdd is not None:
             bdd.reset_global_stats()
+        parallel = _parallel_module()
+        if parallel is not None:
+            parallel.reset_global_stats()
 
 
 def pytest_runtest_logreport(report):
@@ -103,6 +125,13 @@ def pytest_runtest_logreport(report):
                 "peak_nodes": stats["peak_nodes"],
                 "reorders": stats["reorders"],
             }
+        parallel = _parallel_module()
+        if parallel is not None:
+            # Worker count the benchmark actually ran with (0 = sequential).
+            # The regression gate uses it to skip scaling assertions on
+            # runners with too few cores to show a speedup.
+            entry = _bdd_stats.setdefault(report.nodeid, {})
+            entry["workers"] = parallel.global_stats()["workers"]
 
 
 def _output_path(config) -> str | None:
@@ -119,10 +148,11 @@ def pytest_sessionfinish(session, exitstatus):
     if path is None or not _durations:
         return
     payload = {
-        "schema": "bench-smoke/2",
+        "schema": "bench-smoke/3",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
         "exit_status": int(exitstatus),
         "total_seconds": round(sum(_durations.values()), 6),
         "benchmarks": [
@@ -134,6 +164,14 @@ def pytest_sessionfinish(session, exitstatus):
             for nodeid, seconds in sorted(_durations.items())
         ],
     }
-    with open(path, "w", encoding="utf-8") as handle:
+    # Write-then-rename: a failing run must not leave a half-written (or
+    # fully written but unrepresentative) smoke file shadowing the last good
+    # one — the regression gate would compare garbage against the baseline.
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    if int(exitstatus) == 0:
+        os.replace(tmp, path)
+    else:
+        os.unlink(tmp)

@@ -142,6 +142,100 @@ def load_nodes(manager: "BDDManager", payload: Mapping) -> list["BDDNode"]:
     return [table[index] for index in roots]
 
 
+class IncrementalDumper:
+    """Serialise successive root sets against one growing shared node table.
+
+    :func:`dump_nodes` re-encodes the full diagram of every root on each
+    call; a long-lived channel shipping closely related diagrams (the
+    per-iteration frontiers of a fixpoint, say) re-pays that cost for nodes
+    the receiver already holds.  An ``IncrementalDumper`` keeps the node
+    index *across* calls: each :meth:`dump` payload carries only the nodes
+    not shipped on an earlier call, referencing the rest by their previously
+    assigned table indices, and a matching :class:`IncrementalLoader` on the
+    receiving side grows the mirror table.  Payloads are therefore deltas —
+    they only decode through the loader fed every earlier payload in order.
+
+    Identity is tracked by ``BDDNode.identifier``, which the manager never
+    reuses, and dynamic reordering preserves the *function* of every live
+    node it touches — so an index entry keeps denoting the function it was
+    shipped as, across reorders and garbage collections alike.  The one
+    contract: only dump roots that are live in ``manager`` (reachable from
+    protected roots or freshly computed), as all engine code does.
+    """
+
+    def __init__(self, manager: "BDDManager") -> None:
+        self.manager = manager
+        self._index: dict[int, int] = {manager.false.identifier: 0, manager.true.identifier: 1}
+        self._next = 2
+
+    def dump(self, roots: Sequence["BDDNode"]) -> dict:
+        """A delta payload for ``roots``: new nodes only, old ones by index."""
+        index = self._index
+        nodes: list[list] = []
+        for root in roots:
+            if root.identifier in index:
+                continue
+            stack: list[tuple[BDDNode, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node.identifier in index:
+                    continue
+                if expanded:
+                    nodes.append(
+                        [node.variable, index[node.low.identifier], index[node.high.identifier]]
+                    )
+                    index[node.identifier] = self._next
+                    self._next += 1
+                else:
+                    stack.append((node, True))
+                    stack.append((node.high, False))
+                    stack.append((node.low, False))
+        return {
+            "format": DUMP_FORMAT,
+            "delta": True,
+            "nodes": nodes,
+            "roots": [index[root.identifier] for root in roots],
+        }
+
+
+class IncrementalLoader:
+    """The receiving half of :class:`IncrementalDumper`: a growing node table.
+
+    Feed it every payload of one dumper **in dump order**; each load appends
+    the payload's new nodes (rebuilt bottom-up through ``ite``, so the local
+    variable order may differ from the dumper's) and resolves the roots
+    against the accumulated table.  The table entries must stay valid BDDs of
+    this manager between loads — intended for managers that never
+    garbage-collect (no dynamic reordering), e.g. the short-lived worker
+    managers of :mod:`repro.verification.parallel`.
+    """
+
+    def __init__(self, manager: "BDDManager") -> None:
+        self.manager = manager
+        self._table: list[BDDNode] = [manager.false, manager.true]
+
+    def load(self, payload: Mapping) -> list["BDDNode"]:
+        """Append one delta payload and return its root nodes."""
+        if not isinstance(payload, Mapping) or payload.get("format") != DUMP_FORMAT:
+            raise ValueError(
+                f"unsupported BDD dump payload (format {payload.get('format')!r})"
+                if isinstance(payload, Mapping)
+                else "BDD dump payload is not a mapping"
+            )
+        if not payload.get("delta"):
+            raise ValueError("IncrementalLoader needs delta payloads (IncrementalDumper.dump)")
+        table = self._table
+        for entry in payload["nodes"]:
+            variable, low, high = entry
+            if not isinstance(variable, str) or not (0 <= low < len(table)) or not (0 <= high < len(table)):
+                raise ValueError(f"malformed BDD dump entry {entry!r}")
+            table.append(self.manager.ite(self.manager.var(variable), table[high], table[low]))
+        roots = payload["roots"]
+        if any(not isinstance(index, int) or not (0 <= index < len(table)) for index in roots):
+            raise ValueError("BDD dump root index out of range")
+        return [table[index] for index in roots]
+
+
 class BDDNode:
     """A hash-consed BDD node (internal: use :class:`BDDManager`).
 

@@ -40,6 +40,7 @@ default keeps batch throughput unchanged).
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
@@ -146,6 +147,7 @@ class Design:
         symbolic_int_options: Optional[SymbolicIntOptions] = None,
         polynomial_max_states: int = 5000,
         symbolic_state_threshold: Optional[int] = None,
+        parallel: Optional[Union[int, str]] = None,
         registry: Optional[BackendRegistry] = None,
         source: Optional[str] = None,
         translation: Optional[Any] = None,
@@ -174,6 +176,13 @@ class Design:
         self.symbolic_int_options = symbolic_int_options or SymbolicIntOptions(
             integer_domain=self.exploration_options.integer_domain
         )
+        if parallel is not None:
+            # One knob for both symbolic engines: pooled image computation
+            # (repro.verification.parallel).  Results are pinned identical to
+            # the sequential fold, so this is purely a resource decision —
+            # and it rides DesignSpec into job workers unchanged.
+            self.symbolic_options = replace(self.symbolic_options, parallel=parallel)
+            self.symbolic_int_options = replace(self.symbolic_int_options, parallel=parallel)
         self.polynomial_max_states = polynomial_max_states
         # Past this many *potential* ternary state valuations the explicit
         # engines would truncate (or crawl), so auto prefers exhaustive ones.

@@ -27,16 +27,18 @@ check_bench_regression = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_bench_regression)
 
 
-def _payload(*entries):
-    return {"schema": "bench-smoke/2", "benchmarks": list(entries)}
+def _payload(*entries, schema="bench-smoke/2", **extra):
+    return {"schema": schema, "benchmarks": list(entries), **extra}
 
 
-def _entry(nodeid, seconds=None, peak_nodes=None):
+def _entry(nodeid, seconds=None, peak_nodes=None, workers=None):
     entry = {"id": nodeid}
     if seconds is not None:
         entry["seconds"] = seconds
     if peak_nodes is not None:
         entry["peak_nodes"] = peak_nodes
+    if workers is not None:
+        entry["workers"] = workers
     return entry
 
 
@@ -113,6 +115,112 @@ class TestRegressionGate:
         assert "REGRESSION" in capsys.readouterr().err
 
 
+class TestSchemaAndScalingGuards:
+    """The bench-smoke/3 additions: schema validation, core-count scaling."""
+
+    def test_exact_factor_boundary_passes(self):
+        """The gate is strict-greater: exactly 3.0x the baseline is allowed."""
+        current = _payload(_entry("bench::a", seconds=0.3, peak_nodes=9000))
+        baseline = _payload(_entry("bench::a", seconds=0.1, peak_nodes=3000))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+
+    def test_unsupported_schema_raises(self):
+        current = _payload(_entry("bench::a", seconds=0.1), schema="bench-smoke/99")
+        baseline = _payload(_entry("bench::a", seconds=0.1))
+        with pytest.raises(ValueError, match="bench-smoke/99"):
+            check_bench_regression.check(current, baseline, factor=3.0)
+
+    def test_missing_schema_raises(self):
+        current = {"benchmarks": [_entry("bench::a", seconds=0.1)]}
+        baseline = _payload(_entry("bench::a", seconds=0.1))
+        with pytest.raises(ValueError, match="unsupported schema"):
+            check_bench_regression.check(current, baseline, factor=3.0)
+
+    def test_schema_skew_notes_but_compares(self, capsys):
+        current = _payload(
+            _entry("bench::a", seconds=0.1), schema="bench-smoke/3", cpu_count=8
+        )
+        baseline = _payload(_entry("bench::a", seconds=0.1))
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+        assert "schema skew" in capsys.readouterr().out
+
+    def test_scaling_gate_skipped_on_small_runners(self, capsys):
+        """A multi-worker benchmark on a <4-core runner must not fail on
+        wall-clock: an oversubscribed pool is legitimately slower."""
+        current = _payload(
+            _entry("bench::pool", seconds=9.0, workers=4),
+            schema="bench-smoke/3",
+            cpu_count=2,
+        )
+        baseline = _payload(_entry("bench::pool", seconds=0.1), schema="bench-smoke/3")
+        assert check_bench_regression.check(current, baseline, factor=3.0) == []
+        out = capsys.readouterr().out
+        assert "skipping wall-clock gate" in out and "bench::pool" in out
+
+    def test_scaling_gate_enforced_on_big_runners(self):
+        current = _payload(
+            _entry("bench::pool", seconds=9.0, workers=4),
+            schema="bench-smoke/3",
+            cpu_count=8,
+        )
+        baseline = _payload(_entry("bench::pool", seconds=0.1), schema="bench-smoke/3")
+        (failure,) = check_bench_regression.check(current, baseline, factor=3.0)
+        assert "bench::pool" in failure
+
+    def test_sequential_benchmarks_gate_even_on_small_runners(self):
+        current = _payload(
+            _entry("bench::seq", seconds=9.0, workers=0),
+            schema="bench-smoke/3",
+            cpu_count=1,
+        )
+        baseline = _payload(_entry("bench::seq", seconds=0.1), schema="bench-smoke/3")
+        (failure,) = check_bench_regression.check(current, baseline, factor=3.0)
+        assert "bench::seq" in failure
+
+    def test_peak_nodes_still_gate_when_wall_clock_is_skipped(self):
+        """Node counts are deterministic — core counts never excuse them."""
+        current = _payload(
+            _entry("bench::pool", seconds=9.0, peak_nodes=90_000, workers=4),
+            schema="bench-smoke/3",
+            cpu_count=2,
+        )
+        baseline = _payload(
+            _entry("bench::pool", seconds=0.1, peak_nodes=3000), schema="bench-smoke/3"
+        )
+        (failure,) = check_bench_regression.check(current, baseline, factor=3.0)
+        assert "BDD nodes" in failure
+
+    def test_main_reports_malformed_current_as_tooling_error(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text("{not json")
+        baseline.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        assert check_bench_regression.main([str(current), str(baseline)]) == 2
+        assert "bench gate error" in capsys.readouterr().err
+
+    def test_main_reports_empty_file_as_tooling_error(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text("")
+        baseline.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        assert check_bench_regression.main([str(current), str(baseline)]) == 2
+        assert "bench gate error" in capsys.readouterr().err
+
+    def test_main_reports_missing_file_as_tooling_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        assert check_bench_regression.main([str(tmp_path / "nope.json"), str(baseline)]) == 2
+        assert "bench gate error" in capsys.readouterr().err
+
+    def test_main_reports_schema_mismatch_as_tooling_error(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1), schema="nope/1")))
+        baseline.write_text(json.dumps(_payload(_entry("bench::a", seconds=0.1))))
+        assert check_bench_regression.main([str(current), str(baseline)]) == 2
+        assert "unsupported schema" in capsys.readouterr().err
+
+
 # ------------------------------------------------------- conftest smoke gating
 
 def _item(keywords):
@@ -160,3 +268,39 @@ class TestSmokeRunDetection:
         monkeypatch.setenv("BENCH_SMOKE_JSON", "/tmp/override.json")
         config = types.SimpleNamespace(rootpath="/somewhere")
         assert conftest._output_path(config) == "/tmp/override.json"
+
+
+class TestSmokeFileWriting:
+    """The write-then-rename contract: a failing run must never leave a fresh
+    (or half-written) BENCH_SMOKE.json shadowing the last good artifact."""
+
+    @pytest.fixture
+    def session_at(self, tmp_path, monkeypatch):
+        target = tmp_path / "SMOKE.json"
+        monkeypatch.setenv("BENCH_SMOKE_JSON", str(target))
+        monkeypatch.setattr(conftest, "_durations", {"bench::a": 0.125})
+        monkeypatch.setattr(conftest, "_bdd_stats", {"bench::a": {"peak_nodes": 10, "workers": 2}})
+        config = types.SimpleNamespace(rootpath=str(tmp_path))
+        return target, types.SimpleNamespace(config=config)
+
+    def test_passing_session_writes_schema_3(self, session_at):
+        target, session = session_at
+        conftest.pytest_sessionfinish(session, exitstatus=0)
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "bench-smoke/3"
+        assert payload["cpu_count"] >= 1
+        (entry,) = payload["benchmarks"]
+        assert entry == {"id": "bench::a", "seconds": 0.125, "peak_nodes": 10, "workers": 2}
+        assert not target.with_suffix(".json.tmp").exists()
+
+    def test_failing_session_leaves_no_file(self, session_at):
+        target, session = session_at
+        conftest.pytest_sessionfinish(session, exitstatus=1)
+        assert not target.exists()
+        assert not os.path.exists(str(target) + ".tmp")
+
+    def test_failing_session_preserves_the_previous_artifact(self, session_at):
+        target, session = session_at
+        target.write_text('{"schema": "bench-smoke/3", "benchmarks": []}')
+        conftest.pytest_sessionfinish(session, exitstatus=2)
+        assert json.loads(target.read_text())["benchmarks"] == []

@@ -18,6 +18,15 @@ A benchmark fails when its current value exceeds ``factor`` (default 3.0)
 times the (floored) baseline value.  Benchmarks present on only one side
 are reported but do not fail the gate — adding or retiring a benchmark is
 a deliberate act that lands together with a refreshed baseline.
+
+Schema ``bench-smoke/3`` additionally records the runner's ``cpu_count``
+and, per benchmark, the pooled-image ``workers`` count.  A benchmark that
+ran with more than one worker has wall-clock that *depends on available
+cores*: on a runner with fewer than :data:`MIN_SCALING_CPUS` cores its
+timing gate is skipped (with a note) rather than failed, because an
+oversubscribed pool legitimately runs slower than the baseline host.
+An unrecognised schema on either side is an error (exit 2) — the gate must
+never silently compare files it does not understand.
 """
 
 from __future__ import annotations
@@ -32,6 +41,24 @@ import sys
 SECONDS_FLOOR = 0.05
 PEAK_NODES_FLOOR = 2000
 
+#: Smoke-file schemas this gate knows how to compare.  ``bench-smoke/2``
+#: baselines stay valid (they just lack cpu/worker metadata); anything else
+#: is a hard error rather than a silent pass.
+SUPPORTED_SCHEMAS = ("bench-smoke/2", "bench-smoke/3")
+
+#: Minimum runner cores for the wall-clock gate on multi-worker benchmarks.
+MIN_SCALING_CPUS = 4
+
+
+def _validate_schema(payload: dict, role: str) -> str:
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"{role} file has unsupported schema {schema!r} "
+            f"(supported: {', '.join(SUPPORTED_SCHEMAS)})"
+        )
+    return schema
+
 
 def _index(payload: dict) -> dict[str, dict]:
     return {entry["id"]: entry for entry in payload.get("benchmarks", [])}
@@ -40,8 +67,16 @@ def _index(payload: dict) -> dict[str, dict]:
 def check(current: dict, baseline: dict, factor: float) -> list[str]:
     """Return the list of regression messages (empty = gate passes)."""
     failures: list[str] = []
+    _validate_schema(current, "current")
+    schema_baseline = _validate_schema(baseline, "baseline")
+    if current.get("schema") != schema_baseline:
+        print(
+            f"note: schema skew — current {current.get('schema')!r} vs "
+            f"baseline {schema_baseline!r} (baseline refresh will realign)"
+        )
     current_by_id = _index(current)
     baseline_by_id = _index(baseline)
+    cpu_count = int(current.get("cpu_count", 0) or 0)
 
     for missing in sorted(baseline_by_id.keys() - current_by_id.keys()):
         print(f"note: benchmark disappeared (baseline refresh needed?): {missing}")
@@ -50,12 +85,22 @@ def check(current: dict, baseline: dict, factor: float) -> list[str]:
 
     for nodeid in sorted(current_by_id.keys() & baseline_by_id.keys()):
         now, then = current_by_id[nodeid], baseline_by_id[nodeid]
-        budget = factor * max(then.get("seconds", 0.0), SECONDS_FLOOR)
-        if now.get("seconds", 0.0) > budget:
-            failures.append(
-                f"{nodeid}: {now.get('seconds', 0.0):.3f}s exceeds {budget:.3f}s "
-                f"({factor}x the {then.get('seconds', 0.0):.3f}s baseline)"
+        workers = int(now.get("workers", 0) or 0)
+        if workers > 1 and 0 < cpu_count < MIN_SCALING_CPUS:
+            # Pooled-image timing only means something with enough cores to
+            # actually run the workers in parallel; an oversubscribed runner
+            # must not fail the gate on legitimately serialised wall-clock.
+            print(
+                f"note: skipping wall-clock gate for {nodeid} "
+                f"({workers} workers on a {cpu_count}-core runner)"
             )
+        else:
+            budget = factor * max(then.get("seconds", 0.0), SECONDS_FLOOR)
+            if now.get("seconds", 0.0) > budget:
+                failures.append(
+                    f"{nodeid}: {now.get('seconds', 0.0):.3f}s exceeds {budget:.3f}s "
+                    f"({factor}x the {then.get('seconds', 0.0):.3f}s baseline)"
+                )
         if "peak_nodes" in now and "peak_nodes" in then:
             node_budget = factor * max(then["peak_nodes"], PEAK_NODES_FLOOR)
             if now["peak_nodes"] > node_budget:
@@ -77,12 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--factor", type=float, default=3.0, help="regression factor (default 3)")
     arguments = parser.parse_args(argv)
 
-    with open(arguments.current, encoding="utf-8") as handle:
-        current = json.load(handle)
-    with open(arguments.baseline, encoding="utf-8") as handle:
-        baseline = json.load(handle)
-
-    failures = check(current, baseline, arguments.factor)
+    try:
+        with open(arguments.current, encoding="utf-8") as handle:
+            current = json.load(handle)
+        with open(arguments.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check(current, baseline, arguments.factor)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        # Unreadable/malformed inputs or an unsupported schema are tooling
+        # errors, distinct from a benchmark regression (exit 1).
+        print(f"bench gate error: {error}", file=sys.stderr)
+        return 2
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
     if failures:
