@@ -48,6 +48,26 @@ def _parallel_module():
     return parallel
 
 
+def _codegen_module():
+    try:
+        from repro.simulation import codegen
+    except ImportError:  # pragma: no cover - repro not importable (bad env)
+        return None
+    return codegen
+
+
+@pytest.fixture(scope="session")
+def step_compile_mode() -> str:
+    """The step engine this session runs reactions on.
+
+    CI's ``step-compile`` matrix leg exports ``REPRO_STEP_COMPILE``
+    (``interp``, ``codegen``) so the differential and explorer suites run
+    against both engines; everywhere else the default is the generated
+    kernels, with the interpreter kept as the oracle.
+    """
+    return os.environ.get("REPRO_STEP_COMPILE", "codegen")
+
+
 @pytest.fixture(scope="session")
 def parallel_workers() -> int:
     """Worker count for the pooled-image differential suite.
@@ -113,6 +133,9 @@ def pytest_runtest_setup(item):
         parallel = _parallel_module()
         if parallel is not None:
             parallel.reset_global_stats()
+        codegen = _codegen_module()
+        if codegen is not None:
+            codegen.reset_global_stats()
 
 
 def pytest_runtest_logreport(report):
@@ -132,6 +155,14 @@ def pytest_runtest_logreport(report):
             # runners with too few cores to show a speedup.
             entry = _bdd_stats.setdefault(report.nodeid, {})
             entry["workers"] = parallel.global_stats()["workers"]
+        codegen = _codegen_module()
+        if codegen is not None:
+            # Codegen-vs-interp step throughput, recorded by the benchmark
+            # itself (bench_step_codegen.py); 0.0 everywhere else.
+            speedup = codegen.global_stats()["step_speedup"]
+            if speedup:
+                entry = _bdd_stats.setdefault(report.nodeid, {})
+                entry["step_speedup"] = speedup
 
 
 def _output_path(config) -> str | None:

@@ -1,5 +1,6 @@
 """Operational semantics of SIGNAL: compilation, scheduling and simulation."""
 
+from .codegen import STEP_COMPILE_MODES, StepKernels, default_step_compile
 from .compiler import CompiledProcess, ConsistencyError, SimulationError, UnresolvedError
 from .scheduler import (
     DependencyGraph,
@@ -20,16 +21,19 @@ __all__ = [
     "ConsistencyError",
     "DependencyGraph",
     "PRESENT",
+    "STEP_COMPILE_MODES",
     "ScheduleReport",
     "SimulationError",
     "Simulator",
     "Status",
+    "StepKernels",
     "Trace",
     "UNKNOWN_VALUE",
     "UnresolvedError",
     "analyse",
     "behaviors_from_scenarios",
     "build_dependency_graph",
+    "default_step_compile",
     "evaluation_order",
     "find_cycles",
     "instantaneous_reads",

@@ -58,7 +58,9 @@ class CompiledProcess:
     the state space exploration of :mod:`repro.verification` straightforward.
     """
 
-    def __init__(self, definition: ProcessDefinition) -> None:
+    def __init__(self, definition: ProcessDefinition, compile: Optional[str] = None) -> None:
+        from .codegen import StepKernels, resolve_step_compile
+
         self.definition = expand(definition)
         self.name = definition.name
         self.input_names = tuple(self.definition.input_names)
@@ -75,7 +77,12 @@ class CompiledProcess:
         self.definitions = tuple(self.definition.definitions())
         self.constraints = tuple(self.definition.clock_constraints())
         self._stateful: list[tuple[str, Expression]] = []
+        self._stateful_keys: dict[int, str] = {}
         self._index_stateful()
+        # Which engine resolves reactions: "codegen" runs generated kernels
+        # (repro.simulation.codegen), "interp" the reference _Evaluator.
+        self.step_compile = resolve_step_compile(compile)
+        self.kernels = StepKernels(self) if self.step_compile == "codegen" else None
 
     # -- construction helpers ---------------------------------------------------
 
@@ -88,6 +95,9 @@ class CompiledProcess:
                 if isinstance(node, (Delay, Cell)):
                     key = f"{'delay' if isinstance(node, Delay) else 'cell'}{counter}"
                     self._stateful.append((key, node))
+                    # id -> key, built once: _Evaluator used to rebuild this
+                    # map from stateful_nodes() on every reaction.
+                    self._stateful_keys[id(node)] = key
                     counter += 1
                 stack.extend(node.children())
 
@@ -107,6 +117,13 @@ class CompiledProcess:
         """The (state-key, AST node) pairs of stateful operators."""
         return tuple(self._stateful)
 
+    def step_engine_info(self) -> dict[str, Any]:
+        """Which engine resolves reactions, plus kernel count/compile time."""
+        info: dict[str, Any] = {"step_compile": self.step_compile}
+        if self.kernels is not None:
+            info.update(self.kernels.info())
+        return info
+
     def step(
         self,
         state: Mapping[str, Any],
@@ -120,16 +137,26 @@ class CompiledProcess:
                 or a previous step).
             driven: scenario directives — for each driven signal either a
                 concrete value, ``ABSENT``, or the ``PRESENT`` marker.
-            max_passes: safety bound on fixpoint iterations.
+            max_passes: safety bound on fixpoint iterations (must be >= 1).
 
         Returns:
             ``(new_state, instant)`` where ``instant`` maps every signal of the
             process to its value at this instant or ``ABSENT``.
 
         Raises:
+            ValueError: when ``max_passes`` is not a positive pass count.
             ConsistencyError: when the directives contradict the equations.
-            UnresolvedError: when a present signal's value cannot be computed.
+            UnresolvedError: when a present signal's value cannot be computed,
+                or the fixpoint did not converge within the pass bound.
         """
+        if max_passes is not None and max_passes < 1:
+            raise ValueError(
+                f"{self.name}: max_passes must be a positive pass count, got {max_passes!r}"
+            )
+        bound = max_passes if max_passes is not None else 2 * (len(self.definitions) + len(self.constraints)) + 4
+        if self.kernels is not None:
+            return self.kernels.step(state, driven, bound)
+
         env: dict[str, Status] = {name: Status.unknown() for name in self.signal_names}
         for name, directive in driven.items():
             if name not in env:
@@ -140,9 +167,9 @@ class CompiledProcess:
                 raise ConsistencyError(f"{self.name}: {error}") from None
         self._normalise_events(env)
 
-        bound = max_passes if max_passes is not None else 2 * (len(self.definitions) + len(self.constraints)) + 4
         evaluator = _Evaluator(self, state)
-        for _ in range(max(bound, 2)):
+        converged = False
+        for _ in range(bound):
             changed = False
             for definition in self.definitions:
                 result = evaluator.evaluate(definition.expression, env)
@@ -151,7 +178,12 @@ class CompiledProcess:
                 changed |= self._propagate_constraint(evaluator, constraint, env)
             self._normalise_events(env)
             if not changed:
+                converged = True
                 break
+        if not converged:
+            raise UnresolvedError(
+                f"{self.name}: reaction did not converge within {bound} fixpoint passes"
+            )
 
         # Anything still unknown is absent at this instant.
         for name, status in env.items():
@@ -306,8 +338,10 @@ class _Evaluator:
 
     def __init__(self, process: CompiledProcess, state: Mapping[str, Any]) -> None:
         self._process = process
-        self._state = dict(state)
-        self._keys = {id(node): key for key, node in process.stateful_nodes()}
+        # The evaluator only reads the memory, so no defensive copy — step()
+        # is the hot path of every explorer and simulator.
+        self._state = state
+        self._keys = process._stateful_keys
 
     # -- evaluation ---------------------------------------------------------------
 

@@ -89,6 +89,9 @@ class ExplorationResult(Reachability):
     bound_reached: bool = False
     rejected_stimuli: int = 0
     observed: Optional[tuple[str, ...]] = None
+    #: Which engine resolved the reactions (``CompiledProcess.step_engine_info()``):
+    #: the ``compile=`` knob plus kernel count and compile time under codegen.
+    step_engine: Optional[dict] = None
 
     @property
     def state_count(self) -> int:
@@ -113,12 +116,15 @@ class ExplorationResult(Reachability):
 
     def statistics(self) -> dict:
         """Explicit-engine statistics: explored states, transitions, rejections."""
-        return {
+        stats = {
             "states": self.state_count,
             "transitions": self.transition_count,
             "rejected_stimuli": self.rejected_stimuli,
             "bound_reached": self.bound_reached,
         }
+        if self.step_engine is not None:
+            stats.update(self.step_engine)
+        return stats
 
     def check_invariant(self, predicate: ReactionPredicate, name: str = "invariant") -> CheckResult:
         """AG over reactions, on the explored LTS."""
@@ -276,7 +282,7 @@ def explore(
         stimuli.append(stimulus)
 
     lts = LTS(compiled.name)
-    result = ExplorationResult(lts, observed=tuple(observed))
+    result = ExplorationResult(lts, observed=tuple(observed), step_engine=compiled.step_engine_info())
 
     initial_memory = compiled.initial_state()
     initial = lts.add_state(_freeze(initial_memory), initial=True)
@@ -341,7 +347,9 @@ def explore_product(
         )
 
     lts = LTS(f"{left_compiled.name}×{right_compiled.name}")
-    result = ExplorationResult(lts, observed=tuple(observed))
+    result = ExplorationResult(
+        lts, observed=tuple(observed), step_engine=left_compiled.step_engine_info()
+    )
     initial_payload = (_freeze(left_compiled.initial_state()), _freeze(right_compiled.initial_state()))
     initial = lts.add_state(initial_payload, initial=True)
     result.memories[initial] = {

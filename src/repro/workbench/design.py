@@ -148,6 +148,7 @@ class Design:
         polynomial_max_states: int = 5000,
         symbolic_state_threshold: Optional[int] = None,
         parallel: Optional[Union[int, str]] = None,
+        step_compile: Optional[str] = None,
         registry: Optional[BackendRegistry] = None,
         source: Optional[str] = None,
         translation: Optional[Any] = None,
@@ -183,6 +184,11 @@ class Design:
             # and it rides DesignSpec into job workers unchanged.
             self.symbolic_options = replace(self.symbolic_options, parallel=parallel)
             self.symbolic_int_options = replace(self.symbolic_int_options, parallel=parallel)
+        # Which engine CompiledProcess.step runs reactions on ("codegen" by
+        # default, "interp" for the reference evaluator); None defers to the
+        # REPRO_STEP_COMPILE environment knob.  Rides DesignSpec into job
+        # workers like the parallel knob does.
+        self.step_compile = step_compile
         self.polynomial_max_states = polynomial_max_states
         # Past this many *potential* ternary state valuations the explicit
         # engines would truncate (or crawl), so auto prefers exhaustive ones.
@@ -394,7 +400,15 @@ class Design:
     @property
     def compiled(self) -> CompiledProcess:
         """The executable reaction machine (memoised)."""
-        return self._artifact("compiled", lambda: CompiledProcess(self.process))
+        return self._artifact("compiled", self._build_compiled)
+
+    def _build_compiled(self) -> CompiledProcess:
+        compiled = CompiledProcess(self.process, compile=self.step_compile)
+        if compiled.kernels is not None:
+            # Surface the generated-kernel build alongside the other artifacts.
+            self.artifact_counts["step_kernels"] = compiled.kernels.kernel_count
+            self.artifact_seconds["step_kernels"] = compiled.kernels.compile_seconds
+        return compiled
 
     @property
     def clock_hierarchy(self) -> ClockHierarchy:

@@ -135,6 +135,7 @@ class DesignSpec:
     symbolic_int_options: Optional[SymbolicIntOptions] = None
     polynomial_max_states: int = 5000
     symbolic_state_threshold: Optional[int] = None
+    step_compile: Optional[str] = None
 
     @classmethod
     def from_design(cls, design: "Design") -> "DesignSpec":
@@ -147,6 +148,7 @@ class DesignSpec:
             symbolic_int_options=design.symbolic_int_options,
             polynomial_max_states=design.polynomial_max_states,
             symbolic_state_threshold=design.symbolic_state_threshold,
+            step_compile=design.step_compile,
         )
 
     def build(self, cache: Optional["ArtifactStore"] = None) -> "Design":
@@ -160,6 +162,7 @@ class DesignSpec:
             symbolic_int_options=self.symbolic_int_options,
             polynomial_max_states=self.polynomial_max_states,
             symbolic_state_threshold=self.symbolic_state_threshold,
+            step_compile=self.step_compile,
             source=self.source,
             cache=cache,
         )
