@@ -8,6 +8,8 @@
 #                      (CI runs it at REPRO_PARALLEL_WORKERS=1, 2 and 4)
 #   make test-step   - the step-engine differential + explorer suites only
 #                      (CI runs them at REPRO_STEP_COMPILE=interp and codegen)
+#   make test-bdd    - the BDD core differential + symbolic suites only
+#                      (CI runs them at REPRO_BDD_CORE=object and array)
 #   make lint        - ruff (high-signal core rules) + byte-compilation check
 #   make bench-smoke - only the benchmark smoke runs (every benchmarks/bench_*.py
 #                      main path at its smallest size); writes BENCH_SMOKE.json,
@@ -23,7 +25,7 @@ PYTEST := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 COV_MIN ?= 85
 BENCH_FACTOR ?= 3.0
 
-.PHONY: test test-parallel test-step cov lint bench-smoke bench-check bench
+.PHONY: test test-parallel test-step test-bdd cov lint bench-smoke bench-check bench
 
 test:
 	$(PYTEST) -x -q
@@ -33,6 +35,9 @@ test-parallel:
 
 test-step:
 	$(PYTEST) -x -q tests/test_step_codegen.py tests/test_simulation.py tests/test_verification.py
+
+test-bdd:
+	$(PYTEST) -x -q tests/test_bdd_core.py tests/test_bdd_reorder.py tests/test_bdd_serialisation.py tests/test_symbolic_vs_explicit.py tests/test_workbench_cache.py
 
 cov:
 	$(PYTEST) -q --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=$(COV_MIN)

@@ -69,6 +69,18 @@ def step_compile_mode() -> str:
 
 
 @pytest.fixture(scope="session")
+def bdd_core_mode() -> str:
+    """The BDD core this session builds decision diagrams on.
+
+    CI's ``bdd-core`` matrix leg exports ``REPRO_BDD_CORE`` (``object``,
+    ``array``) so the differential and symbolic suites run against both
+    cores; everywhere else the default is the array core with complement
+    edges, with the object core kept as the oracle.
+    """
+    return os.environ.get("REPRO_BDD_CORE", "array")
+
+
+@pytest.fixture(scope="session")
 def parallel_workers() -> int:
     """Worker count for the pooled-image differential suite.
 
@@ -147,7 +159,13 @@ def pytest_runtest_logreport(report):
             _bdd_stats[report.nodeid] = {
                 "peak_nodes": stats["peak_nodes"],
                 "reorders": stats["reorders"],
+                "cache_hits": stats["cache_hits"],
+                "cache_misses": stats["cache_misses"],
             }
+            # Array-vs-object image throughput, recorded by the benchmark
+            # itself (bench_bdd_core.py); 0.0 everywhere else.
+            if stats["core_speedup"]:
+                _bdd_stats[report.nodeid]["core_speedup"] = stats["core_speedup"]
         parallel = _parallel_module()
         if parallel is not None:
             # Worker count the benchmark actually ran with (0 = sequential).

@@ -13,20 +13,41 @@ relational product (``and_exists``) are the primitives the symbolic
 reachability engine of :mod:`repro.verification.symbolic` builds its image
 computation from.
 
+Two interchangeable cores implement the manager:
+
+* ``core="object"`` — the reference implementation: one Python
+  :class:`BDDNode` object per node, dict-based unique table, per-operation
+  dict caches.  Kept as the differential oracle.
+* ``core="array"`` (the default) — the hot core of
+  :mod:`repro.clocks.bdd_array`: nodes are indices into flat parallel
+  ``var/low/high`` arrays, edges are integers carrying a *complement* bit
+  (so negation is O(1) and each diagram is shared with its complement), the
+  unique table is an open-addressed integer hash table, and every boolean
+  connective collapses into a single ITE primitive backed by one lossy
+  array-mapped computed cache with standard-triple normalisation.
+
+``BDDManager(...)`` dispatches between them via the ``core=`` keyword,
+defaulting to the ``REPRO_BDD_CORE`` environment variable (mirroring
+``REPRO_STEP_COMPILE``).  Both cores expose the same node handle API
+(``variable``/``low``/``high``/``identifier``/``is_terminal``) with
+hash-consed ``is``-identity, so the clock calculus, the symbolic engines,
+the parallel image layer and the persistent cache run unmodified on either.
+
 Variable ordering is dynamic: beyond the static first-use order the callers
 establish with :meth:`BDDManager.declare`, the manager implements the
 classical in-place adjacent *level exchange* and group-aware Rudell
 *sifting* (:meth:`BDDManager.reorder`), auto-triggered on unique-table
 growth when ``auto_reorder`` is on.  Every exchange rewrites the affected
-nodes in place — same object, same identifier, same boolean function — so
-node references held by callers, the operation caches (which map functions
-to functions) and name-based renaming maps all stay valid across reorders.
-:meth:`BDDManager.group_variables` pins variable tuples (the symbolic
-engines' prime/unprime pairs) adjacent through every reorder.
+nodes in place — same handle, same identifier, same boolean function — so
+node references held by callers and name-based renaming maps stay valid
+across reorders.  :meth:`BDDManager.group_variables` pins variable tuples
+(the symbolic engines' prime/unprime pairs) adjacent through every reorder.
 """
 
 from __future__ import annotations
 
+import os
+import weakref
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 
@@ -43,24 +64,78 @@ class NodeBudgetExceeded(RuntimeError):
     """
 
 
+#: Name of the environment variable selecting the default BDD core, and the
+#: fallback when it is unset.  Mirrors ``REPRO_STEP_COMPILE``: CI runs the
+#: same suites under both values, everyone else gets the fast core with the
+#: object core kept as the oracle.
+BDD_CORE_ENV = "REPRO_BDD_CORE"
+DEFAULT_BDD_CORE = "array"
+
+#: Core registry, filled in as the implementations are defined (the array
+#: core registers itself from :mod:`repro.clocks.bdd_array`, imported at the
+#: bottom of this module).
+_CORES: dict[str, type] = {}
+
+
+def resolve_bdd_core(core: Optional[str] = None) -> str:
+    """The effective core name: explicit argument, else env, else default."""
+    chosen = core if core is not None else (os.environ.get(BDD_CORE_ENV) or DEFAULT_BDD_CORE)
+    if chosen not in ("object", "array"):
+        raise ValueError(f"unknown BDD core {chosen!r} (choose 'object' or 'array')")
+    return chosen
+
+
 #: Process-wide accumulators over every manager, so test harnesses can record
 #: peak BDD pressure per benchmark without threading managers around.
-GLOBAL_STATS = {"managers": 0, "peak_nodes": 0, "reorders": 0}
+#: ``core_speedup`` is written by ``benchmarks/bench_bdd_core.py`` (the
+#: measured array-vs-object relational throughput ratio); 0.0 elsewhere.
+GLOBAL_STATS = {
+    "managers": 0,
+    "peak_nodes": 0,
+    "reorders": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "core_speedup": 0.0,
+}
+
+#: Live managers, so :func:`global_stats` can fold their cache counters in
+#: without the managers having to push on every operation.
+_MANAGERS: "weakref.WeakSet[BDDManager]" = weakref.WeakSet()
 
 
 def reset_global_stats() -> None:
     """Zero the process-wide BDD counters (per-benchmark bookkeeping)."""
-    GLOBAL_STATS.update(managers=0, peak_nodes=0, reorders=0)
+    GLOBAL_STATS.update(
+        managers=0, peak_nodes=0, reorders=0, cache_hits=0, cache_misses=0, core_speedup=0.0
+    )
+    for manager in list(_MANAGERS):
+        manager._stat_base_hits = manager.cache_hits
+        manager._stat_base_misses = manager.cache_misses
 
 
 def global_stats() -> dict:
-    """A snapshot of the process-wide BDD counters."""
-    return dict(GLOBAL_STATS)
+    """A snapshot of the process-wide BDD counters.
+
+    Cache hits/misses are summed over the live managers (relative to the
+    last :func:`reset_global_stats`) plus whatever finalised managers
+    flushed into the accumulators.
+    """
+    snapshot = dict(GLOBAL_STATS)
+    for manager in list(_MANAGERS):
+        snapshot["cache_hits"] += manager.cache_hits - manager._stat_base_hits
+        snapshot["cache_misses"] += manager.cache_misses - manager._stat_base_misses
+    return snapshot
+
+
+def record_core_speedup(ratio: float) -> None:
+    """Record the measured array-vs-object throughput ratio (benchmarks)."""
+    GLOBAL_STATS["core_speedup"] = round(float(ratio), 3)
 
 
 #: Version tag of the :func:`dump_nodes` payload layout.  Bump on any change
 #: to the node-table encoding so stale persisted dumps are rejected as a
-#: cache miss instead of being mis-decoded.
+#: cache miss instead of being mis-decoded.  Both cores emit and accept the
+#: same layout — payloads are cross-core portable.
 DUMP_FORMAT = 1
 
 
@@ -128,6 +203,9 @@ def load_nodes(manager: "BDDManager", payload: Mapping) -> list["BDDNode"]:
     if not isinstance(payload, Mapping) or payload.get("format") != DUMP_FORMAT:
         raise ValueError(f"unsupported BDD dump payload (format {payload.get('format')!r})"
                          if isinstance(payload, Mapping) else "BDD dump payload is not a mapping")
+    loader = getattr(manager, "_load_payload", None)
+    if loader is not None:
+        return loader(payload)
     for name in payload["order"]:
         manager.declare(name)
     table: list[BDDNode] = [manager.false, manager.true]
@@ -264,32 +342,47 @@ class BDDNode:
 
 
 class BDDManager:
-    """Factory and algebra of ROBDDs over a growable, ordered variable set."""
+    """Factory and algebra of ROBDDs over a growable, ordered variable set.
+
+    Instantiating ``BDDManager(...)`` yields one of two cores (see the
+    module docstring): ``core="array"`` (default, overridable through the
+    ``REPRO_BDD_CORE`` environment variable) or ``core="object"`` (the
+    reference oracle).  This base class holds the shared surface — variable
+    bookkeeping, the generic algorithms expressed over the node handle
+    protocol, and the group-aware sifting driver — while the subclasses
+    provide node construction, ITE, quantification and level exchanges.
+    """
+
+    #: Overridden per core ("object" / "array"); also the ``core=`` value
+    #: that selects the class through the dispatching constructor.
+    core = "object"
+
+    #: Default operation-cache budget as a multiple of the unique-table
+    #: size; see ``cache_ratio`` in ``__init__``.
+    _default_cache_ratio = 8.0
+
+    def __new__(cls, *args, **kwargs):
+        if cls is BDDManager:
+            cls = _CORES[resolve_bdd_core(kwargs.get("core"))]
+        return super().__new__(cls)
 
     def __init__(
         self,
         variables: Iterable[str] = (),
         *,
+        core: Optional[str] = None,
         auto_reorder: bool = False,
         reorder_threshold: int = 20000,
         node_budget: Optional[int] = None,
+        cache_ratio: Optional[float] = None,
     ) -> None:
+        if core is not None and resolve_bdd_core(core) != self.core:
+            raise ValueError(f"cannot build a {self.core!r}-core manager with core={core!r}")
         self._order: list[str] = []
         self._rank: dict[str, int] = {}
-        self.false = BDDNode(None, None, None, 0)
-        self.true = BDDNode(None, None, None, 1)
-        self._next_id = 2
-        self._unique: dict[tuple[str, int, int], BDDNode] = {}
-        self._ite_cache: dict[tuple[int, int, int], BDDNode] = {}
-        self._quant_cache: dict[tuple[int, int, bool], BDDNode] = {}
-        self._relprod_cache: dict[tuple[int, int, int], BDDNode] = {}
-        self._varsets: dict[frozenset, int] = {}
-        #: Per-variable node index, so a level exchange touches one level's
-        #: nodes instead of scanning the whole unique table.
-        self._var_nodes: dict[str, list[BDDNode]] = {}
         #: Reordering state: grouped variables stay adjacent, protected nodes
-        #: are the live roots sifting minimises, and the depth counter defers
-        #: auto-reordering past in-flight recursive operations.
+        #: are the live roots sifting minimises, and the flag defers budget
+        #: enforcement while exchanges are in flight.
         self._groups: dict[str, tuple[str, ...]] = {}
         self._protected: list[BDDNode] = []
         self._protected_ids: set[int] = set()
@@ -304,9 +397,34 @@ class BDDManager:
         self.reorder_count = 0
         self.peak_nodes = 0
         self._reordering = False
+        #: Operation-cache policy and counters.  ``cache_ratio`` bounds the
+        #: cache between reorders: the object core clears its dict caches
+        #: once they outgrow ``ratio × table``, the array core sizes its
+        #: lossy direct-mapped cache at ``ratio × table capacity``.
+        self.cache_ratio = self._default_cache_ratio if cache_ratio is None else float(cache_ratio)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_clears = 0
+        self._stat_base_hits = 0
+        self._stat_base_misses = 0
+        self._setup_core()
         GLOBAL_STATS["managers"] += 1
+        _MANAGERS.add(self)
         for name in variables:
             self.declare(name)
+
+    def __del__(self):  # pragma: no cover - exercised indirectly
+        # Fold this manager's cache counters into the process accumulators
+        # so global_stats() keeps counting after the manager is collected.
+        try:
+            GLOBAL_STATS["cache_hits"] += self.cache_hits - self._stat_base_hits
+            GLOBAL_STATS["cache_misses"] += self.cache_misses - self._stat_base_misses
+        except Exception:
+            pass
+
+    def _setup_core(self) -> None:
+        """Core-specific state (tables, terminals); called by ``__init__``."""
+        raise NotImplementedError
 
     # -- variables ---------------------------------------------------------------
 
@@ -315,21 +433,15 @@ class BDDManager:
         if name not in self._rank:
             self._rank[name] = len(self._order)
             self._order.append(name)
+            self._declared(name)
+
+    def _declared(self, name: str) -> None:
+        """Core hook: ``name`` was appended at the last ordering position."""
 
     @property
     def variables(self) -> tuple[str, ...]:
         """Variables in ordering position."""
         return tuple(self._order)
-
-    def var(self, name: str) -> BDDNode:
-        """The BDD of the literal ``name``."""
-        self.declare(name)
-        return self._node(name, self.false, self.true)
-
-    def nvar(self, name: str) -> BDDNode:
-        """The BDD of the negated literal ``¬name``."""
-        self.declare(name)
-        return self._node(name, self.true, self.false)
 
     def group_variables(self, names: Sequence[str]) -> None:
         """Pin ``names`` together as one reordering group.
@@ -370,36 +482,7 @@ class BDDManager:
             self._protected.append(node)
         return node
 
-    # -- node construction ---------------------------------------------------------
-
-    def _node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
-        if low is high:
-            return low
-        node = self._unique.get((variable, low.identifier, high.identifier))
-        if node is None:
-            if (
-                self.node_budget is not None
-                and not self._reordering
-                and len(self._unique) >= self.node_budget
-            ):
-                raise NodeBudgetExceeded(
-                    f"unique table would outgrow the node budget of {self.node_budget}"
-                )
-            node = self._new_node(variable, low, high)
-        return node
-
-    def _new_node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
-        """Create and register a fresh node (table, level index, peak stats)."""
-        node = BDDNode(variable, low, high, self._next_id)
-        self._next_id += 1
-        self._unique[(variable, low.identifier, high.identifier)] = node
-        self._var_nodes.setdefault(variable, []).append(node)
-        population = len(self._unique)
-        if population > self.peak_nodes:
-            self.peak_nodes = population
-            if population > GLOBAL_STATS["peak_nodes"]:
-                GLOBAL_STATS["peak_nodes"] = population
-        return node
+    # -- generic node helpers -----------------------------------------------------
 
     def _top_variable(self, *nodes: BDDNode) -> str:
         best: Optional[str] = None
@@ -418,32 +501,6 @@ class BDDManager:
         if node.is_terminal or node.variable != variable:
             return node, node
         return node.low, node.high
-
-    def ite(self, condition: BDDNode, then: BDDNode, otherwise: BDDNode) -> BDDNode:
-        """The if-then-else combinator, core of every boolean connective."""
-        if condition is self.true:
-            return then
-        if condition is self.false:
-            return otherwise
-        if then is otherwise:
-            return then
-        if then is self.true and otherwise is self.false:
-            return condition
-        key = (condition.identifier, then.identifier, otherwise.identifier)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        variable = self._top_variable(condition, then, otherwise)
-        c_low, c_high = self._cofactors(condition, variable)
-        t_low, t_high = self._cofactors(then, variable)
-        o_low, o_high = self._cofactors(otherwise, variable)
-        result = self._node(
-            variable,
-            self.ite(c_low, t_low, o_low),
-            self.ite(c_high, t_high, o_high),
-        )
-        self._ite_cache[key] = result
-        return result
 
     # -- boolean connectives ------------------------------------------------------------
 
@@ -485,16 +542,6 @@ class BDDManager:
             result = self.disj(result, node)
         return result
 
-    # -- quantification and relational operations ---------------------------------------
-
-    def _varset_id(self, variables: Iterable[str]) -> tuple[frozenset, int]:
-        names = variables if isinstance(variables, frozenset) else frozenset(variables)
-        identifier = self._varsets.get(names)
-        if identifier is None:
-            identifier = len(self._varsets)
-            self._varsets[names] = identifier
-        return names, identifier
-
     def cube(self, assignment: Mapping[str, bool]) -> BDDNode:
         """The conjunction of literals described by ``assignment``."""
         result = self.true
@@ -502,40 +549,10 @@ class BDDManager:
             result = self.conj(result, self.var(name) if value else self.nvar(name))
         return result
 
-    def exists(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
-        """Existential quantification ``∃ variables . node``."""
-        names, set_id = self._varset_id(variables)
-        return self._quantify(node, names, set_id, existential=True)
+    # -- rename validation (shared by both cores) ---------------------------------------
 
-    def forall(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
-        """Universal quantification ``∀ variables . node``."""
-        names, set_id = self._varset_id(variables)
-        return self._quantify(node, names, set_id, existential=False)
-
-    def _quantify(self, node: BDDNode, names: frozenset, set_id: int, existential: bool) -> BDDNode:
-        if node.is_terminal:
-            return node
-        key = (node.identifier, set_id, existential)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            return cached
-        low = self._quantify(node.low, names, set_id, existential)
-        high = self._quantify(node.high, names, set_id, existential)
-        if node.variable in names:
-            result = self.disj(low, high) if existential else self.conj(low, high)
-        else:
-            result = self._node(node.variable, low, high)
-        self._quant_cache[key] = result
-        return result
-
-    def rename(self, node: BDDNode, mapping: Mapping[str, str]) -> BDDNode:
-        """Simultaneous substitution of variables by variables.
-
-        The substitution is functional composition, so it is correct even when
-        the renaming does not preserve the variable ordering (the result is
-        rebuilt with ``ite``); renaming onto a variable in the support of
-        ``node`` that is not itself renamed away is rejected.
-        """
+    def _rename_relevant(self, node: BDDNode, mapping: Mapping[str, str]) -> dict[str, str]:
+        """The support-restricted, validated renaming (targets declared)."""
         support = self.support(node)
         relevant = {old: new for old, new in mapping.items() if old in support}
         clashes = (set(relevant.values()) & support) - set(relevant)
@@ -546,60 +563,7 @@ class BDDManager:
             raise ValueError(f"rename is not injective on the support: targets {duplicated} are duplicated")
         for new in relevant.values():
             self.declare(new)
-        memo: dict[int, BDDNode] = {}
-
-        def walk(current: BDDNode) -> BDDNode:
-            if current.is_terminal:
-                return current
-            done = memo.get(current.identifier)
-            if done is not None:
-                return done
-            low = walk(current.low)
-            high = walk(current.high)
-            target = relevant.get(current.variable, current.variable)
-            result = self.ite(self.var(target), high, low)
-            memo[current.identifier] = result
-            return result
-
-        return walk(node)
-
-    def and_exists(self, left: BDDNode, right: BDDNode, variables: Iterable[str]) -> BDDNode:
-        """The relational product ``∃ variables . left ∧ right`` in one pass.
-
-        Quantifying while conjoining avoids materialising the (often much
-        larger) conjunction — the classical optimisation of symbolic image
-        computation.
-        """
-        names, set_id = self._varset_id(variables)
-        return self._and_exists(left, right, names, set_id)
-
-    def _and_exists(self, left: BDDNode, right: BDDNode, names: frozenset, set_id: int) -> BDDNode:
-        if left is self.false or right is self.false:
-            return self.false
-        if left is self.true and right is self.true:
-            return self.true
-        if left is self.true:
-            return self._quantify(right, names, set_id, existential=True)
-        if right is self.true:
-            return self._quantify(left, names, set_id, existential=True)
-        key = (min(left.identifier, right.identifier), max(left.identifier, right.identifier), set_id)
-        cached = self._relprod_cache.get(key)
-        if cached is not None:
-            return cached
-        variable = self._top_variable(left, right)
-        l_low, l_high = self._cofactors(left, variable)
-        r_low, r_high = self._cofactors(right, variable)
-        low = self._and_exists(l_low, r_low, names, set_id)
-        if variable in names and low is self.true:
-            result = self.true
-        else:
-            high = self._and_exists(l_high, r_high, names, set_id)
-            if variable in names:
-                result = self.disj(low, high)
-            else:
-                result = self._node(variable, low, high)
-        self._relprod_cache[key] = result
-        return result
+        return relevant
 
     def preimage(
         self,
@@ -635,7 +599,7 @@ class BDDManager:
         """
         if not self.auto_reorder or self._reordering:
             return False
-        population = len(self._unique)
+        population = self._population()
         # A checkpoint near the node budget always gets to collect and
         # re-sift, whatever the threshold has doubled to — dying on budget
         # without having tried a reorder would defeat the budget's purpose.
@@ -647,136 +611,49 @@ class BDDManager:
         self.reorder(roots=[*self._protected, *roots])
         # Classic threshold doubling: don't re-sift until the table has
         # genuinely outgrown what this pass settled on.
-        self.reorder_threshold = max(self.reorder_threshold, 2 * len(self._unique))
+        self.reorder_threshold = max(self.reorder_threshold, 2 * self._population())
         return True
 
-    def _collect(self, roots: Sequence[BDDNode]) -> None:
-        """Mark-and-sweep the unique table down to ``roots``' diagrams.
+    def reorder(
+        self, roots: Optional[Iterable[BDDNode]] = None, max_growth: float = 1.4
+    ) -> int:
+        """One pass of group-aware Rudell sifting over the live diagrams.
 
-        Nodes unreachable from the roots are dropped from the table (their
-        Python objects become dead weight the moment the caller lets go);
-        the operation caches are cleared wholesale since they may reference
-        swept nodes.  Only called inside :meth:`reorder` — the sweep is what
-        keeps level exchanges proportional to the live diagrams instead of
-        every node ever created.
+        The unique table is first garbage-collected down to the nodes
+        reachable from ``roots`` (default: the :meth:`protect`-ed set) —
+        **nodes outside those diagrams are dropped and must not be passed
+        back into the manager afterwards**.  Then every group (prime/unprime
+        pairs declared via :meth:`group_variables`; other variables are
+        singletons) is moved through the order by adjacent level exchanges —
+        largest population first — and parked where the total live node
+        count is smallest; a sweep direction is abandoned once the count
+        exceeds ``max_growth`` times the best seen.  Live nodes are mutated
+        in place — same handle, same identifier, same function — so
+        references *into the root diagrams* and name-based renaming maps all
+        survive.  Returns the live node count after the pass.
         """
-        live: dict[int, BDDNode] = {}
-        stack = list(roots)
-        while stack:
-            node = stack.pop()
-            if node.is_terminal or node.identifier in live:
-                continue
-            live[node.identifier] = node
-            stack.append(node.low)
-            stack.append(node.high)
-        self._unique = {
-            (node.variable, node.low.identifier, node.high.identifier): node
-            for node in live.values()
-        }
-        self._var_nodes = {}
-        for node in live.values():
-            self._var_nodes.setdefault(node.variable, []).append(node)
-        self._ite_cache.clear()
-        self._quant_cache.clear()
-        self._relprod_cache.clear()
-
-    def _swap_adjacent(self, position: int) -> None:
-        """Exchange the variables at ``position`` and ``position + 1`` in place.
-
-        The classical level exchange: every live node labelled by the upper
-        variable whose cofactors mention the lower one is rewritten *in
-        place* — same object, same identifier, same boolean function — so
-        references into the root diagrams, and name-based maps, stay valid.
-        Nodes without a lower-variable cofactor simply travel with their
-        label's new rank.  The exchange preserves canonicity because a
-        rewritten node can collide neither with a pre-existing lower-variable
-        node (those are ordered below both levels, hence free of the upper
-        variable, while a rewrite keeps at least one upper-variable cofactor)
-        nor with another rewrite (distinct functions stay distinct).
-
-        Reference counts (established by :meth:`reorder` after its garbage
-        collection) are maintained: rewired-away children are released and
-        dead diagrams deleted eagerly, so ``len(self._unique)`` *is* the live
-        node count throughout sifting — the metric positions are judged by.
-        """
-        upper = self._order[position]
-        lower = self._order[position + 1]
-        affected: list[BDDNode] = []
-        remaining: list[BDDNode] = []
-        for node in self._var_nodes.get(upper, ()):
-            if node.refcount <= 0 or node.variable != upper:
-                continue  # died, or migrated in an earlier exchange
-            if node.low.variable == lower or node.high.variable == lower:
-                affected.append(node)
-            else:
-                remaining.append(node)
-        # Reset the level index before rewriting: freshly created upper-level
-        # children re-register themselves through ``_claim``.
-        self._var_nodes[upper] = remaining
-        lower_level = self._var_nodes.setdefault(lower, [])
-        for node in affected:
-            del self._unique[(upper, node.low.identifier, node.high.identifier)]
-        self._order[position], self._order[position + 1] = lower, upper
-        self._rank[upper], self._rank[lower] = self._rank[lower], self._rank[upper]
-        for node in affected:
-            old_low, old_high = node.low, node.high
-            low_low, low_high = self._cofactors(old_low, lower)
-            high_low, high_high = self._cofactors(old_high, lower)
-            new_low = self._claim(upper, low_low, high_low)
-            new_high = self._claim(upper, low_high, high_high)
-            node.variable = lower
-            node.low = new_low
-            node.high = new_high
-            new_key = (lower, new_low.identifier, new_high.identifier)
-            assert new_key not in self._unique, "level exchange produced a duplicate"
-            self._unique[new_key] = node
-            lower_level.append(node)
-            self._release(old_low)
-            self._release(old_high)
-
-    def _claim(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
-        """Reduced node construction during a reorder, claiming one reference."""
-        if low is high:
-            if not low.is_terminal:
-                low.refcount += 1
-            return low
-        node = self._unique.get((variable, low.identifier, high.identifier))
-        if node is not None:
-            node.refcount += 1
-            return node
-        node = self._new_node(variable, low, high)
-        node.refcount = 1
-        if not low.is_terminal:
-            low.refcount += 1
-        if not high.is_terminal:
-            high.refcount += 1
-        return node
-
-    def _release(self, node: BDDNode) -> None:
-        """Drop one reference; delete the node (and cascade) when none remain."""
-        if node.is_terminal:
-            return
-        node.refcount -= 1
-        if node.refcount > 0:
-            return
-        del self._unique[(node.variable, node.low.identifier, node.high.identifier)]
-        self._release(node.low)
-        self._release(node.high)
-
-    def _live_counts(self, roots: Sequence[BDDNode]) -> dict[str, int]:
-        """Per-variable node counts of the diagrams reachable from ``roots``."""
-        counts = {name: 0 for name in self._order}
-        seen: set[int] = set()
-        stack = list(roots)
-        while stack:
-            current = stack.pop()
-            if current.is_terminal or current.identifier in seen:
-                continue
-            seen.add(current.identifier)
-            counts[current.variable] += 1
-            stack.append(current.low)
-            stack.append(current.high)
-        return counts
+        root_nodes = [
+            node
+            for node in (list(roots) if roots is not None else self._protected)
+            if not node.is_terminal
+        ]
+        if not root_nodes or len(self._order) < 2:
+            return 0
+        self._reordering = True
+        try:
+            self._begin_reorder(root_nodes)
+            groups = self._grouped_order()
+            counts = self._live_counts(root_nodes)
+            population = {group: sum(counts[name] for name in group) for group in groups}
+            for group in sorted(groups, key=lambda g: population[g], reverse=True):
+                self._sift_group(groups, group, max_growth)
+            total = self._population()
+            self._end_reorder(root_nodes)
+        finally:
+            self._reordering = False
+        self.reorder_count += 1
+        GLOBAL_STATS["reorders"] += 1
+        return total
 
     def _grouped_order(self) -> list[tuple[str, ...]]:
         """The current order partitioned into reordering units (groups)."""
@@ -804,59 +681,6 @@ class BDDManager:
                 self._swap_adjacent(position)
         groups[index], groups[index + 1] = below, above
 
-    def reorder(
-        self, roots: Optional[Iterable[BDDNode]] = None, max_growth: float = 1.4
-    ) -> int:
-        """One pass of group-aware Rudell sifting over the live diagrams.
-
-        The unique table is first garbage-collected down to the nodes
-        reachable from ``roots`` (default: the :meth:`protect`-ed set) —
-        **nodes outside those diagrams are dropped and must not be passed
-        back into the manager afterwards**.  Then every group (prime/unprime
-        pairs declared via :meth:`group_variables`; other variables are
-        singletons) is moved through the order by adjacent level exchanges —
-        largest population first — and parked where the total live node
-        count is smallest; a sweep direction is abandoned once the count
-        exceeds ``max_growth`` times the best seen.  Live nodes are mutated
-        in place — same object, same identifier, same function — so
-        references *into the root diagrams* and name-based renaming maps all
-        survive.  Returns the live node count after the pass.
-        """
-        root_nodes = [
-            node
-            for node in (list(roots) if roots is not None else self._protected)
-            if not node.is_terminal
-        ]
-        if not root_nodes or len(self._order) < 2:
-            return 0
-        self._reordering = True
-        try:
-            self._collect(root_nodes)
-            # Root and parent reference counts let exchanges delete dead
-            # diagrams eagerly: from here on the table holds exactly the
-            # live nodes, so ``len(self._unique)`` is the sifting metric.
-            for node in self._unique.values():
-                node.refcount = 0
-            for node in self._unique.values():
-                if not node.low.is_terminal:
-                    node.low.refcount += 1
-                if not node.high.is_terminal:
-                    node.high.refcount += 1
-            for root in root_nodes:
-                root.refcount += 1
-            groups = self._grouped_order()
-            counts = self._live_counts(root_nodes)
-            population = {group: sum(counts[name] for name in group) for group in groups}
-            for group in sorted(groups, key=lambda g: population[g], reverse=True):
-                self._sift_group(groups, group, max_growth)
-            total = len(self._unique)
-            self._collect(root_nodes)  # rebuild the level index, drop dead entries
-        finally:
-            self._reordering = False
-        self.reorder_count += 1
-        GLOBAL_STATS["reorders"] += 1
-        return total
-
     def _sift_group(
         self,
         groups: list[tuple[str, ...]],
@@ -865,11 +689,11 @@ class BDDManager:
     ) -> None:
         """Sift one group to the position minimising the live table size."""
         position = groups.index(group)
-        best_total, best_index = len(self._unique), position
+        best_total, best_index = self._population(), position
         while position < len(groups) - 1:  # sweep down
             self._swap_groups(groups, position)
             position += 1
-            total = len(self._unique)
+            total = self._population()
             if total < best_total:
                 best_total, best_index = total, position
             if total > max_growth * best_total:
@@ -877,7 +701,7 @@ class BDDManager:
         while position > 0:  # sweep up, through the start position
             self._swap_groups(groups, position - 1)
             position -= 1
-            total = len(self._unique)
+            total = self._population()
             if total < best_total:
                 best_total, best_index = total, position
             if total > max_growth * best_total and position <= best_index:
@@ -890,17 +714,19 @@ class BDDManager:
             position -= 1
 
     def statistics(self) -> dict:
-        """Counters of the manager's life so far (sizes, peaks, reorders)."""
+        """Counters of the manager's life so far (sizes, peaks, caches)."""
         return {
+            "core": self.core,
             "variables": len(self._order),
-            "table_nodes": len(self._unique),
+            "table_nodes": self._population(),
             "live_nodes": sum(self._live_counts(self._protected).values()),
             "peak_nodes": self.peak_nodes,
             "reorders": self.reorder_count,
-            "nodes_created": self._next_id - 2,
-            "cache_entries": len(self._ite_cache)
-            + len(self._quant_cache)
-            + len(self._relprod_cache),
+            "nodes_created": self._nodes_created(),
+            "cache_entries": self._cache_entries(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_clears": self.cache_clears,
         }
 
     # -- bit-vector circuits ------------------------------------------------------------
@@ -1122,3 +948,391 @@ class BDDManager:
             stack.append(current.low)
             stack.append(current.high)
         return count
+
+
+class ObjectBDDManager(BDDManager):
+    """The reference core: one Python object per node, dict-based tables.
+
+    Slower than the array core but structurally transparent — every node is
+    a :class:`BDDNode` with real attributes — which is what makes it the
+    differential oracle the array core is pinned against in
+    ``tests/test_bdd_core.py`` and the CI ``bdd-core`` matrix leg.
+    """
+
+    core = "object"
+    _default_cache_ratio = 8.0
+
+    #: Never trim the dict caches below this many entries, whatever the
+    #: ratio says — tiny tables would otherwise thrash the caches on every
+    #: recursion.
+    _CACHE_FLOOR = 1 << 15
+
+    def _setup_core(self) -> None:
+        self.false = BDDNode(None, None, None, 0)
+        self.true = BDDNode(None, None, None, 1)
+        self._next_id = 2
+        self._unique: dict[tuple[str, int, int], BDDNode] = {}
+        self._ite_cache: dict[tuple[int, int, int], BDDNode] = {}
+        self._quant_cache: dict[tuple[int, int, bool], BDDNode] = {}
+        self._relprod_cache: dict[tuple[int, int, int], BDDNode] = {}
+        self._varsets: dict[frozenset, int] = {}
+        #: Per-variable node index, so a level exchange touches one level's
+        #: nodes instead of scanning the whole unique table.
+        self._var_nodes: dict[str, list[BDDNode]] = {}
+
+    # -- core accounting -----------------------------------------------------------
+
+    def _population(self) -> int:
+        return len(self._unique)
+
+    def _nodes_created(self) -> int:
+        return self._next_id - 2
+
+    def _cache_entries(self) -> int:
+        return len(self._ite_cache) + len(self._quant_cache) + len(self._relprod_cache)
+
+    def _note_cache_insert(self) -> None:
+        """Clear the dict caches once they outgrow ``cache_ratio × table``."""
+        limit = max(self._CACHE_FLOOR, int(self.cache_ratio * len(self._unique)))
+        if self._cache_entries() > limit:
+            self._ite_cache.clear()
+            self._quant_cache.clear()
+            self._relprod_cache.clear()
+            self.cache_clears += 1
+
+    # -- variables -----------------------------------------------------------------
+
+    def var(self, name: str) -> BDDNode:
+        """The BDD of the literal ``name``."""
+        self.declare(name)
+        return self._node(name, self.false, self.true)
+
+    def nvar(self, name: str) -> BDDNode:
+        """The BDD of the negated literal ``¬name``."""
+        self.declare(name)
+        return self._node(name, self.true, self.false)
+
+    # -- node construction ---------------------------------------------------------
+
+    def _node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        if low is high:
+            return low
+        node = self._unique.get((variable, low.identifier, high.identifier))
+        if node is None:
+            if (
+                self.node_budget is not None
+                and not self._reordering
+                and len(self._unique) >= self.node_budget
+            ):
+                raise NodeBudgetExceeded(
+                    f"unique table would outgrow the node budget of {self.node_budget}"
+                )
+            node = self._new_node(variable, low, high)
+        return node
+
+    def _new_node(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        """Create and register a fresh node (table, level index, peak stats)."""
+        node = BDDNode(variable, low, high, self._next_id)
+        self._next_id += 1
+        self._unique[(variable, low.identifier, high.identifier)] = node
+        self._var_nodes.setdefault(variable, []).append(node)
+        population = len(self._unique)
+        if population > self.peak_nodes:
+            self.peak_nodes = population
+            if population > GLOBAL_STATS["peak_nodes"]:
+                GLOBAL_STATS["peak_nodes"] = population
+        return node
+
+    def ite(self, condition: BDDNode, then: BDDNode, otherwise: BDDNode) -> BDDNode:
+        """The if-then-else combinator, core of every boolean connective."""
+        if condition is self.true:
+            return then
+        if condition is self.false:
+            return otherwise
+        if then is otherwise:
+            return then
+        if then is self.true and otherwise is self.false:
+            return condition
+        key = (condition.identifier, then.identifier, otherwise.identifier)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        variable = self._top_variable(condition, then, otherwise)
+        c_low, c_high = self._cofactors(condition, variable)
+        t_low, t_high = self._cofactors(then, variable)
+        o_low, o_high = self._cofactors(otherwise, variable)
+        result = self._node(
+            variable,
+            self.ite(c_low, t_low, o_low),
+            self.ite(c_high, t_high, o_high),
+        )
+        self._ite_cache[key] = result
+        self._note_cache_insert()
+        return result
+
+    # -- quantification and relational operations ---------------------------------------
+
+    def _varset_id(self, variables: Iterable[str]) -> tuple[frozenset, int]:
+        names = variables if isinstance(variables, frozenset) else frozenset(variables)
+        identifier = self._varsets.get(names)
+        if identifier is None:
+            identifier = len(self._varsets)
+            self._varsets[names] = identifier
+        return names, identifier
+
+    def exists(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """Existential quantification ``∃ variables . node``."""
+        names, set_id = self._varset_id(variables)
+        return self._quantify(node, names, set_id, existential=True)
+
+    def forall(self, node: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """Universal quantification ``∀ variables . node``."""
+        names, set_id = self._varset_id(variables)
+        return self._quantify(node, names, set_id, existential=False)
+
+    def _quantify(self, node: BDDNode, names: frozenset, set_id: int, existential: bool) -> BDDNode:
+        if node.is_terminal:
+            return node
+        key = (node.identifier, set_id, existential)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        low = self._quantify(node.low, names, set_id, existential)
+        high = self._quantify(node.high, names, set_id, existential)
+        if node.variable in names:
+            result = self.disj(low, high) if existential else self.conj(low, high)
+        else:
+            result = self._node(node.variable, low, high)
+        self._quant_cache[key] = result
+        self._note_cache_insert()
+        return result
+
+    def rename(self, node: BDDNode, mapping: Mapping[str, str]) -> BDDNode:
+        """Simultaneous substitution of variables by variables.
+
+        The substitution is functional composition, so it is correct even when
+        the renaming does not preserve the variable ordering (the result is
+        rebuilt with ``ite``); renaming onto a variable in the support of
+        ``node`` that is not itself renamed away is rejected.
+        """
+        relevant = self._rename_relevant(node, mapping)
+        memo: dict[int, BDDNode] = {}
+
+        def walk(current: BDDNode) -> BDDNode:
+            if current.is_terminal:
+                return current
+            done = memo.get(current.identifier)
+            if done is not None:
+                return done
+            low = walk(current.low)
+            high = walk(current.high)
+            target = relevant.get(current.variable, current.variable)
+            result = self.ite(self.var(target), high, low)
+            memo[current.identifier] = result
+            return result
+
+        return walk(node)
+
+    def and_exists(self, left: BDDNode, right: BDDNode, variables: Iterable[str]) -> BDDNode:
+        """The relational product ``∃ variables . left ∧ right`` in one pass.
+
+        Quantifying while conjoining avoids materialising the (often much
+        larger) conjunction — the classical optimisation of symbolic image
+        computation.
+        """
+        names, set_id = self._varset_id(variables)
+        return self._and_exists(left, right, names, set_id)
+
+    def _and_exists(self, left: BDDNode, right: BDDNode, names: frozenset, set_id: int) -> BDDNode:
+        if left is self.false or right is self.false:
+            return self.false
+        if left is self.true and right is self.true:
+            return self.true
+        if left is self.true:
+            return self._quantify(right, names, set_id, existential=True)
+        if right is self.true:
+            return self._quantify(left, names, set_id, existential=True)
+        key = (min(left.identifier, right.identifier), max(left.identifier, right.identifier), set_id)
+        cached = self._relprod_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        variable = self._top_variable(left, right)
+        l_low, l_high = self._cofactors(left, variable)
+        r_low, r_high = self._cofactors(right, variable)
+        low = self._and_exists(l_low, r_low, names, set_id)
+        if variable in names and low is self.true:
+            result = self.true
+        else:
+            high = self._and_exists(l_high, r_high, names, set_id)
+            if variable in names:
+                result = self.disj(low, high)
+            else:
+                result = self._node(variable, low, high)
+        self._relprod_cache[key] = result
+        self._note_cache_insert()
+        return result
+
+    # -- dynamic variable reordering -----------------------------------------------------
+
+    def _begin_reorder(self, root_nodes: Sequence[BDDNode]) -> None:
+        self._collect(root_nodes)
+        # Root and parent reference counts let exchanges delete dead
+        # diagrams eagerly: from here on the table holds exactly the
+        # live nodes, so ``len(self._unique)`` is the sifting metric.
+        for node in self._unique.values():
+            node.refcount = 0
+        for node in self._unique.values():
+            if not node.low.is_terminal:
+                node.low.refcount += 1
+            if not node.high.is_terminal:
+                node.high.refcount += 1
+        for root in root_nodes:
+            root.refcount += 1
+
+    def _end_reorder(self, root_nodes: Sequence[BDDNode]) -> None:
+        self._collect(root_nodes)  # rebuild the level index, drop dead entries
+
+    def _collect(self, roots: Sequence[BDDNode]) -> None:
+        """Mark-and-sweep the unique table down to ``roots``' diagrams.
+
+        Nodes unreachable from the roots are dropped from the table (their
+        Python objects become dead weight the moment the caller lets go);
+        the operation caches are cleared wholesale since they may reference
+        swept nodes.  Only called inside :meth:`reorder` — the sweep is what
+        keeps level exchanges proportional to the live diagrams instead of
+        every node ever created.
+        """
+        live: dict[int, BDDNode] = {}
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node.is_terminal or node.identifier in live:
+                continue
+            live[node.identifier] = node
+            stack.append(node.low)
+            stack.append(node.high)
+        self._unique = {
+            (node.variable, node.low.identifier, node.high.identifier): node
+            for node in live.values()
+        }
+        self._var_nodes = {}
+        for node in live.values():
+            self._var_nodes.setdefault(node.variable, []).append(node)
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        self._relprod_cache.clear()
+        self.cache_clears += 1
+
+    def _swap_adjacent(self, position: int) -> None:
+        """Exchange the variables at ``position`` and ``position + 1`` in place.
+
+        The classical level exchange: every live node labelled by the upper
+        variable whose cofactors mention the lower one is rewritten *in
+        place* — same object, same identifier, same boolean function — so
+        references into the root diagrams, and name-based maps, stay valid.
+        Nodes without a lower-variable cofactor simply travel with their
+        label's new rank.  The exchange preserves canonicity because a
+        rewritten node can collide neither with a pre-existing lower-variable
+        node (those are ordered below both levels, hence free of the upper
+        variable, while a rewrite keeps at least one upper-variable cofactor)
+        nor with another rewrite (distinct functions stay distinct).
+
+        Reference counts (established by :meth:`reorder` after its garbage
+        collection) are maintained: rewired-away children are released and
+        dead diagrams deleted eagerly, so ``len(self._unique)`` *is* the live
+        node count throughout sifting — the metric positions are judged by.
+        """
+        upper = self._order[position]
+        lower = self._order[position + 1]
+        affected: list[BDDNode] = []
+        remaining: list[BDDNode] = []
+        for node in self._var_nodes.get(upper, ()):
+            if node.refcount <= 0 or node.variable != upper:
+                continue  # died, or migrated in an earlier exchange
+            if node.low.variable == lower or node.high.variable == lower:
+                affected.append(node)
+            else:
+                remaining.append(node)
+        # Reset the level index before rewriting: freshly created upper-level
+        # children re-register themselves through ``_claim``.
+        self._var_nodes[upper] = remaining
+        lower_level = self._var_nodes.setdefault(lower, [])
+        for node in affected:
+            del self._unique[(upper, node.low.identifier, node.high.identifier)]
+        self._order[position], self._order[position + 1] = lower, upper
+        self._rank[upper], self._rank[lower] = self._rank[lower], self._rank[upper]
+        for node in affected:
+            old_low, old_high = node.low, node.high
+            low_low, low_high = self._cofactors(old_low, lower)
+            high_low, high_high = self._cofactors(old_high, lower)
+            new_low = self._claim(upper, low_low, high_low)
+            new_high = self._claim(upper, low_high, high_high)
+            node.variable = lower
+            node.low = new_low
+            node.high = new_high
+            new_key = (lower, new_low.identifier, new_high.identifier)
+            assert new_key not in self._unique, "level exchange produced a duplicate"
+            self._unique[new_key] = node
+            lower_level.append(node)
+            self._release(old_low)
+            self._release(old_high)
+
+    def _claim(self, variable: str, low: BDDNode, high: BDDNode) -> BDDNode:
+        """Reduced node construction during a reorder, claiming one reference."""
+        if low is high:
+            if not low.is_terminal:
+                low.refcount += 1
+            return low
+        node = self._unique.get((variable, low.identifier, high.identifier))
+        if node is not None:
+            node.refcount += 1
+            return node
+        node = self._new_node(variable, low, high)
+        node.refcount = 1
+        if not low.is_terminal:
+            low.refcount += 1
+        if not high.is_terminal:
+            high.refcount += 1
+        return node
+
+    def _release(self, node: BDDNode) -> None:
+        """Drop one reference; delete the node (and cascade) when none remain."""
+        if node.is_terminal:
+            return
+        node.refcount -= 1
+        if node.refcount > 0:
+            return
+        del self._unique[(node.variable, node.low.identifier, node.high.identifier)]
+        self._release(node.low)
+        self._release(node.high)
+
+    def _live_counts(self, roots: Sequence[BDDNode]) -> dict[str, int]:
+        """Per-variable node counts of the diagrams reachable from ``roots``."""
+        counts = {name: 0 for name in self._order}
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current.is_terminal or current.identifier in seen:
+                continue
+            seen.add(current.identifier)
+            counts[current.variable] += 1
+            stack.append(current.low)
+            stack.append(current.high)
+        return counts
+
+
+_CORES["object"] = ObjectBDDManager
+
+# The array core lives in its own module (it shares nothing structural with
+# the object core beyond the base class); importing it registers it under
+# _CORES["array"].  Imported last so the base machinery above is defined.
+from .bdd_array import ArrayBDDManager, ArrayBDDNode  # noqa: E402
+
+_CORES["array"] = ArrayBDDManager

@@ -1,0 +1,926 @@
+"""The array-based BDD core: integer edges, complement bits, one ITE.
+
+This module implements the ``core="array"`` half of
+:class:`repro.clocks.bdd.BDDManager`.  Where the object core allocates one
+Python object per node and memoises each operation in its own dict, this
+core lowers the whole diagram store onto flat parallel lists:
+
+* A *node* is an index ``n`` into ``_var``/``_lo``/``_hi`` (variable id,
+  low edge, high edge).  Index 0 is the only terminal.
+* An *edge* is ``(n << 1) | complement``: the low bit tags logical
+  negation, so edge 0 is TRUE, edge 1 is FALSE, and ``neg`` is a single
+  XOR — no traversal, no allocation.  Canonical form: the **stored high
+  edge of every node is regular** (complement bit clear); ``_mk``
+  normalises by complementing both children and returning a complemented
+  edge instead, which is what makes ``f`` and ``¬f`` share one node and
+  ``ite(x, 1, 0)`` the only representation of a literal.
+* The unique table is one integer hash table: the ``(var, low, high)``
+  triple is packed into a single int key mapping to the slot index, so
+  every probe hashes and compares machine integers (and sifting's eager
+  deletions are plain key removals).
+* All boolean connectives funnel into one recursive ``_ite`` with the
+  Brace–Rudell–Bryant *standard triple* normalisation, backed by a single
+  packed-integer-keyed computed cache shared with quantification and the
+  relational product, bounded at ``cache_ratio`` times the unique-table
+  size and dropped wholesale on overflow or garbage collection (losing
+  entries only costs recomputation, never correctness).
+
+Handles: the public API still trades in node objects with
+``variable``/``low``/``high``/``identifier`` attributes (so the generic
+algorithms, :func:`repro.clocks.bdd.dump_nodes` and every engine run
+unmodified).  :class:`ArrayBDDNode` is a two-word view over an edge,
+canonicalised through a ``WeakValueDictionary`` so ``is``-identity works
+exactly as with object nodes; its ``low``/``high`` properties push the
+complement bit down, presenting the plain-BDD view serialisation expects.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from .bdd import GLOBAL_STATS, BDDManager, NodeBudgetExceeded
+
+#: Level sentinel for the terminal — orders below every real variable.
+_BIG = 1 << 60
+
+#: Computed-table operation tags (one cache, many operations; the tag
+#: occupies the low 3 bits of the packed cache key).
+_OP_ITE = 1
+_OP_EX = 2
+_OP_ALL = 3
+_OP_ANDEX = 4
+
+
+class ArrayBDDNode:
+    """A canonical handle over one edge of an :class:`ArrayBDDManager`.
+
+    Presents the object-core node protocol (``variable``, ``low``,
+    ``high``, ``identifier``, ``is_terminal``) over the packed edge; the
+    complement bit is pushed into the children on access, so walking
+    ``low``/``high`` yields the plain (complement-free) view of the
+    function.  Handles are hash-consed per edge through the manager's weak
+    table, so two references to the same function are the same object.
+    """
+
+    __slots__ = ("manager", "_edge", "__weakref__")
+
+    def __init__(self, manager: "ArrayBDDManager", edge: int) -> None:
+        self.manager = manager
+        self._edge = edge
+
+    @property
+    def identifier(self) -> int:
+        # uid is per-slot and never reused, the low bit keeps f and ¬f
+        # distinct — together: a process-unique, never-recycled function id
+        # (the IncrementalDumper contract).
+        return (self.manager._uid[self._edge >> 1] << 1) | (self._edge & 1)
+
+    @property
+    def variable(self) -> Optional[str]:
+        n = self._edge >> 1
+        if n == 0:
+            return None
+        manager = self.manager
+        return manager._name_of[manager._var[n]]
+
+    @property
+    def is_terminal(self) -> bool:
+        return self._edge < 2
+
+    @property
+    def low(self) -> Optional["ArrayBDDNode"]:
+        e = self._edge
+        n = e >> 1
+        if n == 0:
+            return None
+        manager = self.manager
+        return manager._handle(manager._lo[n] ^ (e & 1))
+
+    @property
+    def high(self) -> Optional["ArrayBDDNode"]:
+        e = self._edge
+        n = e >> 1
+        if n == 0:
+            return None
+        manager = self.manager
+        return manager._handle(manager._hi[n] ^ (e & 1))
+
+    def __repr__(self) -> str:
+        if self._edge < 2:
+            return f"BDD({'1' if self._edge == 0 else '0'})"
+        return f"BDD({self.variable}, id={self.identifier})"
+
+
+class ArrayBDDManager(BDDManager):
+    """The flat-array, complement-edge BDD core (see the module docstring)."""
+
+    core = "array"
+
+    #: The computed cache is bounded at ``cache_ratio x unique-table size``
+    #: (with a fixed floor): when an insert trips the bound the limit is
+    #: re-derived from the table's current size, and the cache is dropped
+    #: wholesale if it is still over — so between garbage collections the
+    #: cache tracks the diagram store instead of growing without bound.
+    _default_cache_ratio = 4.0
+
+    _MIN_CACHE = 1 << 12
+
+    def _setup_core(self) -> None:
+        # Slot 0 is the single terminal; edge 0 = TRUE, edge 1 = FALSE.
+        self._var: list[int] = [0]   # variable id per slot, -1 = free slot
+        self._lo: list[int] = [0]
+        self._hi: list[int] = [0]
+        self._uid: list[int] = [0]   # stable per-slot ids, never reused
+        self._ref: list[int] = [0]   # refcounts, meaningful during reorders
+        self._next_uid = 1
+        self._created = 0
+        self._count = 0              # live (non-free) internal slots
+        self._free: list[int] = []   # reusable slots (refilled by GC sweeps)
+        # The unique table: packed ``(vid << 64) | (lo << 32) | hi`` integer
+        # keys to slot indices.  Integer keys hash and compare in C, which
+        # is what makes ``_mk`` cheaper than the object core's per-manager
+        # dict of tuples; deletion (sifting) is a plain ``del``.
+        self._index: dict[int, int] = {}
+        # Variable bookkeeping: names <-> stable variable ids <-> levels.
+        # Nodes store the id, so a level exchange never rewrites node data
+        # beyond the two levels being swapped.
+        self._name_of: list[Optional[str]] = [None]  # id 0 = the terminal
+        self._varids: dict[str, int] = {}
+        self._level_of: list[int] = [_BIG]
+        self._var_at: list[int] = []                 # level -> variable id
+        self._var_nodes: dict[int, list[int]] = {}   # id -> slots (lazily filtered)
+        # One computed cache for every operation, keyed on packed integers
+        # with a 3-bit op tag; bounded at ``cache_ratio`` x the unique-table
+        # size and dropped wholesale on overflow or garbage collection.
+        self._cache: dict[int, int] = {}
+        self._cache_limit = self._MIN_CACHE
+        self._quant_ids: dict[frozenset, int] = {}
+        self._handles: "weakref.WeakValueDictionary[int, ArrayBDDNode]" = (
+            weakref.WeakValueDictionary()
+        )
+        self.true = ArrayBDDNode(self, 0)
+        self.false = ArrayBDDNode(self, 1)
+        self._handles[0] = self.true
+        self._handles[1] = self.false
+
+    # -- handles -------------------------------------------------------------------
+
+    def _handle(self, edge: int) -> ArrayBDDNode:
+        handle = self._handles.get(edge)
+        if handle is None:
+            handle = ArrayBDDNode(self, edge)
+            self._handles[edge] = handle
+        return handle
+
+    # -- variables -----------------------------------------------------------------
+
+    def _declared(self, name: str) -> None:
+        vid = len(self._name_of)
+        self._varids[name] = vid
+        self._name_of.append(name)
+        self._level_of.append(len(self._var_at))
+        self._var_at.append(vid)
+
+    def var(self, name: str) -> ArrayBDDNode:
+        """The BDD of the literal ``name``."""
+        self.declare(name)
+        return self._handle(self._mk(self._varids[name], 1, 0))
+
+    def nvar(self, name: str) -> ArrayBDDNode:
+        """The BDD of the negated literal ``¬name``."""
+        self.declare(name)
+        return self._handle(self._mk(self._varids[name], 1, 0) ^ 1)
+
+    # -- node construction ---------------------------------------------------------
+
+    def _mk(self, vid: int, lo: int, hi: int) -> int:
+        """Find-or-create the canonical edge for ``vid ? hi : lo``."""
+        if lo == hi:
+            return lo
+        c = hi & 1
+        if c:  # keep the stored high edge regular: push the complement up
+            lo ^= 1
+            hi ^= 1
+        key = (vid << 64) | (lo << 32) | hi
+        n = self._index.get(key)
+        if n is not None:
+            return (n << 1) | c
+        if (
+            self.node_budget is not None
+            and not self._reordering
+            and self._count >= self.node_budget
+        ):
+            raise NodeBudgetExceeded(
+                f"unique table would outgrow the node budget of {self.node_budget}"
+            )
+        n = self._alloc(vid, lo, hi)
+        self._index[key] = n
+        return (n << 1) | c
+
+    def _alloc(self, vid: int, lo: int, hi: int) -> int:
+        """Claim a free (or fresh) slot for a new node."""
+        # Reuse is safe mid-sift too: the lazy per-level lists may then hold
+        # duplicate entries for a resurrected slot, which the exchange scan
+        # deduplicates.
+        if self._free:
+            n = self._free.pop()
+            self._var[n] = vid
+            self._lo[n] = lo
+            self._hi[n] = hi
+            self._uid[n] = self._next_uid
+            self._ref[n] = 0
+        else:
+            n = len(self._var)
+            self._var.append(vid)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._uid.append(self._next_uid)
+            self._ref.append(0)
+        self._next_uid += 1
+        self._created += 1
+        self._var_nodes.setdefault(vid, []).append(n)
+        self._count += 1
+        if self._count > self.peak_nodes:
+            self.peak_nodes = self._count
+            if self._count > GLOBAL_STATS["peak_nodes"]:
+                GLOBAL_STATS["peak_nodes"] = self._count
+        return n
+
+    def _rebuild_index(self) -> None:
+        """Re-key the unique table from the live slots (after a GC sweep)."""
+        V, L, H = self._var, self._lo, self._hi
+        index: dict[int, int] = {}
+        for n in range(1, len(V)):
+            vid = V[n]
+            if vid >= 0:
+                index[(vid << 64) | (L[n] << 32) | H[n]] = n
+        self._index = index
+
+    def _cache_overflow(self) -> None:
+        """Called when the computed cache outgrows its limit: raise the
+        limit if the unique table has grown to justify it, clear otherwise."""
+        limit = max(self._MIN_CACHE, int(self.cache_ratio * len(self._index)))
+        if len(self._cache) >= limit:
+            self._cache.clear()
+            self.cache_clears += 1
+        self._cache_limit = limit
+
+    def _cache_clear(self) -> None:
+        self._cache.clear()
+        self._cache_limit = max(self._MIN_CACHE, int(self.cache_ratio * len(self._index)))
+        self.cache_clears += 1
+
+    # -- the ITE primitive ---------------------------------------------------------
+
+    def ite(self, condition: ArrayBDDNode, then: ArrayBDDNode, otherwise: ArrayBDDNode) -> ArrayBDDNode:
+        """The if-then-else combinator, core of every boolean connective."""
+        return self._handle(self._ite(condition._edge, then._edge, otherwise._edge))
+
+    def neg(self, node: ArrayBDDNode) -> ArrayBDDNode:
+        """Negation ``¬node`` — one bit flip on the edge."""
+        return self._handle(node._edge ^ 1)
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal / absorption cases.
+        if f == 0:
+            return g
+        if f == 1:
+            return h
+        if g == h:
+            return g
+        if g == f:
+            g = 0
+        elif g == f ^ 1:
+            g = 1
+        if h == f:
+            h = 1
+        elif h == f ^ 1:
+            h = 0
+        if g == h:
+            return g
+        if g == 0 and h == 1:
+            return f
+        if g == 1 and h == 0:
+            return f ^ 1
+        # Standard-triple normalisation: pick a canonical representative of
+        # the equivalent (f, g, h) argument triples so commutative forms
+        # share one cache line.
+        if g == 0:            # ite(f, 1, h) = f OR h = ite(h, 1, f)
+            if h < f:
+                f, h = h, f
+        elif h == 1:          # ite(f, g, 0) = f AND g = ite(g, f, 0)
+            if g < f:
+                f, g = g, f
+        elif h == g ^ 1:      # ite(f, g, ¬g) = f XNOR g = ite(g, f, ¬f)
+            if g < f:
+                f, g = g, f
+                h = g ^ 1
+        if f & 1:             # regular first argument: ite(¬f, g, h) = ite(f, h, g)
+            f ^= 1
+            g, h = h, g
+        flip = g & 1          # regular then-branch: complement the output
+        if flip:
+            g ^= 1
+            h ^= 1
+        cache = self._cache
+        key = (((f << 32 | g) << 32 | h) << 3) | _OP_ITE
+        result = cache.get(key)
+        if result is not None:
+            self.cache_hits += 1
+            return result ^ flip
+        self.cache_misses += 1
+        V, L, H, LEV = self._var, self._lo, self._hi, self._level_of
+        nf = f >> 1
+        level = LEV[V[nf]]
+        ng = g >> 1
+        if ng:
+            lg = LEV[V[ng]]
+            if lg < level:
+                level = lg
+        nh = h >> 1
+        if nh:
+            lh = LEV[V[nh]]
+            if lh < level:
+                level = lh
+        if LEV[V[nf]] == level:   # f is regular here: cofactor directly
+            f0, f1 = L[nf], H[nf]
+        else:
+            f0 = f1 = f
+        if ng and LEV[V[ng]] == level:  # g is regular after the flip
+            g0, g1 = L[ng], H[ng]
+        else:
+            g0 = g1 = g
+        if nh and LEV[V[nh]] == level:  # h may carry a complement bit
+            ch = h & 1
+            h0, h1 = L[nh] ^ ch, H[nh] ^ ch
+        else:
+            h0 = h1 = h
+        r1 = self._ite(f1, g1, h1)
+        r0 = self._ite(f0, g0, h0)
+        result = r1 if r0 == r1 else self._mk(self._var_at[level], r0, r1)
+        cache[key] = result
+        if len(cache) >= self._cache_limit:
+            self._cache_overflow()
+        return result ^ flip
+
+    # -- quantification and relational operations ---------------------------------------
+
+    def _quant_set(self, variables: Iterable[str]) -> tuple[frozenset, int]:
+        names = variables if isinstance(variables, frozenset) else frozenset(variables)
+        varids = self._varids
+        # Undeclared names cannot occur in any diagram: drop them.
+        vids = frozenset(varids[name] for name in names if name in varids)
+        set_id = self._quant_ids.get(vids)
+        if set_id is None:
+            set_id = len(self._quant_ids)
+            self._quant_ids[vids] = set_id
+        return vids, set_id
+
+    def exists(self, node: ArrayBDDNode, variables: Iterable[str]) -> ArrayBDDNode:
+        """Existential quantification ``∃ variables . node``."""
+        vids, set_id = self._quant_set(variables)
+        if not vids:
+            return self._handle(node._edge)
+        deepest = max(self._level_of[v] for v in vids)
+        return self._handle(self._quantify(node._edge, vids, set_id, True, deepest))
+
+    def forall(self, node: ArrayBDDNode, variables: Iterable[str]) -> ArrayBDDNode:
+        """Universal quantification ``∀ variables . node``."""
+        vids, set_id = self._quant_set(variables)
+        if not vids:
+            return self._handle(node._edge)
+        deepest = max(self._level_of[v] for v in vids)
+        return self._handle(self._quantify(node._edge, vids, set_id, False, deepest))
+
+    def _quantify(self, e: int, vids: frozenset, set_id: int, existential: bool, deepest: int) -> int:
+        # Quantification does not commute with complement (∃x.¬f ≠ ¬∃x.f),
+        # so the cache keys and the recursion work on the full edge, pushing
+        # the complement bit into the cofactors.
+        n = e >> 1
+        if n == 0:
+            return e
+        V, L, H, LEV = self._var, self._lo, self._hi, self._level_of
+        vid = V[n]
+        if LEV[vid] > deepest:  # no quantified variable below this level
+            return e
+        cache = self._cache
+        key = ((e << 32 | set_id) << 3) | (_OP_EX if existential else _OP_ALL)
+        result = cache.get(key)
+        if result is not None:
+            self.cache_hits += 1
+            return result
+        self.cache_misses += 1
+        c = e & 1
+        lo = L[n] ^ c
+        hi = H[n] ^ c
+        if vid in vids:
+            r0 = self._quantify(lo, vids, set_id, existential, deepest)
+            if existential:
+                if r0 == 0:
+                    result = 0
+                else:
+                    r1 = self._quantify(hi, vids, set_id, existential, deepest)
+                    result = self._ite(r0, 0, r1)  # r0 OR r1
+            else:
+                if r0 == 1:
+                    result = 1
+                else:
+                    r1 = self._quantify(hi, vids, set_id, existential, deepest)
+                    result = self._ite(r0, r1, 1)  # r0 AND r1
+        else:
+            r0 = self._quantify(lo, vids, set_id, existential, deepest)
+            r1 = self._quantify(hi, vids, set_id, existential, deepest)
+            result = r1 if r0 == r1 else self._mk(vid, r0, r1)
+        cache[key] = result
+        if len(cache) >= self._cache_limit:
+            self._cache_overflow()
+        return result
+
+    def and_exists(self, left: ArrayBDDNode, right: ArrayBDDNode, variables: Iterable[str]) -> ArrayBDDNode:
+        """The relational product ``∃ variables . left ∧ right`` in one pass.
+
+        Quantifying while conjoining avoids materialising the (often much
+        larger) conjunction — the classical optimisation of symbolic image
+        computation.
+        """
+        vids, set_id = self._quant_set(variables)
+        deepest = -1
+        if vids:
+            deepest = max(self._level_of[v] for v in vids)
+        return self._handle(self._andex(left._edge, right._edge, vids, set_id, deepest))
+
+    def _andex(self, a: int, b: int, vids: frozenset, set_id: int, deepest: int) -> int:
+        if a == 1 or b == 1:
+            return 1
+        if a == b:
+            if a < 2:
+                return a
+            return self._quantify(a, vids, set_id, True, deepest)
+        if a == b ^ 1:
+            return 1
+        if a == 0:
+            return self._quantify(b, vids, set_id, True, deepest)
+        if b == 0:
+            return self._quantify(a, vids, set_id, True, deepest)
+        V, L, H, LEV = self._var, self._lo, self._hi, self._level_of
+        na, nb = a >> 1, b >> 1
+        la, lb = LEV[V[na]], LEV[V[nb]]
+        if la > deepest and lb > deepest:
+            return self._ite(a, b, 1)  # plain conjunction below the last quantified level
+        if a > b:
+            a, b = b, a
+            na, nb = nb, na
+            la, lb = lb, la
+        cache = self._cache
+        key = (((a << 32 | b) << 32 | set_id) << 3) | _OP_ANDEX
+        result = cache.get(key)
+        if result is not None:
+            self.cache_hits += 1
+            return result
+        self.cache_misses += 1
+        level = la if la < lb else lb
+        vid = self._var_at[level]
+        if la == level:
+            ca = a & 1
+            a0, a1 = L[na] ^ ca, H[na] ^ ca
+        else:
+            a0 = a1 = a
+        if lb == level:
+            cb = b & 1
+            b0, b1 = L[nb] ^ cb, H[nb] ^ cb
+        else:
+            b0 = b1 = b
+        if vid in vids:
+            r0 = self._andex(a0, b0, vids, set_id, deepest)
+            if r0 == 0:
+                result = 0
+            else:
+                r1 = self._andex(a1, b1, vids, set_id, deepest)
+                result = self._ite(r0, 0, r1)  # r0 OR r1
+        else:
+            r0 = self._andex(a0, b0, vids, set_id, deepest)
+            r1 = self._andex(a1, b1, vids, set_id, deepest)
+            result = r1 if r0 == r1 else self._mk(vid, r0, r1)
+        cache[key] = result
+        if len(cache) >= self._cache_limit:
+            self._cache_overflow()
+        return result
+
+    def rename(self, node: ArrayBDDNode, mapping: Mapping[str, str]) -> ArrayBDDNode:
+        """Simultaneous substitution of variables by variables.
+
+        When the renaming is monotone on the support's levels (the
+        prime/unprime case: grouped pairs keep both orders aligned), the
+        diagram is relabelled structurally bottom-up in one O(n) pass;
+        otherwise it falls back to ite-composition, which re-reduces under
+        the target order.
+        """
+        relevant = self._rename_relevant(node, mapping)
+        if not relevant:
+            return self._handle(node._edge)
+        varids = self._varids
+        vmap = {varids[old]: varids[new] for old, new in relevant.items()}
+        LEV = self._level_of
+        ordered = sorted(self._support_vids(node._edge), key=LEV.__getitem__)
+        mapped = [LEV[vmap.get(v, v)] for v in ordered]
+        memo: dict[int, int] = {}
+        if all(x < y for x, y in zip(mapped, mapped[1:])):
+            edge = node._edge
+            result = self._relabel(edge & ~1, vmap, memo) ^ (edge & 1)
+            return self._handle(result)
+        return self._handle(self._compose(node._edge, vmap, memo))
+
+    def _relabel(self, e: int, vmap: dict[int, int], memo: dict[int, int]) -> int:
+        """Structural bottom-up relabel of a regular edge (order-preserving map)."""
+        n = e >> 1
+        if n == 0:
+            return e
+        done = memo.get(n)
+        if done is not None:
+            return done
+        lo = self._lo[n]
+        hi = self._hi[n]
+        rlo = self._relabel(lo & ~1, vmap, memo) ^ (lo & 1)
+        rhi = self._relabel(hi, vmap, memo)  # stored high edges are regular
+        vid = self._var[n]
+        result = self._mk(vmap.get(vid, vid), rlo, rhi)
+        memo[n] = result
+        return result
+
+    def _compose(self, e: int, vmap: dict[int, int], memo: dict[int, int]) -> int:
+        """Rename by ite-composition (correct for order-breaking maps)."""
+        n = e >> 1
+        if n == 0:
+            return e
+        c = e & 1
+        done = memo.get(n)
+        if done is None:
+            lo = self._compose(self._lo[n], vmap, memo)
+            hi = self._compose(self._hi[n], vmap, memo)
+            vid = self._var[n]
+            literal = self._mk(vmap.get(vid, vid), 1, 0)
+            done = self._ite(literal, hi, lo)
+            memo[n] = done
+        return done ^ c  # substitution commutes with negation
+
+    # -- dynamic variable reordering -----------------------------------------------------
+
+    def _population(self) -> int:
+        return self._count
+
+    def _nodes_created(self) -> int:
+        return self._created
+
+    def _cache_entries(self) -> int:
+        return len(self._cache)
+
+    def _begin_reorder(self, root_nodes: Sequence[ArrayBDDNode]) -> None:
+        edges = [handle._edge for handle in root_nodes]
+        self._collect(edges)
+        # Root and parent reference counts let exchanges delete dead slots
+        # eagerly: from here on ``_count`` is the live total, the sifting
+        # metric.
+        V, L, H, R = self._var, self._lo, self._hi, self._ref
+        for n in range(1, len(V)):
+            if V[n] >= 0:
+                R[n] = 0
+        for n in range(1, len(V)):
+            if V[n] >= 0:
+                m = L[n] >> 1
+                if m:
+                    R[m] += 1
+                m = H[n] >> 1
+                if m:
+                    R[m] += 1
+        for e in edges:
+            n = e >> 1
+            if n:
+                R[n] += 1
+
+    def _end_reorder(self, root_nodes: Sequence[ArrayBDDNode]) -> None:
+        self._collect([handle._edge for handle in root_nodes])
+
+    def _collect(self, root_edges: Sequence[int]) -> None:
+        """Mark-and-sweep down to the diagrams of ``root_edges``.
+
+        Unreachable slots are freed for reuse, the unique table is rebuilt
+        without tombstones, the per-level lists are refiltered, and the
+        computed cache is dropped wholesale (its entries may name freed
+        slots).
+        """
+        V, L, H = self._var, self._lo, self._hi
+        mark = bytearray(len(V))
+        stack = [e >> 1 for e in root_edges if e >= 2]
+        while stack:
+            n = stack.pop()
+            if mark[n]:
+                continue
+            mark[n] = 1
+            m = L[n] >> 1
+            if m and not mark[m]:
+                stack.append(m)
+            m = H[n] >> 1
+            if m and not mark[m]:
+                stack.append(m)
+        var_nodes: dict[int, list[int]] = {}
+        free: list[int] = []
+        count = 0
+        for n in range(1, len(V)):
+            if mark[n]:
+                var_nodes.setdefault(V[n], []).append(n)
+                count += 1
+            else:
+                V[n] = -1
+                free.append(n)
+        self._var_nodes = var_nodes
+        self._free = free
+        self._count = count
+        self._rebuild_index()
+        self._cache_clear()
+
+    def _swap_adjacent(self, position: int) -> None:
+        """Exchange the variables at ``position`` and ``position + 1`` in place.
+
+        The classical level exchange over the array store: an affected node
+        keeps its slot and uid (so handles and shipped identifiers stay
+        valid) while its variable id, low and high are rewritten.  The
+        complement-edge invariant survives without any edge flipping: the
+        new high child is assembled from the old high cofactors, which are
+        read off stored (hence regular) high edges, so ``_claim`` always
+        returns it regular.
+        """
+        var_at = self._var_at
+        upper = var_at[position]
+        lower = var_at[position + 1]
+        V, L, H, R = self._var, self._lo, self._hi, self._ref
+        affected: list[int] = []
+        remaining: list[int] = []
+        seen: set[int] = set()
+        for n in self._var_nodes.get(upper, ()):
+            if V[n] != upper or R[n] <= 0 or n in seen:
+                continue  # died, migrated, or a stale duplicate entry
+            seen.add(n)
+            m = L[n] >> 1
+            k = H[n] >> 1
+            if (m and V[m] == lower) or (k and V[k] == lower):
+                affected.append(n)
+            else:
+                remaining.append(n)
+        # Reset the level list before rewriting: freshly created upper-level
+        # children re-register themselves through ``_claim``.
+        self._var_nodes[upper] = remaining
+        lower_level = self._var_nodes.setdefault(lower, [])
+        # Level bookkeeping: ids, names, ranks.
+        var_at[position], var_at[position + 1] = lower, upper
+        self._level_of[upper] = position + 1
+        self._level_of[lower] = position
+        upper_name = self._name_of[upper]
+        lower_name = self._name_of[lower]
+        self._order[position], self._order[position + 1] = lower_name, upper_name
+        self._rank[upper_name] = position + 1
+        self._rank[lower_name] = position
+        for n in affected:
+            old_lo = L[n]
+            old_hi = H[n]
+            self._table_delete(upper, old_lo, old_hi)
+            m = old_lo >> 1
+            if m and V[m] == lower:
+                c = old_lo & 1
+                lo0, lo1 = L[m] ^ c, H[m] ^ c
+            else:
+                lo0 = lo1 = old_lo
+            k = old_hi >> 1  # stored high edges are regular: no bit to push
+            if k and V[k] == lower:
+                hi0, hi1 = L[k], H[k]
+            else:
+                hi0 = hi1 = old_hi
+            new_hi = self._claim(upper, lo1, hi1)
+            new_lo = self._claim(upper, lo0, hi0)
+            assert new_hi & 1 == 0, "level exchange produced a complemented high edge"
+            V[n] = lower
+            L[n] = new_lo
+            H[n] = new_hi
+            self._table_insert(lower, new_lo, new_hi, n)
+            lower_level.append(n)
+            self._release(old_lo)
+            self._release(old_hi)
+
+    def _claim(self, vid: int, lo: int, hi: int) -> int:
+        """Reduced edge construction during a reorder, claiming one reference."""
+        R = self._ref
+        if lo == hi:
+            n = lo >> 1
+            if n:
+                R[n] += 1
+            return lo
+        c = hi & 1
+        if c:
+            lo ^= 1
+            hi ^= 1
+        key = (vid << 64) | (lo << 32) | hi
+        n = self._index.get(key)
+        if n is not None:
+            R[n] += 1
+            return (n << 1) | c
+        n = self._alloc(vid, lo, hi)
+        self._index[key] = n
+        R = self._ref  # _alloc may have extended the list object in place
+        R[n] = 1
+        m = lo >> 1
+        if m:
+            R[m] += 1
+        m = hi >> 1
+        if m:
+            R[m] += 1
+        return (n << 1) | c
+
+    def _release(self, e: int) -> None:
+        """Drop one reference; free the slot (and cascade) when none remain."""
+        n = e >> 1
+        if n == 0:
+            return
+        R = self._ref
+        R[n] -= 1
+        if R[n] > 0:
+            return
+        V, L, H = self._var, self._lo, self._hi
+        self._table_delete(V[n], L[n], H[n])
+        V[n] = -1
+        self._count -= 1
+        self._free.append(n)
+        self._release(L[n])
+        self._release(H[n])
+
+    def _table_delete(self, vid: int, lo: int, hi: int) -> None:
+        del self._index[(vid << 64) | (lo << 32) | hi]
+
+    def _table_insert(self, vid: int, lo: int, hi: int, node: int) -> None:
+        """Insert a rewritten node under its new key (must not collide)."""
+        key = (vid << 64) | (lo << 32) | hi
+        assert key not in self._index, "level exchange produced a duplicate"
+        self._index[key] = node
+
+    def _live_counts(self, roots: Sequence[ArrayBDDNode]) -> dict[str, int]:
+        """Per-variable node counts of the diagrams reachable from ``roots``."""
+        counts = {name: 0 for name in self._order}
+        V, L, H = self._var, self._lo, self._hi
+        name_of = self._name_of
+        seen: set[int] = set()
+        stack = [handle._edge >> 1 for handle in roots]
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            counts[name_of[V[n]]] += 1
+            stack.append(L[n] >> 1)
+            stack.append(H[n] >> 1)
+        return counts
+
+    # -- queries -------------------------------------------------------------------
+
+    def _load_payload(self, payload: Mapping) -> list[ArrayBDDNode]:
+        """Edge-level fast path for :func:`repro.clocks.bdd.load_nodes`.
+
+        Rebuilds the table over raw edges — no handles, no weak-dict
+        traffic — and short-circuits ``ite(var, high, low)`` to a single
+        ``_mk`` whenever the variable sits above both children in the
+        current order (always true when the dump-time order is a suffix-
+        compatible match, the warm-cache common case).
+        """
+        for name in payload["order"]:
+            self.declare(name)
+        varids = self._varids
+        V, LEV = self._var, self._level_of
+        table = [1, 0]  # payload index 0 = false, 1 = true
+        for entry in payload["nodes"]:
+            variable, low, high = entry
+            if (
+                not isinstance(variable, str)
+                or not (0 <= low < len(table))
+                or not (0 <= high < len(table))
+            ):
+                raise ValueError(f"malformed BDD dump entry {entry!r}")
+            vid = varids.get(variable)
+            if vid is None:
+                self.declare(variable)
+                vid = varids[variable]
+            level = LEV[vid]
+            lo_e = table[low]
+            hi_e = table[high]
+            nl = lo_e >> 1
+            nh = hi_e >> 1
+            if (nl == 0 or LEV[V[nl]] > level) and (nh == 0 or LEV[V[nh]] > level):
+                table.append(self._mk(vid, lo_e, hi_e))
+            else:  # the target order differs: re-reduce through ITE
+                table.append(self._ite(self._mk(vid, 1, 0), hi_e, lo_e))
+        roots = payload["roots"]
+        if any(not isinstance(index, int) or not (0 <= index < len(table)) for index in roots):
+            raise ValueError("BDD dump root index out of range")
+        return [self._handle(table[index]) for index in roots]
+
+    def _node(self, variable: str, low: ArrayBDDNode, high: ArrayBDDNode) -> ArrayBDDNode:
+        self.declare(variable)
+        return self._handle(self._mk(self._varids[variable], low._edge, high._edge))
+
+    def _support_vids(self, e: int) -> set[int]:
+        V, L, H = self._var, self._lo, self._hi
+        seen: set[int] = set()
+        vids: set[int] = set()
+        stack = [e >> 1]
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            vids.add(V[n])
+            stack.append(L[n] >> 1)
+            stack.append(H[n] >> 1)
+        return vids
+
+    def support(self, node: ArrayBDDNode) -> set[str]:
+        """Variables the function actually depends on."""
+        name_of = self._name_of
+        return {name_of[v] for v in self._support_vids(node._edge)}
+
+    def size(self, node: ArrayBDDNode) -> int:
+        """Number of distinct decision slots of the diagram.
+
+        With complement edges a function and its negation share every slot,
+        so this can be smaller than the object core's plain-diagram size —
+        it is the number the sifting metric and ``table_nodes`` count in.
+        """
+        V, L, H = self._var, self._lo, self._hi
+        seen: set[int] = set()
+        stack = [node._edge >> 1]
+        count = 0
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            count += 1
+            stack.append(L[n] >> 1)
+            stack.append(H[n] >> 1)
+        return count
+
+    def evaluate(self, node: ArrayBDDNode, assignment: dict[str, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        V, L, H = self._var, self._lo, self._hi
+        name_of = self._name_of
+        e = node._edge
+        n = e >> 1
+        while n:
+            try:
+                value = assignment[name_of[V[n]]]
+            except KeyError:
+                raise KeyError(f"assignment misses variable {name_of[V[n]]!r}") from None
+            e = (H[n] if value else L[n]) ^ (e & 1)
+            n = e >> 1
+        return e == 0
+
+    def count_satisfying(self, node: ArrayBDDNode, variables: Optional[list[str]] = None) -> int:
+        """Number of satisfying assignments over ``variables``.
+
+        Edge-level dynamic programming: one memo entry per regular slot and
+        the complement handled arithmetically (``|¬f| = 2^k − |f|``), so
+        counting a huge reached set walks integers instead of materialising
+        a weakref handle per visited node.
+        """
+        names = self._counting_order(node, variables)
+        width = len(names)
+        LEV = self._level_of
+        position = {LEV[self._varids[name]]: index for index, name in enumerate(names)}
+        V, L, H = self._var, self._lo, self._hi
+        memo: dict[int, int] = {}
+
+        def count(e: int, index: int) -> int:
+            # models of edge ``e`` over ``names[index:]``
+            n = e >> 1
+            if n == 0:
+                return 0 if e & 1 else 1 << (width - index)
+            p = position[LEV[V[n]]]
+            sub = memo.get(n)
+            if sub is None:
+                # models of the regular function at ``n`` over ``names[p:]``
+                sub = count(L[n], p + 1) + count(H[n], p + 1)
+                memo[n] = sub
+            if e & 1:
+                sub = (1 << (width - p)) - sub
+            return sub << (p - index)
+
+        return count(node._edge, 0)
+
+    # -- invariant checking (tests) --------------------------------------------------
+
+    def assert_canonical(self) -> None:
+        """Check the complement-edge canonicity invariants over every live slot."""
+        V, L, H = self._var, self._lo, self._hi
+        for n in range(1, len(V)):
+            if V[n] < 0:
+                continue
+            if H[n] & 1:
+                raise AssertionError(f"slot {n} stores a complemented high edge")
+            if L[n] == H[n]:
+                raise AssertionError(f"slot {n} is redundant (equal children)")

@@ -1,0 +1,308 @@
+"""Differential properties: the array BDD core against the object oracle.
+
+The array core (complement edges, one ITE primitive, integer tables) must
+be observationally identical to the object core on every public operation.
+These tests build the same fixed-seed random functions on one manager of
+each core and pin model counts, satisfying-assignment sets, quantification,
+relational products, renames, preimages, reorder round-trips and dump/load
+payloads to each other — plus the canonicity invariants that only exist on
+the array core (no stored complemented high edge, O(1) involutive
+negation).
+"""
+
+import random
+
+import pytest
+
+from repro.clocks.bdd import (
+    BDDManager,
+    dump_nodes,
+    load_nodes,
+    resolve_bdd_core,
+)
+from repro.clocks.bdd_array import ArrayBDDManager, ArrayBDDNode
+
+NAMES = [f"v{index}" for index in range(7)]
+
+
+def random_function(manager, names, rng, depth=4):
+    """The fixed-seed random BDD grammar shared with the reorder suite."""
+    if depth == 0 or rng.random() < 0.3:
+        name = rng.choice(names)
+        return manager.var(name) if rng.random() < 0.5 else manager.nvar(name)
+    left = random_function(manager, names, rng, depth - 1)
+    right = random_function(manager, names, rng, depth - 1)
+    return rng.choice([manager.conj, manager.disj, manager.xor])(left, right)
+
+
+def assignment_set(manager, node, names):
+    return {
+        tuple(sorted(model.items()))
+        for model in manager.satisfying_assignments(node, names)
+    }
+
+
+def pair(names=NAMES):
+    """One manager of each core over the same declaration order."""
+    return BDDManager(names, core="object"), BDDManager(names, core="array")
+
+
+def build_both(seed, depth=4, names=NAMES):
+    obj, arr = pair(names)
+    f_obj = random_function(obj, names, random.Random(seed), depth)
+    f_arr = random_function(arr, names, random.Random(seed), depth)
+    return obj, arr, f_obj, f_arr
+
+
+class TestCoreSelection:
+    def test_default_resolution_and_explicit_override(self):
+        assert resolve_bdd_core("array") == "array"
+        assert resolve_bdd_core("object") == "object"
+        with pytest.raises(ValueError):
+            resolve_bdd_core("simd")
+
+    def test_env_default_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BDD_CORE", "object")
+        assert BDDManager().core == "object"
+        monkeypatch.setenv("REPRO_BDD_CORE", "array")
+        assert isinstance(BDDManager(), ArrayBDDManager)
+
+    def test_explicit_core_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BDD_CORE", "object")
+        assert BDDManager(core="array").core == "array"
+
+    def test_statistics_name_the_core(self):
+        obj, arr = pair()
+        assert obj.statistics()["core"] == "object"
+        assert arr.statistics()["core"] == "array"
+
+
+class TestRandomBuildsAgree:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_counts_and_assignment_sets(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed)
+        assert obj.count_satisfying(f_obj, NAMES) == arr.count_satisfying(f_arr, NAMES)
+        assert assignment_set(obj, f_obj, NAMES) == assignment_set(arr, f_arr, NAMES)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_evaluate_agrees_on_every_assignment(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed, depth=3)
+        for bits in range(1 << len(NAMES)):
+            model = {name: bool(bits >> i & 1) for i, name in enumerate(NAMES)}
+            assert obj.evaluate(f_obj, model) == arr.evaluate(f_arr, model)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_connective_identities(self, seed):
+        _, arr, _, f = build_both(seed)
+        g = random_function(arr, NAMES, random.Random(seed + 1000))
+        assert arr.equivalent(arr.diff(f, g), arr.conj(f, arr.neg(g)))
+        assert arr.equivalent(arr.implies(f, g), arr.disj(arr.neg(f), g))
+        assert arr.equivalent(arr.xor(f, g), arr.neg(arr.xor(f, arr.neg(g))))
+
+
+class TestQuantificationAgrees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exists_forall_and_relprod(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed)
+        rng = random.Random(seed + 500)
+        quantified = rng.sample(NAMES, 3)
+        kept = [name for name in NAMES if name not in quantified]
+        for op in ("exists", "forall"):
+            r_obj = getattr(obj, op)(f_obj, quantified)
+            r_arr = getattr(arr, op)(f_arr, quantified)
+            assert assignment_set(obj, r_obj, kept) == assignment_set(arr, r_arr, kept)
+        g_obj = random_function(obj, NAMES, random.Random(seed + 900))
+        g_arr = random_function(arr, NAMES, random.Random(seed + 900))
+        ae_obj = obj.and_exists(f_obj, g_obj, quantified)
+        ae_arr = arr.and_exists(f_arr, g_arr, quantified)
+        assert assignment_set(obj, ae_obj, kept) == assignment_set(arr, ae_arr, kept)
+        # and_exists must equal its two-step definition on the array core.
+        assert ae_arr is arr.exists(arr.conj(f_arr, g_arr), quantified)
+
+    def test_quantifying_unknown_variables_is_identity(self):
+        _, arr = pair()
+        f = arr.xor(arr.var("v0"), arr.var("v1"))
+        assert arr.exists(f, ["zz", "qq"]) is f
+        assert arr.forall(f, []) is f
+
+
+class TestRenameAndPreimageAgree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_monotone_rename_matches_oracle(self, seed):
+        """The prime/unprime shape: interleaved targets keep support order."""
+        names = [f"x{i}" for i in range(4)] + [f"x{i}'" for i in range(4)]
+        obj = BDDManager(names, core="object")
+        arr = BDDManager(names, core="array")
+        base = [f"x{i}" for i in range(4)]
+        mapping = {f"x{i}": f"x{i}'" for i in range(4)}
+        primed = list(mapping.values())
+        f_obj = random_function(obj, base, random.Random(seed), 3)
+        f_arr = random_function(arr, base, random.Random(seed), 3)
+        r_obj = obj.rename(f_obj, mapping)
+        r_arr = arr.rename(f_arr, mapping)
+        assert assignment_set(obj, r_obj, primed) == assignment_set(arr, r_arr, primed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_order_breaking_rename_matches_oracle(self, seed):
+        """A swap map reverses support order: exercises the compose fallback."""
+        obj, arr, f_obj, f_arr = build_both(seed, depth=3)
+        mapping = {"v0": "v6", "v6": "v0", "v1": "v5", "v5": "v1"}
+        r_obj = obj.rename(f_obj, mapping)
+        r_arr = arr.rename(f_arr, mapping)
+        assert assignment_set(obj, r_obj, NAMES) == assignment_set(arr, r_arr, NAMES)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preimage_matches_oracle(self, seed):
+        current = [f"s{i}" for i in range(3)]
+        primed = [f"s{i}'" for i in range(3)]
+        order = [name for pair_ in zip(current, primed) for name in pair_]
+        obj = BDDManager(order, core="object")
+        arr = BDDManager(order, core="array")
+        rel_obj = random_function(obj, order, random.Random(seed), 3)
+        rel_arr = random_function(arr, order, random.Random(seed), 3)
+        tgt_obj = random_function(obj, primed, random.Random(seed + 1), 2)
+        tgt_arr = random_function(arr, primed, random.Random(seed + 1), 2)
+        mapping = dict(zip(current, primed))
+        p_obj = obj.preimage(rel_obj, tgt_obj, mapping, primed)
+        p_arr = arr.preimage(rel_arr, tgt_arr, mapping, primed)
+        assert assignment_set(obj, p_obj, current) == assignment_set(arr, p_arr, current)
+
+
+class TestReorderRoundTrips:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_and_models_survive_reorder_on_both_cores(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed)
+        obj.protect(f_obj)
+        arr.protect(f_arr)
+        before = assignment_set(arr, f_arr, NAMES)
+        assert before == assignment_set(obj, f_obj, NAMES)
+        obj.reorder()
+        arr.reorder()
+        arr.assert_canonical()
+        assert assignment_set(obj, f_obj, NAMES) == before
+        assert assignment_set(arr, f_arr, NAMES) == before
+        assert obj.count_satisfying(f_obj, NAMES) == arr.count_satisfying(f_arr, NAMES)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_operations_after_reorder_still_agree(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed)
+        obj.protect(f_obj)
+        arr.protect(f_arr)
+        obj.reorder()
+        arr.reorder()
+        g_obj = random_function(obj, NAMES, random.Random(seed + 77))
+        g_arr = random_function(arr, NAMES, random.Random(seed + 77))
+        h_obj = obj.exists(obj.conj(f_obj, g_obj), NAMES[:2])
+        h_arr = arr.exists(arr.conj(f_arr, g_arr), NAMES[:2])
+        kept = NAMES[2:]
+        assert assignment_set(obj, h_obj, kept) == assignment_set(arr, h_arr, kept)
+
+
+class TestDumpLoadCrossCore:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_payloads_round_trip_in_both_directions(self, seed):
+        obj, arr, f_obj, f_arr = build_both(seed)
+        models = assignment_set(obj, f_obj, NAMES)
+        # array -> object
+        (restored_obj,) = load_nodes(obj, dump_nodes(arr, [f_arr]))
+        assert assignment_set(obj, restored_obj, NAMES) == models
+        # object -> array
+        (restored_arr,) = load_nodes(arr, dump_nodes(obj, [f_obj]))
+        assert assignment_set(arr, restored_arr, NAMES) == models
+        # reloading a function the manager already holds is hash-consed
+        assert restored_arr is f_arr
+
+    def test_terminal_payload_roots(self):
+        _, arr = pair()
+        payload = dump_nodes(arr, [arr.true, arr.false])
+        assert payload["roots"] == [1, 0]
+        assert payload["nodes"] == []
+        obj, _ = pair()
+        t, f = load_nodes(obj, payload)
+        assert t is obj.true and f is obj.false
+
+    def test_malformed_payloads_are_rejected_by_the_fast_loader(self):
+        _, arr = pair()
+        with pytest.raises(ValueError):
+            load_nodes(arr, {"format": 999, "order": [], "nodes": [], "roots": []})
+        with pytest.raises(ValueError):
+            load_nodes(
+                arr,
+                {"format": 1, "order": ["a"], "nodes": [["a", 0, 9]], "roots": [2]},
+            )
+        with pytest.raises(ValueError):
+            load_nodes(
+                arr,
+                {"format": 1, "order": ["a"], "nodes": [["a", 0, 1]], "roots": [7]},
+            )
+
+
+class TestComplementEdgeInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_canonicity_no_complemented_high_edges(self, seed):
+        _, arr, _, f = build_both(seed)
+        g = random_function(arr, NAMES, random.Random(seed + 31))
+        arr.exists(arr.conj(f, g), NAMES[:3])
+        arr.assert_canonical()
+
+    def test_negation_is_involutive_and_free(self):
+        _, arr = pair()
+        f = arr.xor(arr.var("v0"), arr.conj(arr.var("v1"), arr.nvar("v2")))
+        assert arr.neg(arr.neg(f)) is f
+        assert arr.neg(arr.true) is arr.false
+        assert arr.neg(arr.false) is arr.true
+        # A negation shares every decision slot with the function itself.
+        created = arr.statistics()["nodes_created"]
+        g = arr.neg(f)
+        assert arr.statistics()["nodes_created"] == created
+        assert arr.size(g) == arr.size(f)
+
+    def test_handles_are_canonical_across_recreation(self):
+        _, arr = pair()
+        f = arr.conj(arr.var("v0"), arr.var("v1"))
+        again = arr.conj(arr.var("v0"), arr.var("v1"))
+        assert again is f
+        assert isinstance(f, ArrayBDDNode)
+        assert f.variable == "v0" and f.high.variable == "v1"
+        assert f.low is arr.false and f.high.high is arr.true
+
+    def test_restrict_and_cofactors_agree_with_oracle(self):
+        obj, arr = pair()
+        for seed in range(3):
+            f_obj = random_function(obj, NAMES, random.Random(seed))
+            f_arr = random_function(arr, NAMES, random.Random(seed))
+            r_obj = obj.restrict(f_obj, {"v0": True, "v3": False})
+            r_arr = arr.restrict(f_arr, {"v0": True, "v3": False})
+            assert assignment_set(obj, r_obj, NAMES) == assignment_set(arr, r_arr, NAMES)
+
+
+class TestCacheAccounting:
+    def test_hits_and_misses_are_counted(self):
+        _, arr = pair()
+        f = arr.xor(arr.var("v0"), arr.var("v1"))
+        g = arr.xor(arr.var("v0"), arr.var("v1"))
+        assert g is f
+        stats = arr.statistics()
+        assert stats["cache_misses"] > 0
+        assert stats["cache_hits"] > 0  # the second xor replays the first
+        assert set(stats) >= {"cache_hits", "cache_misses", "cache_clears", "cache_entries"}
+
+    def test_gc_clears_the_computed_cache(self):
+        for core in ("object", "array"):
+            manager = BDDManager(NAMES, core=core)
+            kept = manager.protect(
+                random_function(manager, NAMES, random.Random(3))
+            )
+            manager.reorder()  # begin/end reorder each sweep dead nodes
+            stats = manager.statistics()
+            assert stats["cache_clears"] >= 1, core
+            assert manager.count_satisfying(kept, NAMES) == manager.count_satisfying(
+                kept, NAMES
+            )
+
+    def test_object_core_cache_bound_triggers_clears(self):
+        manager = BDDManager(NAMES, core="object", cache_ratio=0.001)
+        manager._CACHE_FLOOR = 4  # force the bound low enough to trip
+        for seed in range(6):
+            random_function(manager, NAMES, random.Random(seed))
+        assert manager.statistics()["cache_clears"] >= 1

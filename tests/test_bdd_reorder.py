@@ -197,7 +197,7 @@ class TestBudgetAndAutoTrigger:
             )
         )
         count = manager.count_satisfying(function, names)
-        assert len(manager._unique) >= 64
+        assert manager.statistics()["table_nodes"] >= 64
         assert manager.maybe_reorder() is True
         assert manager.reorder_count == 1
         assert manager.reorder_threshold >= 64
@@ -259,4 +259,11 @@ class TestStatistics:
         assert stats["reorders"] >= 1
         assert stats["peak_nodes"] >= 1
         reset_global_stats()
-        assert global_stats() == {"managers": 0, "peak_nodes": 0, "reorders": 0}
+        assert global_stats() == {
+            "managers": 0,
+            "peak_nodes": 0,
+            "reorders": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "core_speedup": 0.0,
+        }
